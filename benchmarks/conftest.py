@@ -1,0 +1,31 @@
+"""Shared state for the figure benchmarks.
+
+One :class:`ExperimentSetup` at the paper's full trace budget (500k) is
+shared across all benches; sensors and characterizations are cached
+inside it, so each bench times its own experiment only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentSetup
+
+#: The paper's campaign length.
+FULL_TRACES = 500_000
+
+
+@pytest.fixture(scope="session")
+def setup():
+    return ExperimentSetup(ExperimentConfig(num_traces=FULL_TRACES))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    CPA campaigns are deterministic and expensive; repeated rounds
+    would only re-measure identical work.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

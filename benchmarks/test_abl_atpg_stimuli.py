@@ -1,0 +1,49 @@
+"""Ablation: automated (ATPG-style) stimuli search vs the hand-derived
+patterns.
+
+Sec. VI argues that for complex circuits "ATPG tools and path delay
+testing can be used to find such stimuli".  This bench runs the
+randomized path-activation search against a mid-size ALU and compares
+the result with the paper's hand-crafted carry-chain pattern.
+"""
+
+from conftest import run_once
+
+from repro.circuits import AluStimulus, build_alu
+from repro.core import WindowCoverage, find_activation_stimulus, stimulus_quality
+from repro.timing import fpga_annotate
+
+WIDTH = 32
+#: Nominal-time window of a 300 MHz sample under the RO voltage sweep.
+WINDOW_PS = (2600.0, 4100.0)
+
+
+def search():
+    alu = build_alu(WIDTH)
+    annotation = fpga_annotate(alu)
+    endpoints = ["r%d" % i for i in range(WIDTH)]
+    objective = WindowCoverage(*WINDOW_PS)
+    found = find_activation_stimulus(
+        annotation, endpoints, objective,
+        attempts=48, refine_steps=96, seed=3,
+    )
+    manual = AluStimulus(width=WIDTH)
+    manual_quality = stimulus_quality(
+        annotation, manual.reset_inputs, manual.measure_inputs,
+        endpoints, *WINDOW_PS,
+    )
+    return found, manual_quality
+
+
+def test_abl_atpg_stimuli(benchmark):
+    found, manual_quality = run_once(benchmark, search)
+    print(
+        "\nATPG-found stimulus: %d endpoints in window "
+        "(hand-derived pattern: %d)"
+        % (found.score, manual_quality["in_window"])
+    )
+    # The automated search must find a usable stimulus: several
+    # endpoints inside the sampling window...
+    assert found.score >= 3
+    # ...within a small factor of the domain-knowledge pattern.
+    assert found.score >= 0.3 * max(manual_quality["in_window"], 1.0)

@@ -1,0 +1,93 @@
+"""Ablation: hiding and masking countermeasures (paper Sec. II).
+
+The paper cites two countermeasure families for cloud FPGAs: *hiding*
+(active fences that raise the noise floor) and *masking* (randomized
+shares that decorrelate activity from secrets).  This bench attacks
+the same victim under each:
+
+* unprotected: baseline disclosure;
+* active fence: still disclosed, but at a multiple of the traces
+  (hiding only reduces SNR);
+* first-order masking: not disclosed at all (no first-order leakage).
+"""
+
+from conftest import run_once
+
+from repro.aes.leakage import LeakageModel, random_ciphertexts
+from repro.aes.masking import MaskedLeakageModel
+from repro.attacks import run_second_order_cpa
+from repro.core import AttackCampaign
+from repro.defense import ActiveFence, FencedLeakageModel
+from repro.util.rng import derive_seed
+
+TRACES = 200_000
+
+
+def evaluate(setup):
+    sensor = setup.sensor("alu")
+    baseline_campaign = setup.campaign("alu")
+    characterization = setup.characterization("alu")
+
+    def campaign_with(leakage_model):
+        campaign = AttackCampaign(
+            sensor,
+            setup.cipher,
+            leakage=leakage_model,
+            seed=baseline_campaign.seed,
+        )
+        campaign._characterization = characterization
+        return campaign
+
+    baseline = baseline_campaign.attack_with_tdc(TRACES)
+    fenced = campaign_with(
+        FencedLeakageModel(LeakageModel(), ActiveFence())
+    ).attack_with_tdc(TRACES)
+    masked = campaign_with(MaskedLeakageModel()).attack_with_tdc(TRACES)
+    return baseline, fenced, masked
+
+
+def test_abl_countermeasures(benchmark, setup):
+    baseline, fenced, masked = run_once(benchmark, evaluate, setup)
+    print(
+        "\nMTD: unprotected %s | active fence %s | masked %s"
+        % (
+            baseline.measurements_to_disclosure(),
+            fenced.measurements_to_disclosure(),
+            masked.measurements_to_disclosure(),
+        )
+    )
+    # Unprotected: quick disclosure.
+    assert baseline.disclosed
+    # Active fence: disclosure survives but costs at least 3x more.
+    assert fenced.measurements_to_disclosure() is None or (
+        fenced.measurements_to_disclosure()
+        >= 3 * baseline.measurements_to_disclosure()
+    )
+    # Masking: no stable disclosure, correct key buried in the pack.
+    assert masked.measurements_to_disclosure() is None
+    assert masked.key_ranks()[-1] > 10
+
+
+def second_order_on_masked(setup):
+    """The classical rebuttal: second-order CPA re-breaks masking."""
+    cipher = setup.cipher
+    model = MaskedLeakageModel()
+    cts = random_ciphertexts(TRACES, seed=derive_seed(7, "so-ct"))
+    voltages = model.voltages(
+        cts, cipher.last_round_key, seed=derive_seed(7, "so-noise")
+    )
+    return run_second_order_cpa(
+        voltages,
+        cts[:, setup.config.target_byte],
+        correct_key=cipher.last_round_key[setup.config.target_byte],
+    )
+
+
+def test_abl_second_order_breaks_masking(benchmark, setup):
+    result = run_once(benchmark, second_order_on_masked, setup)
+    print(
+        "\nsecond-order CPA on the masked victim: MTD %s"
+        % result.measurements_to_disclosure()
+    )
+    assert result.disclosed
+    assert result.measurements_to_disclosure() is not None

@@ -1,0 +1,48 @@
+"""Ablation: the benign sensor as a covert-channel receiver.
+
+The paper's abstract claims benign-logic sensors enable "side-channel
+*and covert channel* attacks"; this bench quantifies the covert use:
+bit error rate versus symbol rate for an OOK transmitter (a switched
+current load) decoded by the overclocked ALU.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import OOKModulation, run_covert_channel
+
+PAYLOAD_BITS = 128
+#: (symbol samples, guard samples) -> raw rate at 150 MS/s.
+RATES = ((300, 20), (150, 20), (75, 20), (40, 12), (10, 3))
+
+
+def sweep(setup):
+    sensor = setup.sensor("alu")
+    rng = np.random.default_rng(42)
+    payload = rng.integers(0, 2, PAYLOAD_BITS).tolist()
+    results = {}
+    for symbol_samples, guard in RATES:
+        modulation = OOKModulation(
+            symbol_samples=symbol_samples, settle_samples=guard
+        )
+        outcome = run_covert_channel(
+            sensor, payload, modulation, seed=3
+        )
+        results[modulation.bits_per_second] = outcome.bit_error_rate
+    return results
+
+
+def test_abl_covert_channel(benchmark, setup):
+    ber_by_rate = run_once(benchmark, sweep, setup)
+    print("\nBER by rate: %s" % {
+        "%.1f Mbit/s" % (rate / 1e6): round(ber, 3)
+        for rate, ber in sorted(ber_by_rate.items())
+    })
+    rates = sorted(ber_by_rate)
+    # Error-free transmission at moderate rates (<= 2 Mbit/s) ...
+    assert ber_by_rate[rates[0]] == 0.0
+    assert ber_by_rate[rates[1]] == 0.0
+    assert ber_by_rate[rates[2]] <= 0.02
+    # ... and collapse past the PDN's low-pass corner (15 Mbit/s is
+    # far above the ~2 MHz resonance).
+    assert ber_by_rate[rates[-1]] > 0.2

@@ -1,0 +1,50 @@
+"""Ablation: the two-tier simulation design.
+
+The calibrated fast model must (a) agree bit-for-bit with the
+event-driven gate-level simulator at zero jitter and (b) be fast enough
+for half-million-trace campaigns.  This bench measures both.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import BenignSensor
+
+PROBE_VOLTAGES = np.linspace(0.88, 1.08, 9)
+BULK_SAMPLES = 100_000
+
+
+def compare():
+    sensor = BenignSensor.from_name(
+        "alu", jitter_ps=0.0, shared_jitter_ps=0.0
+    )
+    t0 = time.perf_counter()
+    slow = sensor.sample_bits_gate_level(PROBE_VOLTAGES)
+    slow_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast_probe = sensor.sample_bits(PROBE_VOLTAGES)
+    rng = np.random.default_rng(0)
+    sensor.sample_bits(rng.normal(1.0, 0.003, BULK_SAMPLES))
+    fast_seconds = time.perf_counter() - t0
+
+    per_sample_slow = slow_seconds / len(PROBE_VOLTAGES)
+    per_sample_fast = fast_seconds / (len(PROBE_VOLTAGES) + BULK_SAMPLES)
+    return slow, fast_probe, per_sample_slow, per_sample_fast
+
+
+def test_abl_fast_model(benchmark):
+    slow, fast, per_slow, per_fast = run_once(benchmark, compare)
+    speedup = per_slow / per_fast
+    print(
+        "\ngate-level %.2f ms/sample, calibrated %.4f ms/sample "
+        "(%.0fx speedup)"
+        % (per_slow * 1e3, per_fast * 1e3, speedup)
+    )
+    # Exact agreement at zero jitter: the fast model is not an
+    # approximation, it is the same physics.
+    assert np.array_equal(slow, fast)
+    # And the speedup is what makes 500k-trace campaigns feasible.
+    assert speedup > 100

@@ -1,0 +1,42 @@
+"""Ablation: sensor sensitivity versus overclocking factor.
+
+The attack exists only because the benign circuit is clocked above its
+closed timing (Sec. III: "running the circuit at higher clock rates
+will [make it exploitable]").  Sweeping the clock shows the mechanism
+switch on: at the legitimate 50 MHz no endpoint is voltage-sensitive
+(all paths settle); as the clock rises past fmax, sensitive endpoints
+appear.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import BenignSensor
+
+CLOCKS_MHZ = (50.0, 100.0, 150.0, 200.0, 300.0, 400.0)
+#: Voltage window of the RO characterization (droop .. overshoot).
+V_WINDOW = (0.90, 1.04)
+
+
+def sweep():
+    counts = {}
+    for clock in CLOCKS_MHZ:
+        sensor = BenignSensor.from_name("alu", overclock_mhz=clock)
+        margin = 3.0 * np.hypot(sensor.jitter_ps, sensor.shared_jitter_ps)
+        sensitive = sensor.instances[0].calibration.potentially_sensitive(
+            *V_WINDOW, margin_ps=margin
+        )
+        counts[clock] = int(sensitive.sum())
+    return counts
+
+
+def test_abl_overclock_sweep(benchmark):
+    counts = run_once(benchmark, sweep)
+    print("\nsensitive endpoints vs clock: %s" % counts)
+    # At the legitimate synthesis clock the circuit is useless as a
+    # sensor; at the paper's 300 MHz it is highly sensitive.
+    assert counts[50.0] <= 5
+    assert counts[300.0] >= 40
+    # Sensitivity does not collapse at even higher clocks (different
+    # endpoints enter the window).
+    assert counts[400.0] >= 20

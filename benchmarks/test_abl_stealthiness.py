@@ -1,0 +1,47 @@
+"""Ablation: the stealthiness claim, quantified.
+
+The paper's adversary model assumes deployed bitstream checking.  This
+bench scans every sensor-capable design through the published rule set
+and checks the verdict matrix: the old sensors (RO, TDC) are rejected,
+the benign circuits (ALU, C6288) sail through.
+"""
+
+from conftest import run_once
+
+from repro.circuits import build_alu, build_c6288
+from repro.defense import BitstreamChecker
+from repro.sensors import build_ro_netlist, build_tdc_netlist
+
+
+def scan_all():
+    checker = BitstreamChecker()
+    designs = {
+        "ro_array_cell": build_ro_netlist(),
+        "tdc": build_tdc_netlist(),
+        "alu": build_alu(),
+        "c6288": build_c6288(),
+    }
+    return {
+        name: checker.scan(netlist) for name, netlist in designs.items()
+    }
+
+
+def test_abl_stealthiness(benchmark):
+    reports = run_once(benchmark, scan_all)
+    print()
+    for name, report in reports.items():
+        print(report.summary())
+    assert not reports["ro_array_cell"].accepted
+    assert not reports["tdc"].accepted
+    assert reports["alu"].accepted
+    assert reports["c6288"].accepted
+    # The malicious designs are caught by *structural* rules, i.e. with
+    # critical findings naming the known signatures.
+    assert any(
+        f.rule == "combinational-loop"
+        for f in reports["ro_array_cell"].critical_findings
+    )
+    assert any(
+        f.rule in ("delay-line-taps", "clock-as-data")
+        for f in reports["tdc"].critical_findings
+    )

@@ -1,0 +1,34 @@
+"""Ablation: the Sec. VI strict timing countermeasure and its loophole.
+
+The paper concedes a timing-aware check *would* catch the attack, then
+argues it is impractical because real designs rely on false-path
+exemptions that can hide sensor paths.  Both halves are measured here.
+"""
+
+from conftest import run_once
+
+from repro.defense import TimingConstraints, strict_timing_check
+
+
+def evaluate(setup):
+    annotation = setup.sensor("alu").instances[0].annotation
+    naive = strict_timing_check(annotation, 300.0)
+    exempt = TimingConstraints.exempting(naive.failing_endpoints)
+    evaded = strict_timing_check(annotation, 300.0, constraints=exempt)
+    legitimate = strict_timing_check(annotation, 40.0)
+    return naive, evaded, legitimate
+
+
+def test_abl_timing_defense(benchmark, setup):
+    naive, evaded, legitimate = run_once(benchmark, evaluate, setup)
+    print("\nno constraints : %s" % naive.summary())
+    print("false paths    : %s" % evaded.summary())
+    print("legit 40 MHz   : %s" % legitimate.summary())
+    # The strict check catches the 300 MHz misuse...
+    assert not naive.accepted
+    assert len(naive.failing_endpoints) > 50
+    # ...while the legitimate clock passes...
+    assert legitimate.accepted
+    # ...and tenant-declared false paths defeat the check entirely.
+    assert evaded.accepted
+    assert evaded.exemptions_hide_violations

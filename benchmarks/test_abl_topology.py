@@ -1,0 +1,114 @@
+"""Ablation: circuit topology and sensor quality.
+
+The paper's Discussion notes any path "longer than those for control
+flow" can serve as a sensor.  The converse also matters: a *fast*
+topology gives the attacker little to work with.  This bench compares
+a 64-bit ripple-carry adder against a 64-bit Kogge-Stone adder at the
+same 300 MHz overclock: the parallel-prefix adder's shallow, balanced
+paths leave far fewer endpoints inside the voltage-sensitive window.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.circuits import (
+    adder_input_assignment,
+    build_kogge_stone_adder,
+    build_ripple_carry_adder,
+)
+from repro.core.calibration import calibrate_endpoints
+from repro.timing import analyze_timing, fpga_annotate
+
+WIDTH = 64
+SAMPLE_PERIOD_PS = 1e6 / 300.0
+V_WINDOW = (0.90, 1.04)
+JITTER_MARGIN_PS = 3 * 96.0
+
+
+def characterize(build):
+    netlist = build(WIDTH)
+    annotation = fpga_annotate(netlist)
+    calibration = calibrate_endpoints(
+        annotation,
+        adder_input_assignment(0, 0, WIDTH),
+        adder_input_assignment(2**WIDTH - 1, 1, WIDTH),
+        ["s%d" % i for i in range(WIDTH)],
+        SAMPLE_PERIOD_PS,
+    )
+    sensitive = calibration.potentially_sensitive(
+        *V_WINDOW, margin_ps=JITTER_MARGIN_PS
+    )
+    fmax = analyze_timing(annotation).max_frequency_mhz
+    return int(sensitive.sum()), fmax
+
+
+def compare():
+    rca = characterize(build_ripple_carry_adder)
+    ks = characterize(build_kogge_stone_adder)
+    return {"ripple_carry": rca, "kogge_stone": ks}
+
+
+def test_abl_multiplier_topology(benchmark, setup):
+    """Array (C6288) vs tree (Wallace) multiplier as sensors.
+
+    The C6288's linear carry-save array spreads endpoint settle times
+    over a long ramp — plenty of endpoints near any operating point.
+    The Wallace tree compresses timing into log-depth levels, leaving
+    fewer usable endpoints; its Hamming-weight attack does not disclose
+    within the paper's trace budget while the array multiplier's does.
+    """
+    def evaluate():
+        wallace = setup.campaign("wallace16")
+        array = setup.campaign("c6288")
+        wallace_census = setup.characterization("wallace16").census
+        array_census = setup.characterization("c6288").census
+        wallace_attack = wallace.attack(300_000)
+        array_attack = array.attack(300_000)
+        return (
+            wallace_census.summary(),
+            array_census.summary(),
+            wallace_attack,
+            array_attack,
+        )
+
+    wallace_census, array_census, wallace_attack, array_attack = run_once(
+        benchmark, evaluate
+    )
+    print("\nwallace16:", wallace_census)
+    print("c6288    :", array_census)
+    print(
+        "HW attack MTD: wallace %s vs c6288 %s"
+        % (
+            wallace_attack.measurements_to_disclosure(),
+            array_attack.measurements_to_disclosure(),
+        )
+    )
+    # The array multiplier exposes more usable endpoints...
+    assert (
+        array_census["aes_sensitive"] > wallace_census["aes_sensitive"]
+    )
+    # ...and is the stronger sensor.
+    assert array_attack.disclosed
+    array_mtd = array_attack.measurements_to_disclosure()
+    wallace_mtd = wallace_attack.measurements_to_disclosure()
+    assert wallace_mtd is None or wallace_mtd > array_mtd
+
+
+def test_abl_topology(benchmark):
+    results = run_once(benchmark, compare)
+    print(
+        "\nsensitive endpoints @300 MHz: ripple-carry %d (fmax %.0f MHz) "
+        "vs kogge-stone %d (fmax %.0f MHz)"
+        % (
+            results["ripple_carry"][0],
+            results["ripple_carry"][1],
+            results["kogge_stone"][0],
+            results["kogge_stone"][1],
+        )
+    )
+    # The fast adder closes much higher fmax...
+    assert results["kogge_stone"][1] > 1.5 * results["ripple_carry"][1]
+    # ...and offers fewer sensitive endpoints to the attacker.
+    assert results["kogge_stone"][0] < results["ripple_carry"][0]
+    # The ripple-carry adder remains a usable sensor.
+    assert results["ripple_carry"][0] >= 10

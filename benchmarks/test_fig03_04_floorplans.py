@@ -1,0 +1,26 @@
+"""Figs. 3/4: floorplans of the ALU and C6288 setups.
+
+Paper: the benign circuit's logic is scattered over its region with the
+sensitive endpoints (red) spread among it — unlike the compact,
+purpose-built TDC column.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig03_04_floorplan
+
+
+def test_fig03_alu_floorplan(benchmark, setup):
+    result = run_once(benchmark, fig03_04_floorplan, setup, "alu")
+    print("\n" + result["rendered"])
+    assert "#" in result["rendered"]
+    # Sensitive endpoints occupy many distinct sites: scattered, not a
+    # contiguous sensor column.
+    assert result["sensitive_sites"] > 30
+
+
+def test_fig04_c6288_floorplan(benchmark, setup):
+    result = run_once(benchmark, fig03_04_floorplan, setup, "c6288x2")
+    print("\n" + result["rendered"])
+    assert "#" in result["rendered"]
+    assert result["sensitive_sites"] > 15

@@ -1,0 +1,31 @@
+"""Fig. 5: raw toggling ALU bits under the 8000-RO pattern.
+
+Paper: "a rather random output after the ROs get enabled after around
+Sample 20" — before the enable the capture is quiet, afterwards a large
+share of the 192 endpoints toggles.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig05_raw_toggle, sparkline
+
+
+def test_fig05_alu_raw_toggle(benchmark, setup):
+    result = run_once(benchmark, fig05_raw_toggle, setup, "alu")
+    print(
+        "\nset bits per sample: %s"
+        % sparkline(result["set_bits_per_sample"])
+    )
+    print(
+        "toggling endpoints before/after RO enable: %d / %d"
+        % (
+            result["toggling_before_enable"],
+            result["toggling_after_enable"],
+        )
+    )
+    assert result["bits"].shape[1] == 192
+    assert (
+        result["toggling_after_enable"]
+        >= 1.5 * result["toggling_before_enable"]
+    )
+    assert result["toggling_after_enable"] >= 60

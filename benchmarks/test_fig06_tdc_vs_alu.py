@@ -1,0 +1,36 @@
+"""Fig. 6: TDC readout vs Hamming weight of the sensitive ALU bits.
+
+Paper: the TDC drops from ~30 to ~10 during the RO-induced droop and
+overshoots to 60-70 after the sudden disable; the post-processed ALU
+Hamming weight shows the same shape with minor offsets.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig06_tdc_vs_benign, sparkline
+
+
+def test_fig06_tdc_vs_alu(benchmark, setup):
+    result = run_once(benchmark, fig06_tdc_vs_benign, setup, "alu")
+    print("\nTDC readout : %s" % sparkline(result["tdc"]))
+    print("ALU HW      : %s" % sparkline(result["benign_hw"]))
+    print(
+        "TDC idle %.1f -> droop min %.0f -> overshoot max %.0f"
+        % (
+            result["tdc_idle"],
+            result["tdc_droop_min"],
+            result["tdc_overshoot_max"],
+        )
+    )
+    # Shape assertions mirroring the paper's description.
+    assert result["tdc_droop_min"] < result["tdc_idle"] - 12
+    assert result["tdc_overshoot_max"] > result["tdc_idle"] + 5
+    # The two sensors observe the same physical events.
+    assert result["correlation"] > 0.75
+
+
+def test_fig06_c6288_variant(benchmark, setup):
+    """The same comparison with the multiplier sensor (Sec. V-D notes
+    the C6288 shows "the same behavior that occurs for the adder")."""
+    result = run_once(benchmark, fig06_tdc_vs_benign, setup, "c6288x2")
+    assert result["correlation"] > 0.6

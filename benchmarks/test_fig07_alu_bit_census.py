@@ -1,0 +1,24 @@
+"""Fig. 7: sensitive-bit census of the ALU.
+
+Paper: of 192 ALU output bits, 79 are sensitive to RO-induced
+fluctuations, 40 toggle under AES activity (39 of them a subset of the
+RO-sensitive set), and 112 are unaffected.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig07_15_census
+
+
+def test_fig07_alu_bit_census(benchmark, setup):
+    summary = run_once(benchmark, fig07_15_census, setup, "alu")
+    print("\nALU census: %s (paper: 79 RO / 40 AES / 39 subset / 112 none)"
+          % summary)
+    assert summary["total"] == 192
+    # Within a tolerance band of the paper's implementation run.
+    assert 65 <= summary["ro_sensitive"] <= 95
+    assert 28 <= summary["aes_sensitive"] <= 52
+    assert summary["aes_sensitive"] < summary["ro_sensitive"]
+    # Near-total subset relation, as in the paper (39 of 40).
+    assert summary["aes_subset_of_ro"] >= summary["aes_sensitive"] - 2
+    assert summary["unaffected"] >= 95

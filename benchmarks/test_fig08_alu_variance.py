@@ -1,0 +1,30 @@
+"""Fig. 8: per-bit variance of the sensitive ALU bits.
+
+Paper: variance under RO and AES activity identifies the bits of
+interest; their implementation's best endpoint is bit 21.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig08_16_variance
+
+
+def test_fig08_alu_variance(benchmark, setup):
+    result = run_once(benchmark, fig08_16_variance, setup, "alu")
+    variance_ro = result["variance_ro"]
+    mask = result["sensitive_mask"]
+    print(
+        "\nbest bit %d, runner-up %d (paper run: bits 21 / 6)"
+        % (result["best_bit"], result["second_bit"])
+    )
+    # Sensitive bits carry essentially all the variance.
+    assert variance_ro[mask].sum() > 0
+    assert variance_ro[mask].mean() > 10 * max(
+        variance_ro[~mask].mean(), 1e-9
+    )
+    # The selected best bit is RO-sensitive and carries RO variance.
+    assert mask[result["best_bit"]]
+    assert variance_ro[result["best_bit"]] > 0
+    # Variance is bounded by the Bernoulli maximum.
+    assert variance_ro.max() <= 0.25 + 1e-9

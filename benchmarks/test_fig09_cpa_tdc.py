@@ -1,0 +1,25 @@
+"""Fig. 9: CPA baseline with the TDC sensor (all bits).
+
+Paper: "just a few hundred traces are needed to clearly distinguish the
+correct secret key byte".  Our simulated TDC discloses within a few
+thousand traces (see EXPERIMENTS.md for the calibration discussion);
+the essential shape — orders of magnitude faster than any benign-logic
+sensor — holds.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import describe_mtd, fig09_cpa_tdc
+
+
+def test_fig09_cpa_tdc(benchmark, setup):
+    outcome = run_once(benchmark, fig09_cpa_tdc, setup)
+    print("\nfig09 TDC: %s (paper: few hundred)" % describe_mtd(outcome.mtd))
+    assert outcome.disclosed
+    assert outcome.mtd is not None and outcome.mtd <= 10_000
+    # Final separation is decisive (subfigure (a) of the paper).
+    result = outcome.result
+    final = result.final_correlations
+    wrong = np.delete(final, result.correct_key)
+    assert final[result.correct_key] > 2.0 * wrong.max()

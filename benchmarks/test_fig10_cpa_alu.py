@@ -1,0 +1,29 @@
+"""Fig. 10: CPA with the overclocked ALU (Hamming weight of sensitive
+bits).
+
+Paper: the correct key byte is revealed after about 150k traces —
+slower than the TDC, but a working key recovery from completely benign
+logic.
+"""
+
+from conftest import run_once
+
+from repro.experiments import describe_mtd, fig09_cpa_tdc, fig10_cpa_alu
+
+
+def test_fig10_cpa_alu(benchmark, setup):
+    outcome = run_once(benchmark, fig10_cpa_alu, setup)
+    print("\nfig10 ALU HW: %s (paper: ~150k)" % describe_mtd(outcome.mtd))
+    assert outcome.disclosed
+    assert outcome.mtd is not None
+    # Same order of magnitude as the paper: tens to low hundreds of
+    # thousands of traces.
+    assert 5_000 <= outcome.mtd <= 400_000
+
+
+def test_fig10_alu_much_slower_than_tdc(benchmark, setup):
+    """The headline ordering of Sec. V-B: the benign sensor needs
+    orders of magnitude more traces than the TDC."""
+    alu = run_once(benchmark, fig10_cpa_alu, setup)
+    tdc = fig09_cpa_tdc(setup)
+    assert alu.mtd > 5 * tdc.mtd

@@ -1,0 +1,31 @@
+"""Fig. 11: CPA with a single TDC tap register (bit 32).
+
+Paper: "using all bits versus only one bit does not make a noticeable
+difference in key recovery effort" for the TDC.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    describe_mtd,
+    fig09_cpa_tdc,
+    fig11_cpa_tdc_single,
+)
+
+
+def test_fig11_cpa_tdc_single(benchmark, setup):
+    outcome = run_once(benchmark, fig11_cpa_tdc_single, setup)
+    print(
+        "\nfig11 TDC bit 32: %s (paper: few hundred)"
+        % describe_mtd(outcome.mtd)
+    )
+    assert outcome.sensor_bit == 32
+    assert outcome.disclosed
+    assert outcome.mtd is not None and outcome.mtd <= 20_000
+
+
+def test_fig11_single_bit_close_to_full_tdc(benchmark, setup):
+    single = run_once(benchmark, fig11_cpa_tdc_single, setup)
+    full = fig09_cpa_tdc(setup)
+    # "No noticeable difference": within an order of magnitude.
+    assert single.mtd <= 10 * full.mtd

@@ -1,0 +1,26 @@
+"""Fig. 13: CPA with an alternate single ALU endpoint (paper's bit 6).
+
+Paper: repeating the single-endpoint attack with a different bit also
+succeeds, at about 150k traces — the result is not a quirk of one
+lucky endpoint.
+"""
+
+from conftest import run_once
+
+from repro.experiments import describe_mtd, fig13_cpa_alu_alternate_bit
+
+
+def test_fig13_cpa_alu_alternate_bit(benchmark, setup):
+    outcome = run_once(benchmark, fig13_cpa_alu_alternate_bit, setup)
+    print(
+        "\nfig13 ALU alternate endpoint %d: %s (paper: bit 6, ~150k)"
+        % (outcome.sensor_bit, describe_mtd(outcome.mtd))
+    )
+    assert outcome.disclosed
+    assert outcome.mtd is not None
+    assert 10_000 <= outcome.mtd <= 500_000
+
+
+def test_fig13_uses_a_different_endpoint(benchmark, setup):
+    ranking = run_once(benchmark, setup.single_bit_ranking, "alu")
+    assert ranking[0] != ranking[1]

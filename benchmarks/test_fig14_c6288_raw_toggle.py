@@ -1,0 +1,30 @@
+"""Fig. 14: raw toggling C6288 bits under the 8000-RO pattern.
+
+Paper: the multiplier shows "the same behavior that occurs for the
+adder sensor"; 49 of its 64 bits are RO-sensitive.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig05_raw_toggle, sparkline
+
+
+def test_fig14_c6288_raw_toggle(benchmark, setup):
+    result = run_once(benchmark, fig05_raw_toggle, setup, "c6288x2")
+    print(
+        "\nset bits per sample: %s"
+        % sparkline(result["set_bits_per_sample"])
+    )
+    print(
+        "toggling before/after RO enable: %d / %d (paper: 49 of 64)"
+        % (
+            result["toggling_before_enable"],
+            result["toggling_after_enable"],
+        )
+    )
+    assert result["bits"].shape[1] == 64
+    assert result["toggling_after_enable"] >= 35
+    assert (
+        result["toggling_after_enable"]
+        > result["toggling_before_enable"]
+    )

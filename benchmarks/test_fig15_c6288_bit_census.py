@@ -1,0 +1,31 @@
+"""Fig. 15: sensitive-bit census of the two C6288 instances.
+
+Paper: 49 of 64 bits are RO-sensitive, 32 toggle under AES (all of them
+within the RO-sensitive set), 15 bits are unaffected — i.e. ~50% of the
+multiplier's endpoints are usable against AES, versus ~20% for the ALU.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig07_15_census
+
+
+def test_fig15_c6288_bit_census(benchmark, setup):
+    summary = run_once(benchmark, fig07_15_census, setup, "c6288x2")
+    print(
+        "\nC6288 census: %s (paper: 49 RO / 32 AES subset / 15 none)"
+        % summary
+    )
+    assert summary["total"] == 64
+    assert 40 <= summary["ro_sensitive"] <= 58
+    assert summary["aes_subset_of_ro"] >= summary["aes_sensitive"] - 2
+    assert 6 <= summary["unaffected"] <= 24
+
+
+def test_fig15_usable_fraction_exceeds_alu(benchmark, setup):
+    """Paper: ~50% of C6288 endpoints attack AES vs ~20% for the ALU."""
+    alu = run_once(benchmark, fig07_15_census, setup, "alu")
+    c6288 = fig07_15_census(setup, "c6288x2")
+    alu_fraction = alu["aes_sensitive"] / alu["total"]
+    c6288_fraction = c6288["aes_sensitive"] / c6288["total"]
+    assert c6288_fraction > 1.5 * alu_fraction

@@ -1,0 +1,27 @@
+"""Fig. 16: per-bit variance of the sensitive C6288 bits.
+
+Paper: the variance profile identifies the bits of interest; their run
+selects bit 28 as the best single endpoint.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig08_16_variance
+
+
+def test_fig16_c6288_variance(benchmark, setup):
+    result = run_once(benchmark, fig08_16_variance, setup, "c6288x2")
+    print(
+        "\nbest bit %d, runner-up %d (paper run: bit 28)"
+        % (result["best_bit"], result["second_bit"])
+    )
+    assert result["variance_ro"].shape == (64,)
+    mask = result["sensitive_mask"]
+    assert mask[result["best_bit"]]
+    assert result["variance_ro"][mask].mean() > result["variance_ro"][
+        ~mask
+    ].mean()
+    # The response-correlation refinement must agree that the chosen
+    # bit couples to the common voltage signal.
+    rho = result["response_correlations"]
+    assert rho[result["best_bit"]] == rho.max()

@@ -1,0 +1,32 @@
+"""Fig. 17: CPA with the combined 2x C6288 Hamming-weight sensor.
+
+Paper: the correct key is retrieved after about 200k traces — slightly
+more than the ALU's 150k, explained by the lower output-bit count (64
+vs 192).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    describe_mtd,
+    fig10_cpa_alu,
+    fig17_cpa_c6288,
+)
+
+
+def test_fig17_cpa_c6288(benchmark, setup):
+    outcome = run_once(benchmark, fig17_cpa_c6288, setup)
+    print(
+        "\nfig17 C6288 HW: %s (paper: ~200k)" % describe_mtd(outcome.mtd)
+    )
+    assert outcome.disclosed
+    assert outcome.mtd is not None
+    assert 20_000 <= outcome.mtd <= 500_000
+
+
+def test_fig17_c6288_needs_more_than_alu(benchmark, setup):
+    """Paper ordering: the 64-bit multiplier sensor has lower
+    resolution than the 192-bit adder, so it needs more traces."""
+    c6288 = run_once(benchmark, fig17_cpa_c6288, setup)
+    alu = fig10_cpa_alu(setup)
+    assert c6288.mtd > alu.mtd

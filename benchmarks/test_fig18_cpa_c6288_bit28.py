@@ -1,0 +1,33 @@
+"""Fig. 18: CPA with a single C6288 path endpoint (paper's bit 28).
+
+Paper: the best single endpoint recovers the key with about 100k traces
+— *better* than the 64-bit Hamming weight (200k), because the chosen
+bit is cleaner than the average of all sensitive bits.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    describe_mtd,
+    fig17_cpa_c6288,
+    fig18_cpa_c6288_best_bit,
+)
+
+
+def test_fig18_cpa_c6288_single_bit(benchmark, setup):
+    outcome = run_once(benchmark, fig18_cpa_c6288_best_bit, setup)
+    print(
+        "\nfig18 C6288 endpoint %d: %s (paper: bit 28, ~100k)"
+        % (outcome.sensor_bit, describe_mtd(outcome.mtd))
+    )
+    assert outcome.disclosed
+    assert outcome.mtd is not None
+    assert outcome.mtd <= 500_000
+
+
+def test_fig18_single_bit_beats_combined(benchmark, setup):
+    """The paper's notable inversion: for the C6288, the best single
+    endpoint outperforms the combined Hamming weight."""
+    single = run_once(benchmark, fig18_cpa_c6288_best_bit, setup)
+    combined = fig17_cpa_c6288(setup)
+    assert single.mtd < combined.mtd

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Cross-tenant covert channel through the shared PDN.
+
+Two colluding tenants — neither with anything suspicious in their
+bitstreams — exchange data: the transmitter toggles a heavy (but
+legitimate-looking) computation, the receiver decodes the resulting
+voltage fluctuations from its overclocked benign ALU.
+"""
+
+import numpy as np
+
+from repro.core import BenignSensor, OOKModulation, run_covert_channel
+
+MESSAGE = b"FPGA"
+
+
+def to_bits(data: bytes) -> list:
+    return [(byte >> i) & 1 for byte in data for i in range(8)]
+
+
+def from_bits(bits: list) -> bytes:
+    out = bytearray()
+    for start in range(0, len(bits) - 7, 8):
+        out.append(sum(bits[start + i] << i for i in range(8)))
+    return bytes(out)
+
+
+def main() -> None:
+    print("== Covert channel over the shared PDN ==\n")
+    sensor = BenignSensor.from_name("alu")
+    payload = to_bits(MESSAGE)
+    print("transmitting %r (%d bits)\n" % (MESSAGE, len(payload)))
+
+    print("%-12s %-10s %-10s %s" % ("rate", "BER", "errors", "decoded"))
+    for symbol_samples in (300, 150, 75, 40, 10):
+        modulation = OOKModulation(
+            symbol_samples=symbol_samples,
+            settle_samples=min(20, max(0, symbol_samples // 4)),
+        )
+        result = run_covert_channel(sensor, payload, modulation, seed=11)
+        decoded = from_bits(result.received)
+        print(
+            "%-12s %-10.3f %-10d %r"
+            % (
+                "%.1f Mbit/s" % (result.bits_per_second / 1e6),
+                result.bit_error_rate,
+                result.bit_errors,
+                decoded,
+            )
+        )
+    print(
+        "\nThe channel is error-free up to a few Mbit/s and collapses\n"
+        "past the PDN's low-pass corner — all using sensors and loads\n"
+        "that pass every bitstream check."
+    )
+
+
+if __name__ == "__main__":
+    main()

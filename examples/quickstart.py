@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: turn a benign ALU into a voltage sensor and recover an
+AES key byte.
+
+Runs the whole paper pipeline at a small trace budget (~1 minute):
+
+1. implement the 192-bit ALU for its legitimate 50 MHz clock;
+2. overclock it to 300 MHz with alternating reset/measure stimuli;
+3. characterize which endpoints are voltage-sensitive (RO experiment);
+4. collect traces while a co-tenant AES encrypts;
+5. run last-round CPA and print the recovered key byte.
+"""
+
+from repro.aes import AES128
+from repro.core import AttackCampaign, BenignSensor
+from repro.experiments.report import describe_mtd, sparkline
+
+NUM_TRACES = 120_000
+SECRET_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def main() -> None:
+    print("== Stealthy logic misuse: quickstart ==")
+
+    print("\n[1/4] Implementing the benign ALU ...")
+    sensor = BenignSensor.from_name("alu")
+    print(
+        "  192-bit ALU closes timing at %.0f MHz; attacker clocks it at "
+        "%.0f MHz (x%.1f overclock)"
+        % (
+            sensor.legitimate_fmax_mhz(),
+            1e6 / sensor.sample_period_ps,
+            sensor.overclock_factor(),
+        )
+    )
+
+    print("\n[2/4] Characterizing sensitive endpoints ...")
+    cipher = AES128(SECRET_KEY)
+    campaign = AttackCampaign(sensor, cipher, seed=7)
+    census = campaign.characterize().census
+    print(
+        "  %d of %d endpoints sensitive to RO-induced fluctuations, "
+        "%d toggle under AES activity"
+        % (
+            census.num_ro_sensitive,
+            census.total_bits,
+            census.num_aes_sensitive,
+        )
+    )
+
+    print("\n[3/4] Collecting %d traces and running CPA ..." % NUM_TRACES)
+    result = campaign.attack(NUM_TRACES)
+
+    print("\n[4/4] Results")
+    correct = cipher.last_round_key[3]
+    track = abs(result.correlations[:, result.best_guess])
+    print("  correlation progress: %s" % sparkline(track, width=60))
+    print(
+        "  best key-byte guess: 0x%02X (true last-round key byte: 0x%02X)"
+        % (result.best_guess, correct)
+    )
+    print("  measurements to disclosure: %s"
+          % describe_mtd(result.measurements_to_disclosure()))
+    if result.disclosed:
+        print("  -> key byte RECOVERED from completely benign logic.")
+    else:
+        print(
+            "  -> not yet disclosed at this small budget; the full "
+            "500k-trace campaign (see benchmarks/) succeeds."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,265 @@
+"""Bit-exact AES-128 (FIPS-197) in pure Python.
+
+This is the victim workload: a co-tenant AES-128 encryption core.  The
+implementation favours clarity over speed — bulk trace generation never
+re-runs full encryptions per trace; it uses the vectorized last-round
+model in :mod:`repro.aes.leakage` instead — but it is complete
+(encrypt, decrypt, key schedule, round-state introspection) and is
+validated against the FIPS-197 and NIST test vectors in the test suite.
+
+State is represented as 16-byte ``bytes`` in the standard column-major
+AES order: byte ``i`` sits at row ``i % 4``, column ``i // 4``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Forward S-box (FIPS-197 Fig. 7).
+SBOX: Tuple[int, ...] = (
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5,
+    0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC,
+    0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A,
+    0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B,
+    0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85,
+    0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17,
+    0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88,
+    0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9,
+    0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6,
+    0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94,
+    0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68,
+    0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+)
+
+#: Inverse S-box, derived from :data:`SBOX`.
+INV_SBOX: Tuple[int, ...] = tuple(
+    SBOX.index(i) for i in range(256)
+)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+#: Cycles per round of the modeled 32-bit datapath (4 SBoxes/cycle).
+CYCLES_PER_ROUND = 4
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) with the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+def sub_bytes(state: Sequence[int]) -> List[int]:
+    """Apply the S-box to every state byte."""
+    return [SBOX[b] for b in state]
+
+
+def inv_sub_bytes(state: Sequence[int]) -> List[int]:
+    """Apply the inverse S-box to every state byte."""
+    return [INV_SBOX[b] for b in state]
+
+
+def shift_rows(state: Sequence[int]) -> List[int]:
+    """Cyclically shift row ``r`` left by ``r`` (column-major layout)."""
+    out = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            out[row + 4 * col] = state[row + 4 * ((col + row) % 4)]
+    return out
+
+
+def inv_shift_rows(state: Sequence[int]) -> List[int]:
+    """Inverse of :func:`shift_rows`."""
+    out = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            out[row + 4 * ((col + row) % 4)] = state[row + 4 * col]
+    return out
+
+
+def mix_columns(state: Sequence[int]) -> List[int]:
+    """MixColumns over all four state columns."""
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+        out[4 * col + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+        out[4 * col + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+        out[4 * col + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+    return out
+
+
+def inv_mix_columns(state: Sequence[int]) -> List[int]:
+    """Inverse MixColumns."""
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = (
+            _gmul(a[0], 14) ^ _gmul(a[1], 11) ^ _gmul(a[2], 13) ^ _gmul(a[3], 9)
+        )
+        out[4 * col + 1] = (
+            _gmul(a[0], 9) ^ _gmul(a[1], 14) ^ _gmul(a[2], 11) ^ _gmul(a[3], 13)
+        )
+        out[4 * col + 2] = (
+            _gmul(a[0], 13) ^ _gmul(a[1], 9) ^ _gmul(a[2], 14) ^ _gmul(a[3], 11)
+        )
+        out[4 * col + 3] = (
+            _gmul(a[0], 11) ^ _gmul(a[1], 13) ^ _gmul(a[2], 9) ^ _gmul(a[3], 14)
+        )
+    return out
+
+
+def add_round_key(state: Sequence[int], round_key: Sequence[int]) -> List[int]:
+    """XOR the round key into the state."""
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+def expand_key(key: bytes) -> List[List[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes, got %d" % len(key))
+    words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [
+        [b for word in words[4 * r : 4 * r + 4] for b in word]
+        for r in range(11)
+    ]
+
+
+def invert_key_schedule(last_round_key: bytes) -> bytes:
+    """Recover the AES-128 master key from the round-10 key.
+
+    The AES-128 key schedule is invertible: each word is
+    ``w[i] = w[i-4] XOR f(w[i-1])`` (with the RotWord/SubWord/Rcon
+    nonlinearity only at ``i % 4 == 0``), so knowing any four
+    consecutive words — in particular the last round key — determines
+    all the others.  This is why the paper's last-round CPA, which
+    recovers round-10 key bytes, breaks the whole cipher.
+
+    >>> key = bytes(range(16))
+    >>> invert_key_schedule(bytes(expand_key(key)[10])) == key
+    True
+    """
+    if len(last_round_key) != 16:
+        raise ValueError(
+            "round key must be 16 bytes, got %d" % len(last_round_key)
+        )
+    words: List[List[int]] = [[0, 0, 0, 0] for _ in range(44)]
+    for i in range(4):
+        words[40 + i] = list(last_round_key[4 * i : 4 * i + 4])
+    for i in range(43, 3, -1):
+        previous = words[i - 1]
+        if i % 4 == 0:
+            temp = previous[1:] + previous[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        else:
+            temp = previous
+        words[i - 4] = [a ^ b for a, b in zip(words[i], temp)]
+    return bytes(b for word in words[0:4] for b in word)
+
+
+class AES128:
+    """AES-128 cipher with round-state introspection.
+
+    Example:
+        >>> cipher = AES128(bytes(range(16)))
+        >>> pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        >>> cipher.decrypt(cipher.encrypt(pt)) == pt
+        True
+    """
+
+    def __init__(self, key: bytes):
+        self.round_keys = expand_key(key)
+
+    @property
+    def last_round_key(self) -> bytes:
+        """Round-10 key — the target of the paper's last-round CPA."""
+        return bytes(self.round_keys[10])
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        return bytes(self.round_states(plaintext)[-1])
+
+    def round_states(self, plaintext: bytes) -> List[List[int]]:
+        """All register states of an encryption.
+
+        Returns 12 states: the initial AddRoundKey result, the state
+        after each of rounds 1..10 (the last entry is the ciphertext).
+        Index 0 is the post-whitening state; index ``r`` the state after
+        round ``r``.  The first element of the returned list is the
+        plaintext itself (pre-whitening), so ``len(...) == 12``.
+        """
+        if len(plaintext) != 16:
+            raise ValueError(
+                "plaintext must be 16 bytes, got %d" % len(plaintext)
+            )
+        states: List[List[int]] = [list(plaintext)]
+        state = add_round_key(list(plaintext), self.round_keys[0])
+        states.append(list(state))
+        for round_index in range(1, 10):
+            state = sub_bytes(state)
+            state = shift_rows(state)
+            state = mix_columns(state)
+            state = add_round_key(state, self.round_keys[round_index])
+            states.append(list(state))
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = add_round_key(state, self.round_keys[10])
+        states.append(list(state))
+        return states
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ValueError(
+                "ciphertext must be 16 bytes, got %d" % len(ciphertext)
+            )
+        state = add_round_key(list(ciphertext), self.round_keys[10])
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        for round_index in range(9, 0, -1):
+            state = add_round_key(state, self.round_keys[round_index])
+            state = inv_mix_columns(state)
+            state = inv_shift_rows(state)
+            state = inv_sub_bytes(state)
+        state = add_round_key(state, self.round_keys[0])
+        return bytes(state)

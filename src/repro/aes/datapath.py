@@ -1,0 +1,85 @@
+"""Cycle-accurate activity model of the 32-bit AES datapath.
+
+The paper's victim AES core has a 32-bit datapath "so that four SBoxes
+are evaluated in parallel" (Sec. IV): each round processes the state
+one 32-bit column per clock cycle, so a full encryption occupies
+``10 rounds * 4 cycles`` of the 100 MHz AES clock (plus a whitening
+cycle group).  The switching current of the core is dominated by the
+state-register transitions, so the per-cycle Hamming distance of the
+updated column is the per-cycle activity driving the PDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.aes.aes128 import AES128, CYCLES_PER_ROUND
+from repro.util.bits import hamming_distance
+
+
+@dataclass(frozen=True)
+class DatapathSchedule:
+    """Timing constants of the modeled AES core.
+
+    Attributes:
+        clock_hz: AES core clock (100 MHz in the paper).
+        cycles_per_round: state-register updates per round (4 for the
+            32-bit datapath).
+    """
+
+    clock_hz: float = 100e6
+    cycles_per_round: int = CYCLES_PER_ROUND
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles per encryption: whitening plus 10 rounds."""
+        return self.cycles_per_round * 11
+
+    def round_of_cycle(self, cycle: int) -> int:
+        """Which round (0 = whitening, 1..10) a cycle belongs to."""
+        if not 0 <= cycle < self.total_cycles:
+            raise ValueError("cycle %d outside 0..%d"
+                             % (cycle, self.total_cycles - 1))
+        return cycle // self.cycles_per_round
+
+    def last_round_cycles(self) -> range:
+        """Cycle indices of round 10 — where the CPA-relevant HD leaks."""
+        return range(
+            self.cycles_per_round * 10, self.cycles_per_round * 11
+        )
+
+
+def column_hd(prev_state: Sequence[int], next_state: Sequence[int],
+              column: int) -> int:
+    """Hamming distance of one 32-bit column between two states."""
+    if not 0 <= column < 4:
+        raise ValueError("column must be 0..3, got %d" % column)
+    total = 0
+    for row in range(4):
+        index = 4 * column + row
+        total += hamming_distance(prev_state[index], next_state[index])
+    return total
+
+
+def encryption_cycle_hd(
+    cipher: AES128,
+    plaintext: bytes,
+    schedule: DatapathSchedule = DatapathSchedule(),
+) -> List[int]:
+    """Per-cycle state-register Hamming distance of one encryption.
+
+    Cycle ``4*r + c`` updates column ``c`` of the state from its
+    round-``r-1`` value to its round-``r`` value (``r = 0`` is the
+    whitening AddRoundKey).  The returned list has
+    ``schedule.total_cycles`` entries and is the activity profile that
+    :func:`repro.pdn.aes_current_waveform` converts into current.
+    """
+    states = cipher.round_states(plaintext)
+    cycle_hd: List[int] = []
+    for round_index in range(11):  # whitening + rounds 1..10
+        prev_state = states[round_index]
+        next_state = states[round_index + 1]
+        for column in range(schedule.cycles_per_round):
+            cycle_hd.append(column_hd(prev_state, next_state, column % 4))
+    return cycle_hd

@@ -1,0 +1,82 @@
+"""Ripple-carry adder netlist generators.
+
+The paper's first benign sensor is a 192-bit ripple-carry adder inside
+an ALU (Sec. III/IV).  The carry chain is the property the attack
+exploits: with stimulus ``A = 2**n - 1, B = 1`` the carry ripples
+through every stage, giving a long voltage-sensitive path whose
+propagation frontier at the early sampling edge encodes supply voltage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+
+def full_adder(
+    builder: NetlistBuilder, a: str, b: str, carry_in: str, tag: str
+) -> Tuple[str, str]:
+    """Add a 1-bit full adder to ``builder``; returns ``(sum, carry_out)``.
+
+    Structure: two XORs for the sum, carry as ``(a AND b) OR (cin AND
+    (a XOR b))`` — the textbook mapping, two gate levels per carry
+    stage exactly as the paper describes ("the carry bit passes through
+    two gates per full-adder").
+    """
+    axb = builder.gate("XOR", [a, b], hint="%s_axb" % tag)
+    total = builder.gate("XOR", [axb, carry_in], hint="%s_sum" % tag)
+    and_ab = builder.gate("AND", [a, b], hint="%s_and" % tag)
+    and_cin = builder.gate("AND", [axb, carry_in], hint="%s_andc" % tag)
+    carry = builder.gate("OR", [and_ab, and_cin], hint="%s_cout" % tag)
+    return total, carry
+
+
+def half_adder(
+    builder: NetlistBuilder, a: str, b: str, tag: str
+) -> Tuple[str, str]:
+    """Add a half adder; returns ``(sum, carry_out)``."""
+    total = builder.gate("XOR", [a, b], hint="%s_sum" % tag)
+    carry = builder.gate("AND", [a, b], hint="%s_cout" % tag)
+    return total, carry
+
+
+def build_ripple_carry_adder(width: int, name: str = "") -> Netlist:
+    """Build an n-bit ripple-carry adder netlist.
+
+    Primary inputs: ``a0..a{n-1}``, ``b0..b{n-1}``, ``cin``.
+    Primary outputs: ``s0..s{n-1}``, ``cout`` — little endian.
+
+    >>> nl = build_ripple_carry_adder(4)
+    >>> out = nl.evaluate_outputs({**{'a%d' % i: 1 for i in range(4)},
+    ...                            **{'b%d' % i: 0 for i in range(4)},
+    ...                            'b0': 1, 'cin': 0})
+    >>> [out['s%d' % i] for i in range(4)], out['cout']
+    ([0, 0, 0, 0], 1)
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1, got %d" % width)
+    builder = NetlistBuilder(name or "rca%d" % width)
+    a_bus = builder.input_bus("a", width)
+    b_bus = builder.input_bus("b", width)
+    carry = builder.input("cin")
+    sums: List[str] = []
+    for i in range(width):
+        total, carry = full_adder(builder, a_bus[i], b_bus[i], carry, "fa%d" % i)
+        # Rename the sum output to the canonical bus name via a buffer.
+        sums.append(builder.gate("BUF", [total], output="s%d" % i))
+    cout = builder.gate("BUF", [carry], output="cout")
+    builder.mark_outputs(sums + [cout])
+    return builder.build()
+
+
+def adder_input_assignment(
+    a_value: int, b_value: int, width: int, carry_in: int = 0
+) -> dict:
+    """Input-value mapping for a :func:`build_ripple_carry_adder` netlist."""
+    values = {"cin": carry_in}
+    for i in range(width):
+        values["a%d" % i] = (a_value >> i) & 1
+        values["b%d" % i] = (b_value >> i) & 1
+    return values

@@ -1,0 +1,92 @@
+"""Kogge-Stone parallel-prefix adder generator.
+
+An extension beyond the paper's two circuits: the ripple-carry adder is
+the *best case* for the attack (one long, easily-activated carry
+chain).  A Kogge-Stone adder computes carries in ``log2(n)`` prefix
+levels, so its paths are shallow and balanced — the topology ablation
+(``benchmarks/test_abl_topology.py``) measures how much harder such a
+circuit is to misuse as a sensor at the same overclock.
+
+Structure (little-endian bit i):
+
+* propagate ``p_i = a_i XOR b_i``, generate ``g_i = a_i AND b_i``;
+* ``log2`` prefix levels combine ``(G, P)`` pairs at stride 1,2,4,...;
+* carry into bit i is ``G_{i-1}`` (extended with the carry-in), and
+  ``s_i = p_i XOR carry_i``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+
+def build_kogge_stone_adder(width: int, name: str = "") -> Netlist:
+    """Build an n-bit Kogge-Stone adder netlist.
+
+    Primary inputs: ``a0..``, ``b0..``, ``cin``; primary outputs:
+    ``s0..s{n-1}``, ``cout`` — interface-compatible with
+    :func:`repro.circuits.build_ripple_carry_adder`.
+    """
+    if width < 1:
+        raise ValueError("adder width must be >= 1, got %d" % width)
+    builder = NetlistBuilder(name or "ks%d" % width)
+    a_bus = builder.input_bus("a", width)
+    b_bus = builder.input_bus("b", width)
+    cin = builder.input("cin")
+
+    propagate: List[str] = []
+    generate: List[str] = []
+    for i in range(width):
+        propagate.append(
+            builder.gate("XOR", [a_bus[i], b_bus[i]], hint="p%d" % i)
+        )
+        generate.append(
+            builder.gate("AND", [a_bus[i], b_bus[i]], hint="g%d" % i)
+        )
+
+    # Parallel-prefix tree over (G, P).
+    group_g = list(generate)
+    group_p = list(propagate)
+    stride = 1
+    level = 0
+    while stride < width:
+        next_g = list(group_g)
+        next_p = list(group_p)
+        for i in range(stride, width):
+            tag = "l%d_%d" % (level, i)
+            carried = builder.gate(
+                "AND", [group_p[i], group_g[i - stride]], hint=tag + "_t"
+            )
+            next_g[i] = builder.gate(
+                "OR", [group_g[i], carried], hint=tag + "_g"
+            )
+            next_p[i] = builder.gate(
+                "AND", [group_p[i], group_p[i - stride]], hint=tag + "_p"
+            )
+        group_g, group_p = next_g, next_p
+        stride *= 2
+        level += 1
+
+    # Fold in the carry-in: carry out of prefix i (with cin) is
+    # G_i OR (P_i AND cin).
+    def carry_out_of(i: int) -> str:
+        with_cin = builder.gate(
+            "AND", [group_p[i], cin], hint="cin%d" % i
+        )
+        return builder.gate(
+            "OR", [group_g[i], with_cin], hint="c%d" % i
+        )
+
+    sums: List[str] = []
+    sums.append(builder.gate("XOR", [propagate[0], cin], output="s0"))
+    for i in range(1, width):
+        carry_in = carry_out_of(i - 1)
+        sums.append(
+            builder.gate("XOR", [propagate[i], carry_in], output="s%d" % i)
+        )
+    cout = builder.gate("BUF", [carry_out_of(width - 1)], output="cout")
+    builder.mark_outputs(sums + [cout])
+    return builder.build()

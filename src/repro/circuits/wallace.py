@@ -1,0 +1,95 @@
+"""Wallace-tree multiplier generator.
+
+A third benign-circuit topology beyond the paper's ALU and C6288: the
+Wallace tree reduces partial products with carry-save adders arranged
+in a logarithmic-depth *tree* rather than the C6288's linear array.
+Same function, same interface, very different timing shape — useful for
+studying how much the attack depends on the victim-of-opportunity's
+structure (deep linear arrays give long, smooth settle-time ramps;
+trees compress everything toward the final carry-propagate adder).
+
+Construction: AND-gate partial products are grouped by bit weight; each
+reduction round applies full adders (3->2 compression) and half adders
+(2->2) per weight column until at most two rows remain; a ripple-carry
+adder merges the final two rows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.adder import full_adder, half_adder
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+
+def build_wallace_multiplier(width: int, name: str = "") -> Netlist:
+    """Build a ``width`` x ``width`` Wallace-tree multiplier.
+
+    Interface-compatible with :func:`repro.circuits.build_c6288`:
+    inputs ``a0..``, ``b0..``; outputs ``p0..p{2w-1}``.
+    """
+    if width < 2:
+        raise ValueError("multiplier width must be >= 2, got %d" % width)
+    builder = NetlistBuilder(name or "wallace%dx%d" % (width, width))
+    a_bus = builder.input_bus("a", width)
+    b_bus = builder.input_bus("b", width)
+
+    # Column-indexed partial-product pool: columns[k] holds nets of
+    # binary weight k.
+    columns: List[List[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(
+                builder.gate(
+                    "AND", [a_bus[j], b_bus[i]], hint="pp%d_%d" % (i, j)
+                )
+            )
+
+    # Reduction rounds: compress every column to <= 2 entries.
+    round_index = 0
+    while any(len(column) > 2 for column in columns):
+        next_columns: List[List[str]] = [[] for _ in range(2 * width)]
+        for k, column in enumerate(columns):
+            queue = list(column)
+            cell = 0
+            while len(queue) >= 3:
+                a, b, c = queue[:3]
+                queue = queue[3:]
+                tag = "w%dc%dk%d" % (round_index, k, cell)
+                total, carry = full_adder(builder, a, b, c, tag)
+                next_columns[k].append(total)
+                next_columns[k + 1].append(carry)
+                cell += 1
+            if len(queue) == 2 and len(column) > 2:
+                a, b = queue
+                queue = []
+                tag = "w%dc%dk%dh" % (round_index, k, cell)
+                total, carry = half_adder(builder, a, b, tag)
+                next_columns[k].append(total)
+                next_columns[k + 1].append(carry)
+            next_columns[k].extend(queue)
+        columns = next_columns
+        round_index += 1
+
+    # Final carry-propagate addition of the remaining two rows.
+    outputs: List[str] = []
+    carry: str = ""
+    for k in range(2 * width):
+        operands = list(columns[k])
+        if carry:
+            operands.append(carry)
+        tag = "fin%d" % k
+        if len(operands) == 3:
+            total, carry = full_adder(
+                builder, operands[0], operands[1], operands[2], tag
+            )
+        elif len(operands) == 2:
+            total, carry = half_adder(builder, operands[0], operands[1], tag)
+        elif len(operands) == 1:
+            total, carry = operands[0], ""
+        else:
+            total, carry = builder.constant(0, a_bus[0]), ""
+        outputs.append(builder.gate("BUF", [total], output="p%d" % k))
+    builder.mark_outputs(outputs)
+    return builder.build()

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``census <circuit>`` — run the sensitive-bit characterization
+  (Figs. 7/15) and print the census plus the variance ranking.
+* ``attack <circuit>`` — run the end-to-end CPA key recovery.
+* ``fullkey`` — recover all 16 key bytes with the ALU sensor.
+* ``scan <design>`` — bitstream-check a design (``alu``, ``c6288``,
+  ``tdc``, ``ro``, or a ``.bench`` file path).
+* ``timing <circuit> <mhz>`` — strict timing check of a clock request.
+* ``floorplan <circuit>`` — render the Figs. 3/4 floorplan.
+* ``covert`` — run the covert-channel demonstration.
+* ``report`` — regenerate the paper-vs-measured figure table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Stealthy logic misuse for power analysis attacks in "
+            "multi-tenant FPGAs (DATE 2021) - reproduction toolkit"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="experiment seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    census = sub.add_parser("census", help="sensitive-bit census")
+    census.add_argument("circuit", choices=["alu", "c6288", "c6288x2"])
+
+    attack = sub.add_parser("attack", help="CPA key-byte recovery")
+    attack.add_argument("circuit", choices=["alu", "c6288", "c6288x2"])
+    attack.add_argument("--traces", type=int, default=150_000)
+    attack.add_argument(
+        "--reduction",
+        choices=["hamming_weight", "single_bit"],
+        default="hamming_weight",
+    )
+
+    fullkey = sub.add_parser("fullkey", help="recover all 16 key bytes")
+    fullkey.add_argument("--traces", type=int, default=250_000)
+
+    scan = sub.add_parser("scan", help="bitstream-check a design")
+    scan.add_argument(
+        "design",
+        help="alu | c6288 | tdc | ro | path to a .bench file",
+    )
+
+    timing = sub.add_parser("timing", help="strict timing check")
+    timing.add_argument("circuit", choices=["alu", "c6288"])
+    timing.add_argument("mhz", type=float)
+
+    floorplan = sub.add_parser("floorplan", help="render a floorplan")
+    floorplan.add_argument("circuit", choices=["alu", "c6288x2"])
+
+    covert = sub.add_parser("covert", help="covert-channel demo")
+    covert.add_argument("--rate-mbps", type=float, default=1.0)
+    covert.add_argument("--bits", type=int, default=64)
+
+    report = sub.add_parser("report", help="paper-vs-measured table")
+    report.add_argument("--traces", type=int, default=500_000)
+    report.add_argument(
+        "--no-cpa", action="store_true",
+        help="skip the CPA campaigns (fast)",
+    )
+    return parser
+
+
+def _cmd_census(args) -> int:
+    from repro.experiments import ExperimentConfig, ExperimentSetup
+
+    setup = ExperimentSetup(ExperimentConfig(seed=args.seed))
+    characterization = setup.characterization(args.circuit)
+    print("census:", characterization.census.summary())
+    ranking = characterization.bit_response_correlations()
+    top = np.argsort(-ranking)[:8]
+    print("top endpoints by voltage coupling:")
+    for bit in top:
+        print("  bit %3d  rho=%.3f" % (bit, ranking[bit]))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from repro.experiments import (
+        ExperimentConfig,
+        ExperimentSetup,
+        describe_mtd,
+    )
+
+    setup = ExperimentSetup(
+        ExperimentConfig(seed=args.seed, num_traces=args.traces)
+    )
+    campaign = setup.campaign(args.circuit)
+    result = campaign.attack(args.traces, reduction=args.reduction)
+    correct = setup.cipher.last_round_key[setup.config.target_byte]
+    print(
+        "best guess 0x%02X (true 0x%02X), rank %d, %s"
+        % (
+            result.best_guess,
+            correct,
+            result.key_ranks()[-1],
+            describe_mtd(result.measurements_to_disclosure()),
+        )
+    )
+    return 0 if result.disclosed else 1
+
+
+def _cmd_fullkey(args) -> int:
+    from repro.experiments import ExperimentConfig, ExperimentSetup
+
+    setup = ExperimentSetup(
+        ExperimentConfig(seed=args.seed, num_traces=args.traces)
+    )
+    result = setup.campaign("alu").attack_full_key(args.traces)
+    print(
+        "correct bytes %d/16, residual enumeration 2^%.1f"
+        % (result.num_correct_bytes, result.log2_remaining_enumeration())
+    )
+    if result.full_key_recovered:
+        print("master key:", result.recovered_master_key.hex())
+        return 0
+    return 1
+
+
+def _cmd_scan(args) -> int:
+    from repro.circuits import build_alu, build_c6288
+    from repro.defense import BitstreamChecker
+    from repro.netlist import parse_bench_file
+    from repro.sensors import build_ro_netlist, build_tdc_netlist
+
+    builders = {
+        "alu": build_alu,
+        "c6288": build_c6288,
+        "tdc": build_tdc_netlist,
+        "ro": build_ro_netlist,
+    }
+    if args.design in builders:
+        netlist = builders[args.design]()
+    else:
+        netlist = parse_bench_file(args.design, allow_cycles=True)
+    report = BitstreamChecker().scan(netlist)
+    print(report.summary())
+    return 0 if report.accepted else 1
+
+
+def _cmd_timing(args) -> int:
+    from repro.circuits import build_alu, build_c6288
+    from repro.defense import strict_timing_check
+    from repro.timing import fpga_annotate
+
+    netlist = build_alu() if args.circuit == "alu" else build_c6288()
+    report = strict_timing_check(fpga_annotate(netlist), args.mhz)
+    print(report.summary())
+    return 0 if report.accepted else 1
+
+
+def _cmd_floorplan(args) -> int:
+    from repro.experiments import (
+        ExperimentConfig,
+        ExperimentSetup,
+        fig03_04_floorplan,
+    )
+
+    setup = ExperimentSetup(ExperimentConfig(seed=args.seed))
+    print(fig03_04_floorplan(setup, args.circuit)["rendered"])
+    return 0
+
+
+def _cmd_covert(args) -> int:
+    from repro.core import BenignSensor, OOKModulation, run_covert_channel
+
+    symbol_samples = max(2, int(round(150.0 / args.rate_mbps)))
+    modulation = OOKModulation(
+        symbol_samples=symbol_samples,
+        settle_samples=min(20, max(0, symbol_samples // 4)),
+    )
+    sensor = BenignSensor.from_name("alu")
+    rng = np.random.default_rng(args.seed)
+    payload = rng.integers(0, 2, args.bits).tolist()
+    result = run_covert_channel(sensor, payload, modulation, seed=args.seed)
+    print(
+        "%.2f Mbit/s: BER %.3f (%d/%d bit errors)"
+        % (
+            result.bits_per_second / 1e6,
+            result.bit_error_rate,
+            result.bit_errors,
+            len(payload),
+        )
+    )
+    return 0 if result.bit_error_rate < 0.05 else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.runner import render_report, run_all_figures
+
+    records = run_all_figures(
+        ExperimentConfig(seed=args.seed, num_traces=args.traces),
+        include_cpa=not args.no_cpa,
+    )
+    print(render_report(records))
+    return 0 if all(record.ok for record in records) else 1
+
+
+_COMMANDS = {
+    "census": _cmd_census,
+    "attack": _cmd_attack,
+    "fullkey": _cmd_fullkey,
+    "scan": _cmd_scan,
+    "timing": _cmd_timing,
+    "floorplan": _cmd_floorplan,
+    "covert": _cmd_covert,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

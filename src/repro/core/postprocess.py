@@ -1,0 +1,170 @@
+"""Post-processing of latched endpoint words into sensor readings.
+
+Raw endpoint captures (paper Figs. 5/14) look random; the paper's
+post-processing recipe turns them into a usable voltage trace:
+
+1. **Sensitive-bit selection** — keep only bits that toggle during a
+   characterization run (Figs. 7/15 census);
+2. **Variance ranking** — a bit's variance measures how much
+   information it carries; the best single bit is the top-variance one
+   (Figs. 8/16, the single-bit attacks of Figs. 12/13/18);
+3. **Hamming-weight reduction** — sum the selected bits per sample to
+   obtain a scalar trace comparable to a TDC readout (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def _as_bit_matrix(bits: np.ndarray) -> np.ndarray:
+    arr = np.asarray(bits)
+    if arr.ndim != 2:
+        raise ValueError("bits must be 2-D (num_samples, num_bits)")
+    return arr
+
+
+def toggling_bits(bits: np.ndarray) -> np.ndarray:
+    """Mask of bits that change value at least once across samples."""
+    arr = _as_bit_matrix(bits)
+    if arr.shape[0] == 0:
+        return np.zeros(arr.shape[1], dtype=bool)
+    return (arr != arr[0]).any(axis=0)
+
+
+def bit_variances(bits: np.ndarray) -> np.ndarray:
+    """Per-bit variance across samples (the Figs. 8/16 metric)."""
+    arr = _as_bit_matrix(bits).astype(np.float64)
+    return arr.var(axis=0)
+
+
+def rank_bits_by_variance(bits: np.ndarray) -> np.ndarray:
+    """Bit indices sorted by decreasing variance."""
+    return np.argsort(-bit_variances(bits), kind="stable")
+
+
+def best_bit(bits: np.ndarray) -> int:
+    """Index of the highest-variance bit (the single-bit sensor)."""
+    return int(rank_bits_by_variance(bits)[0])
+
+
+def hamming_weight_series(
+    bits: np.ndarray, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Per-sample Hamming weight over (optionally masked) bits.
+
+    This is the paper's reduction of the endpoint word to a scalar
+    sensor value; with ``mask`` set to the sensitive bits it produces
+    the blue curve of Fig. 6 and the CPA traces of Figs. 10/17.
+    """
+    arr = _as_bit_matrix(bits)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (arr.shape[1],):
+            raise ValueError(
+                "mask must have one entry per bit, got %r" % (mask.shape,)
+            )
+        arr = arr[:, mask]
+    return arr.sum(axis=1, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SensitivityCensus:
+    """The Figs. 7/15 sensitive-bit bookkeeping.
+
+    Attributes:
+        total_bits: endpoint word width.
+        ro_sensitive: mask of bits toggling under RO activity.
+        aes_sensitive: mask of bits toggling under AES activity.
+    """
+
+    total_bits: int
+    ro_sensitive: np.ndarray
+    aes_sensitive: np.ndarray
+
+    def __post_init__(self) -> None:
+        for mask in (self.ro_sensitive, self.aes_sensitive):
+            if mask.shape != (self.total_bits,):
+                raise ValueError("census masks must cover all bits")
+
+    @property
+    def num_ro_sensitive(self) -> int:
+        return int(self.ro_sensitive.sum())
+
+    @property
+    def num_aes_sensitive(self) -> int:
+        return int(self.aes_sensitive.sum())
+
+    @property
+    def num_aes_subset_of_ro(self) -> int:
+        """AES-sensitive bits that are also RO-sensitive."""
+        return int((self.aes_sensitive & self.ro_sensitive).sum())
+
+    @property
+    def num_unaffected(self) -> int:
+        """Bits toggling under neither source."""
+        return int((~(self.ro_sensitive | self.aes_sensitive)).sum())
+
+    @property
+    def aes_is_subset(self) -> bool:
+        return self.num_aes_subset_of_ro == self.num_aes_sensitive
+
+    def summary(self) -> dict:
+        """Counts in the layout the paper's Figs. 7/15 report."""
+        return {
+            "total": self.total_bits,
+            "ro_sensitive": self.num_ro_sensitive,
+            "aes_sensitive": self.num_aes_sensitive,
+            "aes_subset_of_ro": self.num_aes_subset_of_ro,
+            "unaffected": self.num_unaffected,
+        }
+
+
+def sensitivity_census(
+    bits_under_ro: np.ndarray, bits_under_aes: np.ndarray
+) -> SensitivityCensus:
+    """Build the census from two characterization captures.
+
+    Args:
+        bits_under_ro: (N1, B) endpoint captures while the RO array
+            runs its on/off schedule.
+        bits_under_aes: (N2, B) endpoint captures while the AES module
+            encrypts.
+    """
+    ro = _as_bit_matrix(bits_under_ro)
+    aes = _as_bit_matrix(bits_under_aes)
+    if ro.shape[1] != aes.shape[1]:
+        raise ValueError("captures observe different bit counts")
+    return SensitivityCensus(
+        total_bits=ro.shape[1],
+        ro_sensitive=toggling_bits(ro),
+        aes_sensitive=toggling_bits(aes),
+    )
+
+
+def bits_of_interest(
+    bits: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    top_k: Optional[int] = None,
+) -> np.ndarray:
+    """Select the sensor bits worth keeping for the attack.
+
+    With ``mask``, restricts to those bits; with ``top_k``, keeps the
+    k highest-variance bits of the (masked) set.  Returns bit indices
+    in decreasing variance order.
+    """
+    arr = _as_bit_matrix(bits)
+    variances = bit_variances(arr)
+    indices = np.arange(arr.shape[1])
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        indices = indices[mask]
+    order = indices[np.argsort(-variances[indices], kind="stable")]
+    if top_k is not None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        order = order[:top_k]
+    return order

@@ -1,0 +1,48 @@
+"""Bitstream/netlist checking countermeasures.
+
+:class:`BitstreamChecker` runs the published structural rules (loops,
+delay-line taps, clock-as-data) that reject TDCs and ROs but pass the
+benign circuits — the stealthiness result.  :func:`strict_timing_check`
+is the Sec. VI countermeasure that *would* catch the overclocked
+misuse, along with the false-path loophole that undermines it.
+"""
+
+from repro.defense.checker import BitstreamChecker, CheckReport
+from repro.defense.rules import (
+    DEFAULT_CLOCK_PATTERNS,
+    SEVERITY_CRITICAL,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    ClockAsDataRule,
+    CombinationalLoopRule,
+    DelayLineTapRule,
+    Finding,
+    Rule,
+    default_rules,
+)
+from repro.defense.fences import ActiveFence, FencedLeakageModel
+from repro.defense.timing_check import (
+    TimingCheckReport,
+    TimingConstraints,
+    strict_timing_check,
+)
+
+__all__ = [
+    "ActiveFence",
+    "BitstreamChecker",
+    "FencedLeakageModel",
+    "CheckReport",
+    "ClockAsDataRule",
+    "CombinationalLoopRule",
+    "DEFAULT_CLOCK_PATTERNS",
+    "DelayLineTapRule",
+    "Finding",
+    "Rule",
+    "SEVERITY_CRITICAL",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "TimingCheckReport",
+    "TimingConstraints",
+    "default_rules",
+    "strict_timing_check",
+]

@@ -1,0 +1,94 @@
+"""The bitstream/netlist checker tenants' designs pass through.
+
+In the paper's adversary model, the cloud provider scans every
+submitted bitstream/netlist for known malicious structures before
+loading it (Sec. I/II).  :class:`BitstreamChecker` runs the published
+rule set over a netlist and renders an accept/reject verdict.
+
+Reproduced result (stealthiness bench): the checker *rejects* the RO
+array and the TDC but *accepts* the ALU and the C6288 — the circuits
+this paper turns into sensors — demonstrating that structural checking
+is not a universal defense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.defense.rules import (
+    SEVERITY_CRITICAL,
+    SEVERITY_WARNING,
+    Finding,
+    Rule,
+    default_rules,
+)
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class CheckReport:
+    """Outcome of scanning one netlist.
+
+    Attributes:
+        netlist_name: scanned design.
+        findings: all rule findings.
+    """
+
+    netlist_name: str
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def critical_findings(self) -> List[Finding]:
+        return [
+            f for f in self.findings if f.severity == SEVERITY_CRITICAL
+        ]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [
+            f for f in self.findings if f.severity == SEVERITY_WARNING
+        ]
+
+    @property
+    def accepted(self) -> bool:
+        """The provider loads the design only without critical findings."""
+        return not self.critical_findings
+
+    def summary(self) -> str:
+        verdict = "ACCEPT" if self.accepted else "REJECT"
+        lines = [
+            "%s: %s (%d finding(s))"
+            % (self.netlist_name, verdict, len(self.findings))
+        ]
+        for finding in self.findings:
+            lines.append(
+                "  [%s] %s: %s"
+                % (finding.severity, finding.rule, finding.message)
+            )
+        return "\n".join(lines)
+
+
+class BitstreamChecker:
+    """Runs a rule set over tenant netlists.
+
+    Args:
+        rules: detection rules; defaults to the published set
+            (:func:`repro.defense.rules.default_rules`).
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules = list(rules) if rules is not None else default_rules()
+
+    def scan(self, netlist: Netlist) -> CheckReport:
+        """Scan one netlist and report findings."""
+        if not netlist.frozen:
+            raise ValueError("netlist must be frozen before scanning")
+        report = CheckReport(netlist_name=netlist.name)
+        for rule in self.rules:
+            report.findings.extend(rule.check(netlist))
+        return report
+
+    def scan_many(self, netlists: Sequence[Netlist]) -> List[CheckReport]:
+        """Scan a set of tenant designs (e.g. one full bitstream)."""
+        return [self.scan(netlist) for netlist in netlists]

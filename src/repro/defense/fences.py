@@ -1,0 +1,136 @@
+"""Active fences: noise-injection countermeasure (Krautter et al.,
+ICCAD 2019; cited by the paper as a *hiding* scheme for cloud FPGAs).
+
+An active fence is a strip of provider-controlled logic (typically ROs
+or other power wasters) between tenant regions, driven by a secure
+random source.  Its randomized switching current raises the voltage
+noise floor every on-chip sensor sees, degrading attack SNR without
+touching tenant logic.
+
+:class:`ActiveFence` models the fence's electrical effect;
+:class:`FencedLeakageModel` wraps any victim leakage model with it so
+campaigns can be rerun under the countermeasure unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aes.leakage import LeakageModel
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ActiveFence:
+    """A randomized noise-injection fence.
+
+    Attributes:
+        num_elements: fence power-waster count (ROs or equivalent).
+        current_per_element_a: current drawn per active element.
+        impedance_ohm: local PDN impedance converting fence current
+            into voltage disturbance at the sensors.
+        activation_probability: fraction of element *groups* toggled
+            each sample by the fence controller's RNG.
+        group_size: elements driven by one RNG bit.  Grouping is what
+            gives the fence its punch: independent per-element bits
+            would average out (sigma ~ sqrt(n)), whereas groups of g
+            scale the noise by sqrt(g).
+        seed: the provider's RNG seed (unknown to tenants).
+    """
+
+    num_elements: int = 4000
+    current_per_element_a: float = 220e-6
+    impedance_ohm: float = 0.08
+    activation_probability: float = 0.5
+    group_size: int = 64
+    seed: int = 99
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 0:
+            raise ValueError("element count must be non-negative")
+        if not 0.0 <= self.activation_probability <= 1.0:
+            raise ValueError("activation probability must be in [0, 1]")
+        if self.group_size < 1:
+            raise ValueError("group size must be >= 1")
+
+    @property
+    def num_groups(self) -> int:
+        return max(1, self.num_elements // self.group_size)
+
+    @property
+    def noise_sigma_v(self) -> float:
+        """Standard deviation of the fence-induced voltage noise.
+
+        Binomial activation of ``n/g`` groups of ``g`` elements with
+        probability ``p`` gives a current sigma of
+        ``i * g * sqrt((n/g) p (1-p)) = i * sqrt(n g p (1-p))``.
+        """
+        p = self.activation_probability
+        current_sigma = (
+            self.current_per_element_a
+            * self.group_size
+            * np.sqrt(self.num_groups * p * (1.0 - p))
+        )
+        return float(self.impedance_ohm * current_sigma)
+
+    @property
+    def mean_droop_v(self) -> float:
+        """Static droop from the fence's average current draw."""
+        return float(
+            self.impedance_ohm
+            * self.num_elements
+            * self.activation_probability
+            * self.current_per_element_a
+        )
+
+    def noise_voltages(self, num_samples: int, stream=0) -> np.ndarray:
+        """Per-sample voltage disturbance (zero-mean part + droop)."""
+        rng = make_rng(self.seed, "fence", stream)
+        active_groups = rng.binomial(
+            self.num_groups, self.activation_probability, num_samples
+        )
+        current = (
+            active_groups * self.group_size * self.current_per_element_a
+        )
+        return -(self.impedance_ohm * current)
+
+
+@dataclass
+class FencedLeakageModel:
+    """A victim leakage model observed through an active fence.
+
+    Wraps any model exposing ``voltages(ciphertexts, key, seed)`` and
+    superimposes the fence disturbance.  The victim signal itself is
+    untouched (the fence is *hiding*, not *masking*): with enough
+    traces the attack still succeeds, but the measurements-to-
+    disclosure grows with the square of the noise ratio.
+    """
+
+    base: LeakageModel
+    fence: ActiveFence = field(default_factory=ActiveFence)
+
+    def voltages(
+        self,
+        ciphertexts: np.ndarray,
+        last_round_key: bytes,
+        seed: int = 0,
+    ) -> np.ndarray:
+        clean = self.base.voltages(ciphertexts, last_round_key, seed=seed)
+        return clean + self.fence.noise_voltages(clean.shape[0], stream=seed)
+
+    def column_voltages(
+        self,
+        ciphertexts: np.ndarray,
+        last_round_key: bytes,
+        seed: int = 0,
+    ) -> np.ndarray:
+        clean = self.base.column_voltages(
+            ciphertexts, last_round_key, seed=seed
+        )
+        for column in range(clean.shape[1]):
+            clean[:, column] += self.fence.noise_voltages(
+                clean.shape[0], stream=(seed, column)
+            )
+        return clean

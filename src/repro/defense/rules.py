@@ -1,0 +1,258 @@
+"""Detection rules for malicious sensor/fault structures in netlists.
+
+These are the published bitstream/netlist checking heuristics the
+paper's adversary model assumes are deployed (Krautter et al., TRETS
+2019; La et al., "FPGADefender", TRETS 2020):
+
+* **combinational loops** — ring oscillators and other self-oscillating
+  structures (Fig. 1 left);
+* **delay-line taps** — long chains of route-throughs/buffers with
+  registers tapping intermediate stages, the TDC signature (Fig. 1
+  right);
+* **clock-as-data** — a clock network driving logic data inputs, used
+  by clock-based sensors.
+
+Each rule returns :class:`Finding` objects; the checker aggregates
+them.  The paper's point, reproduced by the stealthiness bench: the
+ALU and C6288 trigger none of these, because they are ordinary logic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+from repro.netlist.netlist import Netlist
+
+SEVERITY_INFO = "info"
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+#: Net-name patterns treated as clock networks by the clock-as-data rule.
+DEFAULT_CLOCK_PATTERNS = (r"^clk", r"^clock", r"_clk$", r"^launch$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: rule identifier.
+        severity: one of info/warning/critical.
+        message: human-readable description.
+        nets: implicated net names (a sample when many).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    nets: Sequence[str] = ()
+
+
+class Rule:
+    """A netlist-checking rule."""
+
+    name = "abstract"
+
+    def check(self, netlist: Netlist) -> List[Finding]:
+        raise NotImplementedError
+
+
+class CombinationalLoopRule(Rule):
+    """Flag combinational cycles (ring oscillators, latch hacks).
+
+    Uses iterative DFS over the gate graph; any back edge is a loop.
+    """
+
+    name = "combinational-loop"
+
+    def check(self, netlist: Netlist) -> List[Finding]:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {gate.output: WHITE for gate in netlist.gates}
+        findings: List[Finding] = []
+
+        for start in list(color):
+            if color[start] != WHITE:
+                continue
+            stack = [(start, iter(self._gate_inputs(netlist, start)))]
+            color[start] = GRAY
+            path = [start]
+            while stack:
+                net, iterator = stack[-1]
+                advanced = False
+                for source in iterator:
+                    if source not in color:
+                        continue  # primary input
+                    if color[source] == GRAY:
+                        cycle_start = path.index(source)
+                        loop = path[cycle_start:] + [source]
+                        findings.append(
+                            Finding(
+                                rule=self.name,
+                                severity=SEVERITY_CRITICAL,
+                                message=(
+                                    "combinational loop of %d gates"
+                                    % (len(loop) - 1)
+                                ),
+                                nets=tuple(loop[:8]),
+                            )
+                        )
+                        continue
+                    if color[source] == WHITE:
+                        color[source] = GRAY
+                        path.append(source)
+                        stack.append(
+                            (source, iter(self._gate_inputs(netlist, source)))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[net] = BLACK
+                    stack.pop()
+                    path.pop()
+        return findings
+
+    @staticmethod
+    def _gate_inputs(netlist: Netlist, net: str) -> Sequence[str]:
+        gate = netlist.gate_driving(net)
+        return gate.inputs if gate is not None else ()
+
+
+class DelayLineTapRule(Rule):
+    """Flag tapped delay lines (the TDC structure).
+
+    Searches for maximal chains of single-input gates (BUF/NOT —
+    route-throughs and LUT1s on a real device) and counts how many
+    chain stages are observed (drive a primary output or non-chain
+    logic).  A long chain alone is suspicious (warning); a long chain
+    with many observed stages is the TDC signature (critical).
+    """
+
+    name = "delay-line-taps"
+
+    def __init__(self, min_chain: int = 8, min_taps: int = 4):
+        if min_chain < 2 or min_taps < 1:
+            raise ValueError("thresholds too small")
+        self.min_chain = min_chain
+        self.min_taps = min_taps
+
+    def check(self, netlist: Netlist) -> List[Finding]:
+        outputs = set(netlist.outputs)
+        is_chain_gate = {
+            gate.output: len(gate.inputs) == 1
+            for gate in netlist.gates
+        }
+        # successor within chains: single-input gate fed by this net
+        findings: List[Finding] = []
+        visited: Set[str] = set()
+        for gate in netlist.gates:
+            if not is_chain_gate[gate.output] or gate.output in visited:
+                continue
+            # Walk back to the chain head.
+            head = gate.output
+            while True:
+                driver = netlist.gate_driving(head)
+                source = driver.inputs[0]
+                upstream = netlist.gate_driving(source)
+                if (
+                    upstream is not None
+                    and is_chain_gate.get(source, False)
+                ):
+                    head = source
+                else:
+                    break
+            # Walk forward collecting the chain.
+            chain = [head]
+            visited.add(head)
+            cursor = head
+            while True:
+                next_stage = None
+                for consumer in netlist.fanout_of(cursor):
+                    if is_chain_gate.get(consumer, False):
+                        next_stage = consumer
+                        break
+                if next_stage is None or next_stage in visited:
+                    break
+                chain.append(next_stage)
+                visited.add(next_stage)
+                cursor = next_stage
+            if len(chain) < self.min_chain:
+                continue
+            taps = sum(
+                1
+                for net in chain
+                if net in outputs
+                or any(
+                    not is_chain_gate.get(consumer, False)
+                    for consumer in netlist.fanout_of(net)
+                )
+            )
+            if taps >= self.min_taps:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=SEVERITY_CRITICAL,
+                        message=(
+                            "delay line of %d stages with %d observed "
+                            "taps (TDC signature)" % (len(chain), taps)
+                        ),
+                        nets=tuple(chain[:8]),
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=SEVERITY_WARNING,
+                        message=(
+                            "untapped delay line of %d stages"
+                            % len(chain)
+                        ),
+                        nets=tuple(chain[:8]),
+                    )
+                )
+        return findings
+
+
+class ClockAsDataRule(Rule):
+    """Flag clock networks used as data (clock-sampling sensors)."""
+
+    name = "clock-as-data"
+
+    def __init__(
+        self, clock_patterns: Iterable[str] = DEFAULT_CLOCK_PATTERNS
+    ):
+        self._patterns = [re.compile(p, re.IGNORECASE) for p in clock_patterns]
+
+    def _is_clock_net(self, net: str) -> bool:
+        return any(p.search(net) for p in self._patterns)
+
+    def check(self, netlist: Netlist) -> List[Finding]:
+        findings: List[Finding] = []
+        for net in netlist.inputs:
+            if not self._is_clock_net(net):
+                continue
+            consumers = netlist.fanout_of(net)
+            if consumers:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        severity=SEVERITY_CRITICAL,
+                        message=(
+                            "clock net %s drives %d logic input(s)"
+                            % (net, len(consumers))
+                        ),
+                        nets=(net,) + tuple(consumers[:7]),
+                    )
+                )
+        return findings
+
+
+def default_rules() -> List[Rule]:
+    """The standard published rule set."""
+    return [
+        CombinationalLoopRule(),
+        DelayLineTapRule(),
+        ClockAsDataRule(),
+    ]

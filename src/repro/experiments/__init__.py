@@ -1,0 +1,58 @@
+"""Per-figure experiment drivers.
+
+:class:`ExperimentSetup` assembles (and caches) the Fig. 2 system for
+one :class:`ExperimentConfig`; the ``fig*`` functions in
+:mod:`preliminary` and :mod:`cpa_experiments` regenerate each figure of
+the paper's evaluation.  ``PAPER_EXPECTED`` records what the paper
+reports for each.
+"""
+
+from repro.experiments.config import (
+    DEFAULT_KEY,
+    PAPER_EXPECTED,
+    ExperimentConfig,
+)
+from repro.experiments.cpa_experiments import (
+    CPA_FIGURES,
+    CPAExperimentOutcome,
+    fig09_cpa_tdc,
+    fig10_cpa_alu,
+    fig11_cpa_tdc_single,
+    fig12_cpa_alu_best_bit,
+    fig13_cpa_alu_alternate_bit,
+    fig17_cpa_c6288,
+    fig18_cpa_c6288_best_bit,
+)
+from repro.experiments.preliminary import (
+    fig03_04_floorplan,
+    fig05_raw_toggle,
+    fig06_tdc_vs_benign,
+    fig07_15_census,
+    fig08_16_variance,
+)
+from repro.experiments.report import describe_mtd, format_table, sparkline
+from repro.experiments.setup import ExperimentSetup
+
+__all__ = [
+    "CPA_FIGURES",
+    "CPAExperimentOutcome",
+    "DEFAULT_KEY",
+    "ExperimentConfig",
+    "ExperimentSetup",
+    "PAPER_EXPECTED",
+    "describe_mtd",
+    "fig03_04_floorplan",
+    "fig05_raw_toggle",
+    "fig06_tdc_vs_benign",
+    "fig07_15_census",
+    "fig08_16_variance",
+    "fig09_cpa_tdc",
+    "fig10_cpa_alu",
+    "fig11_cpa_tdc_single",
+    "fig12_cpa_alu_best_bit",
+    "fig13_cpa_alu_alternate_bit",
+    "fig17_cpa_c6288",
+    "fig18_cpa_c6288_best_bit",
+    "format_table",
+    "sparkline",
+]

@@ -1,0 +1,155 @@
+"""Preliminary characterization experiments (paper Sec. V-A / V-D).
+
+Drivers for Figs. 3-8 and 14-16: floorplans, raw toggling captures,
+the TDC-vs-benign-sensor comparison, sensitive-bit censuses and
+per-bit variance profiles.  Every driver returns a plain dict of
+arrays/scalars so benches can assert on it and examples can print it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.postprocess import hamming_weight_series
+from repro.experiments.setup import ExperimentSetup
+from repro.pdn.aggressors import ROAggressorSchedule
+from repro.util.rng import derive_seed
+
+
+def fig03_04_floorplan(
+    setup: ExperimentSetup, circuit: str
+) -> Dict[str, object]:
+    """Figs. 3/4: floorplan with sensitive endpoints marked.
+
+    Args:
+        setup: experiment setup.
+        circuit: ``"alu"`` (Fig. 3) or ``"c6288x2"`` (Fig. 4).
+    """
+    device, floorplan = setup.floorplan(circuit)
+    rendered = floorplan.render()
+    return {
+        "circuit": circuit,
+        "rendered": rendered,
+        "sensitive_sites": floorplan.sensitive_site_count(),
+        "regions": sorted(device.regions),
+        "wirelength": sum(p.wirelength() for p in floorplan.placements),
+    }
+
+
+def fig05_raw_toggle(
+    setup: ExperimentSetup,
+    circuit: str = "alu",
+    num_samples: int = 160,
+) -> Dict[str, object]:
+    """Figs. 5/14: raw endpoint captures under the 8000-RO pattern.
+
+    Returns the capture matrix (every second clock cycle, i.e. one row
+    per measure cycle), the per-sample count of set bits, and the RO
+    enable sample — enough to reproduce the "random-looking toggling
+    after enable" observation.
+    """
+    schedule = ROAggressorSchedule()
+    campaign = setup.campaign(circuit)
+    current = schedule.current_waveform(num_samples)
+    voltages = campaign.pdn.simulate({"attacker": current})[
+        campaign.pdn.regions[0]
+    ]
+    bits = campaign.sensor.sample_bits(
+        voltages, seed=derive_seed(setup.config.seed, "fig05", circuit)
+    )
+    before = bits[: schedule.start_sample]
+    after = bits[schedule.start_sample :]
+    return {
+        "circuit": circuit,
+        "bits": bits,
+        "set_bits_per_sample": bits.sum(axis=1),
+        "enable_sample": schedule.start_sample,
+        "toggling_before_enable": int(
+            (before != before[0]).any(axis=0).sum()
+        ),
+        "toggling_after_enable": int((after != after[0]).any(axis=0).sum()),
+    }
+
+
+def fig06_tdc_vs_benign(
+    setup: ExperimentSetup,
+    circuit: str = "alu",
+    num_samples: int = 160,
+) -> Dict[str, object]:
+    """Fig. 6: TDC readout vs Hamming weight of sensitive benign bits.
+
+    Both sensors observe the same two droop/overshoot events caused by
+    gradually-enabled / suddenly-disabled ROs.
+    """
+    schedule = ROAggressorSchedule()
+    campaign = setup.campaign(circuit)
+    characterization = setup.characterization(circuit)
+    current = schedule.current_waveform(num_samples)
+    voltages = campaign.pdn.simulate({"attacker": current})[
+        campaign.pdn.regions[0]
+    ]
+    tdc_series = setup.tdc.sample_scalar(
+        voltages, seed=derive_seed(setup.config.seed, "fig06-tdc")
+    )
+    bits = campaign.sensor.sample_bits(
+        voltages, seed=derive_seed(setup.config.seed, "fig06", circuit)
+    )
+    benign_series = hamming_weight_series(
+        bits, characterization.census.ro_sensitive
+    )
+    idle = slice(0, schedule.start_sample)
+    droop = slice(schedule.start_sample + 10, schedule.start_sample + 30)
+    # The overshoot develops after a *sudden* disable; the one after the
+    # final repetition is not cut short by the next enable ramp.
+    final_disable = (
+        schedule.start_sample
+        + (schedule.repetitions - 1) * schedule.period_samples
+        + schedule.ramp_samples
+    )
+    # Peak overshoot arrives about half a resonance period after the
+    # release (~37 samples at 150 MHz for the 2 MHz PDN).
+    overshoot = slice(final_disable, min(final_disable + 50, num_samples))
+    return {
+        "circuit": circuit,
+        "voltages": voltages,
+        "tdc": tdc_series,
+        "benign_hw": benign_series,
+        "enable_sample": schedule.start_sample,
+        "tdc_idle": float(tdc_series[idle].mean()),
+        "tdc_droop_min": float(tdc_series[droop].min()),
+        "tdc_overshoot_max": float(tdc_series[overshoot].max()),
+        "correlation": float(
+            np.corrcoef(tdc_series.astype(float), benign_series)[0, 1]
+        ),
+    }
+
+
+def fig07_15_census(
+    setup: ExperimentSetup, circuit: str
+) -> Dict[str, object]:
+    """Figs. 7/15: the sensitive-bit census."""
+    characterization = setup.characterization(circuit)
+    summary = characterization.census.summary()
+    summary["circuit"] = circuit
+    summary["aes_is_subset"] = characterization.census.aes_is_subset
+    return summary
+
+
+def fig08_16_variance(
+    setup: ExperimentSetup, circuit: str
+) -> Dict[str, object]:
+    """Figs. 8/16: per-bit variance under RO and AES activity."""
+    characterization = setup.characterization(circuit)
+    return {
+        "circuit": circuit,
+        "variance_ro": characterization.variances_ro,
+        "variance_aes": characterization.variances_aes,
+        "sensitive_mask": characterization.census.ro_sensitive,
+        "best_bit": characterization.best_bit(0),
+        "second_bit": characterization.best_bit(1),
+        "response_correlations": (
+            characterization.bit_response_correlations()
+        ),
+    }

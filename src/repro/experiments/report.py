@@ -1,0 +1,65 @@
+"""Terminal reporting helpers for experiment drivers.
+
+Text-mode equivalents of the paper's plots: a unicode sparkline for
+time series (Figs. 5/6 waveforms, correlation progress) and a compact
+table formatter for result rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a series as a unicode sparkline, downsampled to ``width``.
+
+    >>> sparkline([0, 1, 2, 3], width=4)
+    '▁▃▆█'
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    low, high = float(arr.min()), float(arr.max())
+    if high - low < 1e-12:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - low) / (high - low) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def format_table(rows: List[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Format dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in cells
+    )
+    return "\n".join([header, rule, body])
+
+
+def describe_mtd(mtd: Optional[int]) -> str:
+    """Human phrasing of a measurements-to-disclosure number."""
+    if mtd is None:
+        return "not disclosed"
+    if mtd < 1000:
+        return "~%d traces" % mtd
+    return "~%dk traces" % round(mtd / 1000)

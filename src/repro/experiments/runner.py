@@ -1,0 +1,214 @@
+"""Batch experiment runner and markdown report generation.
+
+``run_all_figures`` executes every evaluation figure at a chosen trace
+budget and returns structured records; ``render_report`` turns them
+into the paper-vs-measured markdown table used in EXPERIMENTS.md and by
+the ``repro report`` CLI command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.config import PAPER_EXPECTED, ExperimentConfig
+from repro.experiments.cpa_experiments import CPA_FIGURES
+from repro.experiments.preliminary import (
+    fig03_04_floorplan,
+    fig05_raw_toggle,
+    fig06_tdc_vs_benign,
+    fig07_15_census,
+    fig08_16_variance,
+)
+from repro.experiments.report import describe_mtd
+from repro.experiments.setup import ExperimentSetup
+
+
+@dataclass
+class FigureRecord:
+    """One figure's outcome in report form.
+
+    Attributes:
+        figure: figure id (``"fig07"``...).
+        paper: what the paper reports.
+        measured: one-line summary of our measurement.
+        ok: whether the qualitative result matched.
+    """
+
+    figure: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+def _run_preliminary(setup: ExperimentSetup) -> List[FigureRecord]:
+    records: List[FigureRecord] = []
+
+    floorplan = fig03_04_floorplan(setup, "alu")
+    records.append(
+        FigureRecord(
+            "fig03",
+            PAPER_EXPECTED["fig03"],
+            "%d sensitive endpoint sites scattered over the region"
+            % floorplan["sensitive_sites"],
+            floorplan["sensitive_sites"] > 20,
+        )
+    )
+    floorplan_c = fig03_04_floorplan(setup, "c6288x2")
+    records.append(
+        FigureRecord(
+            "fig04",
+            PAPER_EXPECTED["fig04"],
+            "%d sensitive endpoint sites (2 instances)"
+            % floorplan_c["sensitive_sites"],
+            floorplan_c["sensitive_sites"] > 10,
+        )
+    )
+
+    raw = fig05_raw_toggle(setup, "alu")
+    records.append(
+        FigureRecord(
+            "fig05",
+            PAPER_EXPECTED["fig05"],
+            "%d of 192 endpoints toggling after RO enable (%d before)"
+            % (raw["toggling_after_enable"], raw["toggling_before_enable"]),
+            raw["toggling_after_enable"]
+            > raw["toggling_before_enable"],
+        )
+    )
+
+    comparison = fig06_tdc_vs_benign(setup, "alu")
+    records.append(
+        FigureRecord(
+            "fig06",
+            PAPER_EXPECTED["fig06"],
+            "TDC %.0f -> %.0f droop, overshoot %.0f; sensor corr %.2f"
+            % (
+                comparison["tdc_idle"],
+                comparison["tdc_droop_min"],
+                comparison["tdc_overshoot_max"],
+                comparison["correlation"],
+            ),
+            comparison["correlation"] > 0.7,
+        )
+    )
+
+    alu_census = fig07_15_census(setup, "alu")
+    records.append(
+        FigureRecord(
+            "fig07",
+            PAPER_EXPECTED["fig07"],
+            "%(ro_sensitive)d RO / %(aes_sensitive)d AES "
+            "(%(aes_subset_of_ro)d subset) / %(unaffected)d silent"
+            % alu_census,
+            65 <= alu_census["ro_sensitive"] <= 95,
+        )
+    )
+
+    alu_variance = fig08_16_variance(setup, "alu")
+    records.append(
+        FigureRecord(
+            "fig08",
+            PAPER_EXPECTED["fig08"],
+            "best endpoints of this run: %d, %d"
+            % (alu_variance["best_bit"], alu_variance["second_bit"]),
+            True,
+        )
+    )
+
+    raw_c = fig05_raw_toggle(setup, "c6288x2")
+    records.append(
+        FigureRecord(
+            "fig14",
+            PAPER_EXPECTED["fig14"],
+            "%d of 64 endpoints toggling after RO enable"
+            % raw_c["toggling_after_enable"],
+            raw_c["toggling_after_enable"] >= 35,
+        )
+    )
+
+    c_census = fig07_15_census(setup, "c6288x2")
+    records.append(
+        FigureRecord(
+            "fig15",
+            PAPER_EXPECTED["fig15"],
+            "%(ro_sensitive)d RO / %(aes_sensitive)d AES "
+            "(%(aes_subset_of_ro)d subset) / %(unaffected)d silent"
+            % c_census,
+            40 <= c_census["ro_sensitive"] <= 58,
+        )
+    )
+
+    c_variance = fig08_16_variance(setup, "c6288x2")
+    records.append(
+        FigureRecord(
+            "fig16",
+            PAPER_EXPECTED["fig16"],
+            "best endpoint of this run: %d" % c_variance["best_bit"],
+            True,
+        )
+    )
+    return records
+
+
+def _run_cpa_figures(setup: ExperimentSetup) -> List[FigureRecord]:
+    records: List[FigureRecord] = []
+    for figure in sorted(CPA_FIGURES):
+        outcome = CPA_FIGURES[figure](setup)
+        measured = "%s%s" % (
+            describe_mtd(outcome.mtd),
+            ""
+            if outcome.sensor_bit is None
+            else " (endpoint %d)" % outcome.sensor_bit,
+        )
+        records.append(
+            FigureRecord(
+                figure,
+                PAPER_EXPECTED[figure],
+                measured,
+                outcome.disclosed,
+            )
+        )
+    return records
+
+
+def run_all_figures(
+    config: Optional[ExperimentConfig] = None,
+    include_cpa: bool = True,
+) -> List[FigureRecord]:
+    """Run every evaluation figure and collect report records.
+
+    Args:
+        config: experiment configuration (paper scale by default).
+        include_cpa: skip the expensive CPA campaigns when False.
+    """
+    setup = ExperimentSetup(config or ExperimentConfig())
+    records = _run_preliminary(setup)
+    if include_cpa:
+        records.extend(_run_cpa_figures(setup))
+    return sorted(records, key=lambda record: record.figure)
+
+
+def render_report(records: List[FigureRecord]) -> str:
+    """Render records as a markdown paper-vs-measured table."""
+    lines = [
+        "| Figure | Paper | Measured | OK |",
+        "|---|---|---|---|",
+    ]
+    for record in records:
+        lines.append(
+            "| %s | %s | %s | %s |"
+            % (
+                record.figure,
+                record.paper,
+                record.measured,
+                "yes" if record.ok else "NO",
+            )
+        )
+    passed = sum(record.ok for record in records)
+    lines.append("")
+    lines.append(
+        "%d of %d figures reproduce the paper's qualitative result."
+        % (passed, len(records))
+    )
+    return "\n".join(lines)

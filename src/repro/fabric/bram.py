@@ -1,0 +1,103 @@
+"""Block-RAM trace capture buffer.
+
+Each result of the benign circuit (and the TDC) "is saved in BRAM and
+returned to the workstation as a trace along with the ciphertext"
+(paper Sec. IV).  The model enforces the real constraint that shapes
+trace campaigns: BRAM capacity is finite (the 7Z020 has 140 x 36 Kb
+blocks), so captures happen in bounded bursts that are drained over
+UART between encryptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+#: 36 Kb blocks available on the XC7Z020.
+XC7Z020_BRAM_BLOCKS = 140
+#: Usable bits per block.
+BITS_PER_BLOCK = 36 * 1024
+
+
+class BRAMOverflowError(Exception):
+    """Raised when a capture exceeds the allocated BRAM capacity."""
+
+
+@dataclass
+class BRAMBuffer:
+    """A capture buffer carved out of BRAM blocks.
+
+    Attributes:
+        word_bits: bits per captured word (the endpoint word width).
+        num_blocks: BRAM blocks allocated to the buffer.
+    """
+
+    word_bits: int
+    num_blocks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.word_bits < 1:
+            raise ValueError("word width must be >= 1 bit")
+        if not 1 <= self.num_blocks <= XC7Z020_BRAM_BLOCKS:
+            raise ValueError(
+                "block count must be 1..%d" % XC7Z020_BRAM_BLOCKS
+            )
+        self._words: List[np.ndarray] = []
+
+    @property
+    def capacity_words(self) -> int:
+        """Words that fit in the allocated blocks."""
+        return (self.num_blocks * BITS_PER_BLOCK) // self.word_bits
+
+    @property
+    def depth(self) -> int:
+        """Words currently stored."""
+        return len(self._words)
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity_words - self.depth
+
+    def write(self, word_bits: np.ndarray) -> None:
+        """Append one captured word (array of 0/1 of width word_bits)."""
+        word = np.asarray(word_bits, dtype=np.uint8)
+        if word.shape != (self.word_bits,):
+            raise ValueError(
+                "word must have %d bits, got %r"
+                % (self.word_bits, word.shape)
+            )
+        if self.depth >= self.capacity_words:
+            raise BRAMOverflowError(
+                "BRAM full after %d words" % self.capacity_words
+            )
+        self._words.append(word.copy())
+
+    def write_burst(self, words: np.ndarray) -> None:
+        """Append a (N, word_bits) burst of captured words."""
+        arr = np.asarray(words, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != self.word_bits:
+            raise ValueError(
+                "burst must have shape (N, %d)" % self.word_bits
+            )
+        if self.depth + arr.shape[0] > self.capacity_words:
+            raise BRAMOverflowError(
+                "burst of %d words exceeds free space %d"
+                % (arr.shape[0], self.free_words)
+            )
+        self._words.extend(arr.copy())
+
+    def drain(self) -> np.ndarray:
+        """Read out and clear the buffer; returns (depth, word_bits)."""
+        if not self._words:
+            return np.zeros((0, self.word_bits), dtype=np.uint8)
+        data = np.vstack(self._words)
+        self._words.clear()
+        return data
+
+    def max_samples_per_encryption(self, samples_per_trace: int) -> int:
+        """How many traces fit before a drain is needed."""
+        if samples_per_trace < 1:
+            raise ValueError("samples per trace must be >= 1")
+        return self.capacity_words // samples_per_trace

@@ -1,0 +1,149 @@
+"""Clock generation model: reference clock and MMCMs.
+
+The board provides a 125 MHz reference; four Multi-Mode Clock Managers
+(MMCMs) synthesize tenant clocks from it (paper Sec. IV).  The model
+captures what matters to the attack and its countermeasures:
+
+* which frequencies are *synthesizable* (MMCM multiply/divide ranges),
+* that a tenant can legally request a 300 MHz clock for a circuit that
+  closes timing only at 50 MHz — clocking is not policed, which is the
+  loophole the strict timing-check defense (Sec. VI) would close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Board reference oscillator (MHz).
+REFERENCE_CLOCK_MHZ = 125.0
+#: MMCMs available on the XC7Z020.
+NUM_MMCMS = 4
+
+
+@dataclass(frozen=True)
+class MMCMConfig:
+    """One MMCM configuration: f_out = f_ref * multiply / divide.
+
+    7-series MMCM constraints (simplified): fractional multiplier
+    2.0..64.0 and fractional CLKOUT0 divider 1.0..128.0, both in 0.125
+    steps, VCO range 600..1200 MHz — enough to hit every frequency the
+    experiments use (50/100/150/300 MHz from the 125 MHz reference;
+    300 MHz = 125 x 6 / 2.5).
+    """
+
+    multiply: float
+    divide: float
+
+    def __post_init__(self) -> None:
+        if not 2.0 <= self.multiply <= 64.0:
+            raise ValueError("MMCM multiplier must be 2..64")
+        if abs(self.multiply * 8 - round(self.multiply * 8)) > 1e-9:
+            raise ValueError("MMCM multiplier resolution is 0.125")
+        if not 1.0 <= self.divide <= 128.0:
+            raise ValueError("MMCM divider must be 1..128")
+        if abs(self.divide * 8 - round(self.divide * 8)) > 1e-9:
+            raise ValueError("MMCM divider resolution is 0.125")
+
+    def output_mhz(self, reference_mhz: float = REFERENCE_CLOCK_MHZ) -> float:
+        return reference_mhz * self.multiply / self.divide
+
+    def vco_mhz(self, reference_mhz: float = REFERENCE_CLOCK_MHZ) -> float:
+        return reference_mhz * self.multiply
+
+    def vco_in_range(
+        self, reference_mhz: float = REFERENCE_CLOCK_MHZ
+    ) -> bool:
+        return 600.0 <= self.vco_mhz(reference_mhz) <= 1200.0
+
+
+def synthesize_clock(
+    target_mhz: float,
+    reference_mhz: float = REFERENCE_CLOCK_MHZ,
+    tolerance: float = 1e-6,
+) -> MMCMConfig:
+    """Find an MMCM configuration producing ``target_mhz``.
+
+    Searches multiply/divide combinations with the VCO in range,
+    preferring the lowest multiplier.  Raises :class:`ValueError` when
+    the target cannot be synthesized within ``tolerance`` (relative).
+    """
+    if target_mhz <= 0:
+        raise ValueError("target frequency must be positive")
+    best: Optional[MMCMConfig] = None
+    for eighths in range(16, 513):  # 2.0 .. 64.0 in 0.125 steps
+        multiply = eighths / 8.0
+        config_vco = reference_mhz * multiply
+        if not 600.0 <= config_vco <= 1200.0:
+            continue
+        divide_eighths = round(config_vco / target_mhz * 8)
+        for candidate_eighths in (divide_eighths, divide_eighths + 1):
+            candidate = candidate_eighths / 8.0
+            if not 1.0 <= candidate <= 128.0:
+                continue
+            config = MMCMConfig(multiply, candidate)
+            error = abs(config.output_mhz(reference_mhz) - target_mhz)
+            if error <= tolerance * target_mhz:
+                if best is None or config.multiply < best.multiply:
+                    best = config
+        if best is not None:
+            break
+    if best is None:
+        raise ValueError(
+            "no MMCM configuration reaches %.3f MHz from %.1f MHz"
+            % (target_mhz, reference_mhz)
+        )
+    return best
+
+
+@dataclass
+class ClockTree:
+    """Clock domains of the experimental design (paper Fig. 2).
+
+    Tracks tenant clock requests against the limited MMCM supply; the
+    strict-timing defense consults :meth:`requested_clocks` to compare
+    a tenant's clock against its circuit's analyzed fmax.
+    """
+
+    reference_mhz: float = REFERENCE_CLOCK_MHZ
+    num_mmcms: int = NUM_MMCMS
+    _domains: Dict[str, Tuple[float, MMCMConfig]] = field(
+        default_factory=dict
+    )
+
+    def request_clock(self, domain: str, target_mhz: float) -> MMCMConfig:
+        """Allocate an MMCM output for a clock domain."""
+        if domain in self._domains:
+            raise ValueError("domain %s already clocked" % domain)
+        if len(self._domains) >= self.num_mmcms:
+            raise ValueError(
+                "all %d MMCMs are in use" % self.num_mmcms
+            )
+        config = synthesize_clock(target_mhz, self.reference_mhz)
+        self._domains[domain] = (target_mhz, config)
+        return config
+
+    def frequency_mhz(self, domain: str) -> float:
+        try:
+            target, config = self._domains[domain]
+        except KeyError:
+            raise KeyError("unknown clock domain %r" % domain) from None
+        return config.output_mhz(self.reference_mhz)
+
+    def requested_clocks(self) -> Dict[str, float]:
+        """domain -> synthesized frequency (MHz)."""
+        return {
+            domain: config.output_mhz(self.reference_mhz)
+            for domain, (_, config) in self._domains.items()
+        }
+
+
+def paper_clock_tree() -> ClockTree:
+    """The paper's four domains: AES 100, TDC 100 (sampled at 150),
+    benign circuit 300, UART fabric clock 125."""
+    tree = ClockTree()
+    tree.request_clock("aes", 100.0)
+    tree.request_clock("tdc_sample", 150.0)
+    tree.request_clock("benign_overclock", 300.0)
+    tree.request_clock("uart", 125.0)
+    return tree

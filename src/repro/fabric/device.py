@@ -1,0 +1,151 @@
+"""Model of the target FPGA device: a Xilinx Zynq XC7Z020-like fabric.
+
+The experiments run on a Zynq-7020 (Artix-7 fabric; paper Sec. IV).
+For the reproduction we model what the attack actually interacts with:
+a grid of configurable logic sites partitioned into tenant regions that
+share one PDN.  Resource numbers follow the 7Z020 datasheet
+(53,200 LUTs / 13,300 slices, organized here as a 150x100 site grid
+plus BRAM and clocking resources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangular tenant region (Pblock) of the fabric.
+
+    Attributes:
+        name: region identifier (e.g. ``"attacker"``).
+        x0, y0: lower-left site coordinate (inclusive).
+        x1, y1: upper-right site coordinate (exclusive).
+    """
+
+    name: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x0 >= self.x1 or self.y0 >= self.y1:
+            raise ValueError("region %s has non-positive area" % self.name)
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def num_sites(self) -> int:
+        return self.width * self.height
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def sites(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all (x, y) site coordinates, row-major."""
+        for y in range(self.y0, self.y1):
+            for x in range(self.x0, self.x1):
+                yield x, y
+
+    def overlaps(self, other: "Region") -> bool:
+        return not (
+            self.x1 <= other.x0
+            or other.x1 <= self.x0
+            or self.y1 <= other.y0
+            or other.y1 <= self.y0
+        )
+
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+
+@dataclass
+class FpgaDevice:
+    """The shared device: a site grid with named tenant regions.
+
+    Attributes:
+        name: device name.
+        columns / rows: fabric grid dimensions in logic sites.
+        lut_per_site: LUTs per site (4 per 7-series slice).
+    """
+
+    name: str = "xc7z020"
+    columns: int = 150
+    rows: int = 100
+    lut_per_site: int = 4
+    _regions: Dict[str, Region] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise ValueError("device grid must be non-empty")
+
+    @property
+    def total_luts(self) -> int:
+        return self.columns * self.rows * self.lut_per_site
+
+    @property
+    def regions(self) -> Dict[str, Region]:
+        return dict(self._regions)
+
+    def add_region(self, region: Region) -> Region:
+        """Register a tenant region; regions must not overlap.
+
+        Multi-tenant isolation is *logical*: regions never share sites,
+        but they do share the PDN — the electrical coupling the attack
+        exploits.
+        """
+        if region.name in self._regions:
+            raise ValueError("duplicate region %s" % region.name)
+        if not (
+            0 <= region.x0 < region.x1 <= self.columns
+            and 0 <= region.y0 < region.y1 <= self.rows
+        ):
+            raise ValueError(
+                "region %s exceeds the %dx%d grid"
+                % (region.name, self.columns, self.rows)
+            )
+        for existing in self._regions.values():
+            if region.overlaps(existing):
+                raise ValueError(
+                    "region %s overlaps region %s"
+                    % (region.name, existing.name)
+                )
+        self._regions[region.name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise KeyError(
+                "unknown region %r (have: %s)"
+                % (name, ", ".join(sorted(self._regions)) or "none")
+            ) from None
+
+    def region_distance(self, a: str, b: str) -> float:
+        """Center-to-center distance between two regions (sites)."""
+        ax, ay = self.region(a).center()
+        bx, by = self.region(b).center()
+        return float(((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5)
+
+
+def default_multi_tenant_device() -> FpgaDevice:
+    """The paper's experimental floorplan (Figs. 3/4).
+
+    Four blocks share the fabric: the victim AES, the attacker's benign
+    circuit, the reference TDC, and the RO aggressor array.
+    """
+    device = FpgaDevice()
+    device.add_region(Region("victim_aes", 10, 10, 50, 55))
+    device.add_region(Region("attacker_benign", 60, 10, 120, 60))
+    device.add_region(Region("attacker_tdc", 125, 10, 140, 40))
+    device.add_region(Region("ro_array", 10, 65, 140, 95))
+    return device

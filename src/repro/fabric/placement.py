@@ -1,0 +1,132 @@
+"""Placement of netlist gates onto device sites within a region.
+
+A lightweight placer standing in for the vendor tool: gates of a
+netlist are assigned to sites of the tenant's region in a locality-
+preserving but scattered fashion (random placement refined by a few
+force-directed sweeps toward each gate's fan-in/fan-out centroid).
+
+Its purpose in this library:
+
+* rendering the Figs. 3/4 floorplans, including marking the sensitive
+  endpoint sites in red (here: a marker character), and
+* grounding the per-endpoint routing-detour story of
+  :mod:`repro.timing.techmap` — endpoint register sites are spread over
+  the region, so their final routes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fabric.device import Region
+from repro.netlist.netlist import Netlist
+from repro.util.rng import make_rng
+
+
+@dataclass
+class Placement:
+    """Result of placing one netlist into one region.
+
+    Attributes:
+        netlist: the placed netlist.
+        region: the hosting region.
+        site_of: gate output net -> (x, y) site.
+    """
+
+    netlist: Netlist
+    region: Region
+    site_of: Dict[str, Tuple[int, int]]
+
+    def sites_of(self, nets: Sequence[str]) -> List[Tuple[int, int]]:
+        return [self.site_of[net] for net in nets]
+
+    def wirelength(self) -> float:
+        """Half-perimeter-ish wirelength estimate over all nets."""
+        total = 0.0
+        for gate in self.netlist.gates:
+            gx, gy = self.site_of[gate.output]
+            for source in gate.inputs:
+                if source in self.site_of:
+                    sx, sy = self.site_of[source]
+                    total += abs(gx - sx) + abs(gy - sy)
+        return total
+
+    def utilization(self) -> float:
+        """Fraction of region sites hosting at least one gate."""
+        return len(set(self.site_of.values())) / self.region.num_sites
+
+
+def place_netlist(
+    netlist: Netlist,
+    region: Region,
+    seed: int = 0,
+    refine_sweeps: int = 2,
+    gates_per_site: int = 4,
+) -> Placement:
+    """Place a netlist's gates onto region sites.
+
+    Args:
+        netlist: frozen netlist.
+        region: target region; must offer enough capacity
+            (``num_sites * gates_per_site`` gate slots).
+        seed: placement seed.
+        refine_sweeps: force-directed refinement passes pulling each
+            gate toward the centroid of its neighbors (with the random
+            scatter that remains, this reproduces the "quite scattered"
+            look of the paper's floorplans).
+        gates_per_site: LUT capacity per site.
+
+    Raises:
+        ValueError: when the region lacks capacity.
+    """
+    if not netlist.frozen:
+        raise ValueError("netlist must be frozen")
+    capacity = region.num_sites * gates_per_site
+    if netlist.num_gates > capacity:
+        raise ValueError(
+            "netlist %s (%d gates) exceeds region %s capacity (%d)"
+            % (netlist.name, netlist.num_gates, region.name, capacity)
+        )
+    rng = make_rng(seed, "placement", netlist.name, region.name)
+    gate_nets = [gate.output for gate in netlist.gates]
+
+    # Initial random placement (sites may host up to gates_per_site).
+    occupancy: Dict[Tuple[int, int], int] = {}
+    site_of: Dict[str, Tuple[int, int]] = {}
+    for net in gate_nets:
+        while True:
+            x = int(rng.integers(region.x0, region.x1))
+            y = int(rng.integers(region.y0, region.y1))
+            if occupancy.get((x, y), 0) < gates_per_site:
+                occupancy[(x, y)] = occupancy.get((x, y), 0) + 1
+                site_of[net] = (x, y)
+                break
+
+    # Force-directed refinement toward neighbor centroids.
+    neighbors: Dict[str, List[str]] = {net: [] for net in gate_nets}
+    for gate in netlist.gates:
+        for source in gate.inputs:
+            if source in site_of:
+                neighbors[gate.output].append(source)
+                neighbors[source].append(gate.output)
+    for _ in range(refine_sweeps):
+        for net in gate_nets:
+            linked = neighbors[net]
+            if not linked:
+                continue
+            cx = float(np.mean([site_of[n][0] for n in linked]))
+            cy = float(np.mean([site_of[n][1] for n in linked]))
+            # Blend toward centroid, keep residual scatter.
+            ox, oy = site_of[net]
+            nx = int(round(0.5 * ox + 0.5 * cx + rng.normal(0, 1.5)))
+            ny = int(round(0.5 * oy + 0.5 * cy + rng.normal(0, 1.5)))
+            nx = min(max(nx, region.x0), region.x1 - 1)
+            ny = min(max(ny, region.y0), region.y1 - 1)
+            if occupancy.get((nx, ny), 0) < gates_per_site:
+                occupancy[(ox, oy)] -= 1
+                occupancy[(nx, ny)] = occupancy.get((nx, ny), 0) + 1
+                site_of[net] = (nx, ny)
+    return Placement(netlist=netlist, region=region, site_of=site_of)

@@ -1,0 +1,182 @@
+"""Multi-tenant system composition: the provider's deployment flow.
+
+Ties the substrate pieces into the adversary model of the paper: a
+provider operates an :class:`FpgaDevice`, tenants submit designs with a
+clock request, and every submission passes through the deployment gate
+— bitstream checking, optional strict timing checking, region capacity,
+and MMCM availability — before it is placed and becomes electrically
+present on the shared PDN.
+
+This is the object the stealthiness story plays out on: the RO and TDC
+submissions bounce at the gate, the benign ALU walks through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.defense.checker import BitstreamChecker, CheckReport
+from repro.defense.timing_check import (
+    TimingCheckReport,
+    TimingConstraints,
+    strict_timing_check,
+)
+from repro.fabric.clocking import ClockTree
+from repro.fabric.device import FpgaDevice, default_multi_tenant_device
+from repro.fabric.placement import Placement, place_netlist
+from repro.netlist.netlist import Netlist
+from repro.timing.techmap import FpgaImplementation, fpga_annotate
+from repro.util.rng import derive_seed
+
+
+class DeploymentRejected(Exception):
+    """A tenant submission failed the deployment gate."""
+
+    def __init__(self, reason: str, report: object = None):
+        self.reason = reason
+        self.report = report
+        super().__init__(reason)
+
+
+@dataclass
+class Tenant:
+    """A deployed tenant.
+
+    Attributes:
+        name: tenant/region name.
+        netlist: the deployed design.
+        placement: site assignment within the tenant's region.
+        clock_mhz: granted clock frequency.
+        check_report: the bitstream-check verdict at deployment.
+        timing_report: the timing verdict (None if timing checking is
+            disabled, as in the paper's baseline adversary model).
+    """
+
+    name: str
+    netlist: Netlist
+    placement: Placement
+    clock_mhz: float
+    check_report: CheckReport
+    timing_report: Optional[TimingCheckReport] = None
+
+
+class MultiTenantSystem:
+    """A provider-operated shared FPGA.
+
+    Args:
+        device: the fabric and its tenant regions.
+        checker: bitstream checker applied at deployment.
+        enforce_timing: also run the strict timing check (the Sec. VI
+            countermeasure; off by default, matching the paper's
+            baseline threat model).
+        seed: placement seed root.
+    """
+
+    def __init__(
+        self,
+        device: Optional[FpgaDevice] = None,
+        checker: Optional[BitstreamChecker] = None,
+        enforce_timing: bool = False,
+        seed: int = 0,
+    ):
+        self.device = device or default_multi_tenant_device()
+        self.checker = checker or BitstreamChecker()
+        self.enforce_timing = enforce_timing
+        self.clock_tree = ClockTree()
+        self.seed = seed
+        self._tenants: Dict[str, Tenant] = {}
+
+    @property
+    def tenants(self) -> Dict[str, Tenant]:
+        return dict(self._tenants)
+
+    def deploy(
+        self,
+        region_name: str,
+        netlist: Netlist,
+        clock_mhz: float,
+        timing_constraints: Optional[TimingConstraints] = None,
+    ) -> Tenant:
+        """Run the deployment gate and place a tenant design.
+
+        Order of checks (cheapest first, as a provider would):
+
+        1. region exists and is unoccupied;
+        2. bitstream/netlist structural checking;
+        3. optional strict timing check against the requested clock
+           (honoring tenant-declared constraints — the loophole);
+        4. MMCM allocation;
+        5. placement (capacity check included).
+
+        Raises:
+            DeploymentRejected: with the failing report attached.
+        """
+        if region_name in self._tenants:
+            raise DeploymentRejected(
+                "region %s already occupied" % region_name
+            )
+        region = self.device.region(region_name)
+
+        check_report = self.checker.scan(netlist)
+        if not check_report.accepted:
+            raise DeploymentRejected(
+                "bitstream check failed: %s"
+                % "; ".join(
+                    f.message for f in check_report.critical_findings[:3]
+                ),
+                report=check_report,
+            )
+
+        timing_report: Optional[TimingCheckReport] = None
+        if self.enforce_timing:
+            if netlist.has_cycles:
+                raise DeploymentRejected(
+                    "timing analysis impossible on cyclic netlist"
+                )
+            annotation = fpga_annotate(
+                netlist,
+                FpgaImplementation(
+                    seed=derive_seed(self.seed, "impl", region_name)
+                ),
+            )
+            timing_report = strict_timing_check(
+                annotation, clock_mhz, constraints=timing_constraints
+            )
+            if not timing_report.accepted:
+                raise DeploymentRejected(
+                    "timing check failed: %s" % timing_report.summary(),
+                    report=timing_report,
+                )
+
+        self.clock_tree.request_clock(region_name, clock_mhz)
+        placement = place_netlist(
+            netlist,
+            region,
+            seed=derive_seed(self.seed, "place", region_name),
+        )
+        tenant = Tenant(
+            name=region_name,
+            netlist=netlist,
+            placement=placement,
+            clock_mhz=self.clock_tree.frequency_mhz(region_name),
+            check_report=check_report,
+            timing_report=timing_report,
+        )
+        self._tenants[region_name] = tenant
+        return tenant
+
+    def evict(self, region_name: str) -> None:
+        """Remove a tenant (partial reconfiguration)."""
+        if region_name not in self._tenants:
+            raise KeyError("no tenant in region %r" % region_name)
+        del self._tenants[region_name]
+
+    def electrical_neighbors(self, region_name: str) -> List[str]:
+        """Other tenants sharing the PDN — all of them, by construction.
+
+        Logical isolation does not remove electrical coupling; this
+        helper exists to make that explicit in examples and tests.
+        """
+        self.device.region(region_name)
+        return sorted(set(self._tenants) - {region_name})

@@ -1,0 +1,127 @@
+"""UART host link: framing, checksumming, and throughput model.
+
+The workstation drives the experiment over a simple UART TX/RX pair
+(paper Fig. 2): plaintexts and benign-circuit stimuli go down, the
+ciphertext and the recorded endpoint-word trace come back.  The model
+implements byte-level framing with a checksum (so the host script can
+detect corruption) and an 8N1 throughput estimate used to reason about
+campaign wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Frame marker bytes.
+FRAME_SOF = 0xA5
+FRAME_EOF = 0x5A
+
+
+class UartFramingError(Exception):
+    """Malformed frame (bad marker, length, or checksum)."""
+
+
+def checksum(payload: bytes) -> int:
+    """Additive 8-bit checksum over the payload."""
+    return sum(payload) & 0xFF
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap a payload: SOF, 16-bit big-endian length, payload, sum, EOF."""
+    if len(payload) > 0xFFFF:
+        raise ValueError("payload too long for 16-bit length field")
+    header = bytes([FRAME_SOF, len(payload) >> 8, len(payload) & 0xFF])
+    return header + payload + bytes([checksum(payload), FRAME_EOF])
+
+
+def decode_frame(frame: bytes) -> bytes:
+    """Inverse of :func:`encode_frame`; raises on malformed frames."""
+    if len(frame) < 5:
+        raise UartFramingError("frame shorter than minimum (5 bytes)")
+    if frame[0] != FRAME_SOF:
+        raise UartFramingError("bad start-of-frame byte 0x%02X" % frame[0])
+    if frame[-1] != FRAME_EOF:
+        raise UartFramingError("bad end-of-frame byte 0x%02X" % frame[-1])
+    length = (frame[1] << 8) | frame[2]
+    payload = frame[3:3 + length]
+    if len(payload) != length or len(frame) != length + 5:
+        raise UartFramingError(
+            "length field %d disagrees with frame size %d"
+            % (length, len(frame))
+        )
+    if frame[3 + length] != checksum(payload):
+        raise UartFramingError("checksum mismatch")
+    return bytes(payload)
+
+
+def pack_trace_words(bits: np.ndarray) -> bytes:
+    """Pack an (N, B) endpoint-bit capture into trace payload bytes.
+
+    Words are packed little-endian bit order, padded to whole bytes —
+    the format the host-side python script stores to disk.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError("expected (N, B) bit matrix")
+    return np.packbits(arr, axis=1, bitorder="little").tobytes()
+
+
+def unpack_trace_words(payload: bytes, word_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_trace_words` given the word width."""
+    if word_bits < 1:
+        raise ValueError("word_bits must be >= 1")
+    bytes_per_word = -(-word_bits // 8)
+    if len(payload) % bytes_per_word:
+        raise UartFramingError(
+            "payload length %d not a multiple of %d-byte words"
+            % (len(payload), bytes_per_word)
+        )
+    raw = np.frombuffer(payload, dtype=np.uint8).reshape(-1, bytes_per_word)
+    bits = np.unpackbits(raw, axis=1, bitorder="little")
+    return bits[:, :word_bits]
+
+
+@dataclass(frozen=True)
+class UartLink:
+    """8N1 UART throughput model.
+
+    Attributes:
+        baud_rate: line rate in baud (bits/s); 8N1 = 10 line bits/byte.
+    """
+
+    baud_rate: int = 921_600
+
+    def __post_init__(self) -> None:
+        if self.baud_rate <= 0:
+            raise ValueError("baud rate must be positive")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.baud_rate / 10.0
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Wall-clock time to move ``num_bytes`` over the link."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes / self.bytes_per_second
+
+    def campaign_seconds(
+        self,
+        num_traces: int,
+        samples_per_trace: int,
+        word_bits: int,
+        request_bytes: int = 16,
+    ) -> float:
+        """Estimated wall-clock for a full trace campaign.
+
+        Per trace: the plaintext request down, ciphertext (16 bytes) +
+        framed trace words back.  This is why half-million-trace
+        campaigns take hours on the real setup — a constraint worth
+        keeping visible in the reproduction.
+        """
+        bytes_per_word = -(-word_bits // 8)
+        reply = 16 + samples_per_trace * bytes_per_word + 5
+        per_trace = (request_bytes + 5) + reply
+        return self.transfer_seconds(per_trace * num_traces)

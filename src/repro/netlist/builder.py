@@ -1,0 +1,91 @@
+"""Helper for programmatic netlist construction.
+
+The circuit generators in :mod:`repro.circuits` build netlists from
+loops over bit positions; :class:`NetlistBuilder` removes the name
+bookkeeping boilerplate (fresh net names, bus expansion) they would
+otherwise repeat.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.netlist.netlist import Netlist
+
+
+class NetlistBuilder:
+    """Incremental netlist construction with automatic net naming.
+
+    Example:
+        >>> b = NetlistBuilder("half_adder")
+        >>> a, c = b.inputs(["a", "c"])
+        >>> s = b.gate("XOR", [a, c], hint="sum")
+        >>> b.mark_outputs([s])
+        >>> nl = b.build()
+        >>> nl.evaluate({"a": 1, "c": 1})[s]
+        0
+    """
+
+    def __init__(self, name: str):
+        self._netlist = Netlist(name)
+        self._counter = 0
+        self._built = False
+
+    def input(self, net: str) -> str:
+        """Declare one primary input and return its name."""
+        self._netlist.add_input(net)
+        return net
+
+    def inputs(self, nets: Sequence[str]) -> List[str]:
+        """Declare several primary inputs."""
+        return [self.input(net) for net in nets]
+
+    def input_bus(self, prefix: str, width: int) -> List[str]:
+        """Declare ``width`` inputs named ``prefix0..prefix{width-1}``.
+
+        Index 0 is the least significant bit, matching the bit-vector
+        convention of :mod:`repro.util.bits`.
+        """
+        return self.inputs(["%s%d" % (prefix, i) for i in range(width)])
+
+    def fresh_name(self, hint: str = "n") -> str:
+        """Generate an unused internal net name."""
+        self._counter += 1
+        return "%s_%d" % (hint, self._counter)
+
+    def gate(
+        self, type_name: str, inputs: Sequence[str], hint: str = "n",
+        output: str = "",
+    ) -> str:
+        """Add a gate, auto-naming the output unless ``output`` is given.
+
+        Returns the output net name.
+        """
+        net = output or self.fresh_name(hint)
+        self._netlist.add_gate(net, type_name, inputs)
+        return net
+
+    def mark_outputs(self, nets: Sequence[str]) -> None:
+        """Declare primary outputs in the given order."""
+        for net in nets:
+            self._netlist.add_output(net)
+
+    def constant(self, value: int, any_input: str) -> str:
+        """Materialize a constant 0/1 net from an existing input net.
+
+        Netlists are purely combinational with no constant primitives,
+        so constants are built as ``x XNOR x`` (1) or ``x XOR x`` (0).
+        """
+        if value not in (0, 1):
+            raise ValueError("constant must be 0/1, got %r" % (value,))
+        type_name = "XNOR" if value else "XOR"
+        return self.gate(
+            type_name, [any_input, any_input], hint="const%d" % value
+        )
+
+    def build(self) -> Netlist:
+        """Freeze and return the netlist (single use)."""
+        if self._built:
+            raise RuntimeError("builder already consumed")
+        self._built = True
+        return self._netlist.freeze()

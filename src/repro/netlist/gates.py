@@ -1,0 +1,163 @@
+"""Primitive gate library for the gate-level netlist substrate.
+
+The library covers everything needed by the benign circuits of the paper
+(ripple-carry adder ALU, ISCAS-85 C6288 multiplier) and by the reference
+sensors (buffers for TDC delay lines, inverters for ring oscillators).
+
+Each :class:`GateType` carries:
+
+* a boolean evaluation function over its input values,
+* a nominal propagation delay in picoseconds at the nominal supply
+  voltage (loosely modeled on a 28 nm FPGA LUT/carry primitive), used by
+  the timing substrate, and
+* the permitted input arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, Dict, Sequence, Tuple
+
+
+def _and(inputs: Sequence[int]) -> int:
+    return int(all(inputs))
+
+
+def _or(inputs: Sequence[int]) -> int:
+    return int(any(inputs))
+
+
+def _nand(inputs: Sequence[int]) -> int:
+    return int(not all(inputs))
+
+
+def _nor(inputs: Sequence[int]) -> int:
+    return int(not any(inputs))
+
+
+def _xor(inputs: Sequence[int]) -> int:
+    return reduce(lambda a, b: a ^ b, inputs, 0)
+
+
+def _xnor(inputs: Sequence[int]) -> int:
+    return 1 - _xor(inputs)
+
+
+def _buf(inputs: Sequence[int]) -> int:
+    return int(inputs[0])
+
+
+def _not(inputs: Sequence[int]) -> int:
+    return 1 - int(inputs[0])
+
+
+def _mux(inputs: Sequence[int]) -> int:
+    # inputs: (select, a, b) -> a if select == 0 else b
+    select, a, b = inputs
+    return int(b if select else a)
+
+
+@dataclass(frozen=True)
+class GateType:
+    """Immutable description of a primitive gate type.
+
+    Attributes:
+        name: canonical upper-case type name (``"NAND"`` ...).
+        evaluate: boolean function from input tuple to 0/1.
+        nominal_delay_ps: propagation delay at nominal voltage.
+        min_inputs: minimum permitted fan-in.
+        max_inputs: maximum permitted fan-in (``None`` = unbounded).
+    """
+
+    name: str
+    evaluate: Callable[[Sequence[int]], int]
+    nominal_delay_ps: float
+    min_inputs: int
+    max_inputs: int
+
+    def check_arity(self, count: int) -> None:
+        """Raise :class:`ValueError` when ``count`` inputs are invalid."""
+        if count < self.min_inputs or count > self.max_inputs:
+            raise ValueError(
+                "gate type %s accepts %d..%d inputs, got %d"
+                % (self.name, self.min_inputs, self.max_inputs, count)
+            )
+
+
+_MANY = 64
+
+#: Registry of supported gate types, keyed by canonical name.
+GATE_TYPES: Dict[str, GateType] = {
+    gt.name: gt
+    for gt in (
+        GateType("AND", _and, 90.0, 2, _MANY),
+        GateType("OR", _or, 90.0, 2, _MANY),
+        GateType("NAND", _nand, 70.0, 2, _MANY),
+        GateType("NOR", _nor, 75.0, 2, _MANY),
+        GateType("XOR", _xor, 120.0, 2, _MANY),
+        GateType("XNOR", _xnor, 120.0, 2, _MANY),
+        GateType("BUF", _buf, 60.0, 1, 1),
+        GateType("NOT", _not, 45.0, 1, 1),
+        GateType("MUX", _mux, 110.0, 3, 3),
+    )
+}
+
+#: Aliases accepted by the parser and builders.
+GATE_ALIASES: Dict[str, str] = {
+    "BUFF": "BUF",
+    "INV": "NOT",
+    "MUX2": "MUX",
+}
+
+
+def resolve_gate_type(name: str) -> GateType:
+    """Look up a gate type by name or alias (case-insensitive).
+
+    >>> resolve_gate_type("buff").name
+    'BUF'
+    """
+    canonical = name.strip().upper()
+    canonical = GATE_ALIASES.get(canonical, canonical)
+    try:
+        return GATE_TYPES[canonical]
+    except KeyError:
+        raise KeyError(
+            "unknown gate type %r (known: %s)"
+            % (name, ", ".join(sorted(GATE_TYPES)))
+        ) from None
+
+
+def evaluate_gate(type_name: str, inputs: Sequence[int]) -> int:
+    """Evaluate a gate by type name on concrete 0/1 inputs."""
+    gate_type = resolve_gate_type(type_name)
+    gate_type.check_arity(len(inputs))
+    for value in inputs:
+        if value not in (0, 1):
+            raise ValueError("gate inputs must be 0/1, got %r" % (value,))
+    return gate_type.evaluate(tuple(inputs))
+
+
+def controlling_value(type_name: str) -> Tuple[int, int]:
+    """Return ``(controlling input, forced output)`` for a gate type.
+
+    A *controlling* value on any input forces the gate output regardless
+    of other inputs (e.g. 0 for AND forces output 0).  Used by the
+    ATPG-style path sensitization search.  Raises :class:`ValueError`
+    for gate types without a controlling value (XOR/XNOR/BUF/NOT/MUX).
+    """
+    canonical = resolve_gate_type(type_name).name
+    table = {
+        "AND": (0, 0),
+        "NAND": (0, 1),
+        "OR": (1, 1),
+        "NOR": (1, 0),
+    }
+    if canonical not in table:
+        raise ValueError("gate type %s has no controlling value" % canonical)
+    return table[canonical]
+
+
+def has_controlling_value(type_name: str) -> bool:
+    """Whether :func:`controlling_value` is defined for this type."""
+    return resolve_gate_type(type_name).name in ("AND", "NAND", "OR", "NOR")

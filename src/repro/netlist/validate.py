@@ -1,0 +1,88 @@
+"""Structural sanity checks over netlists.
+
+These checks are shared by tests and by the defense scanner: the
+*defense* rules in :mod:`repro.defense` look for malicious structure,
+whereas this module verifies that a netlist is a well-formed design at
+all (no floating nets, reachable outputs, reasonable fan-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_netlist`.
+
+    Attributes:
+        warnings: non-fatal findings (e.g. dead logic).
+        errors: fatal findings; empty means the netlist is clean.
+    """
+
+    warnings: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _reachable_from_outputs(netlist: Netlist) -> Set[str]:
+    """Nets in the transitive fan-in cone of any primary output."""
+    seen: Set[str] = set()
+    stack = list(netlist.outputs)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        gate = netlist.gate_driving(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    return seen
+
+
+def validate_netlist(netlist: Netlist, max_fanin: int = 16) -> ValidationReport:
+    """Run structural checks on a frozen netlist.
+
+    Checks performed:
+
+    * every primary input feeds at least one gate or output (warning),
+    * every gate is in the fan-in cone of some output (warning: dead
+      logic — legitimate designs may carry some, so not an error),
+    * no gate exceeds ``max_fanin`` inputs (error: unmappable to LUTs),
+    * netlist has at least one output (error).
+    """
+    report = ValidationReport()
+    if not netlist.frozen:
+        report.errors.append("netlist is not frozen")
+        return report
+    if not netlist.outputs:
+        report.errors.append("netlist has no primary outputs")
+
+    used: Set[str] = set(netlist.outputs)
+    for gate in netlist.gates:
+        used.update(gate.inputs)
+    for net in netlist.inputs:
+        if net not in used:
+            report.warnings.append("unused primary input %s" % net)
+
+    live = _reachable_from_outputs(netlist)
+    dead = [g.output for g in netlist.gates if g.output not in live]
+    if dead:
+        report.warnings.append(
+            "%d gate(s) not in any output cone (first: %s)"
+            % (len(dead), dead[0])
+        )
+
+    for gate in netlist.gates:
+        if len(gate.inputs) > max_fanin:
+            report.errors.append(
+                "gate %s has fan-in %d > %d"
+                % (gate.output, len(gate.inputs), max_fanin)
+            )
+    return report

@@ -1,0 +1,23 @@
+"""Power-distribution-network substrate.
+
+Models the shared electrical medium of the multi-tenant FPGA: a
+second-order RLC transient response (:class:`PDNModel`) driven by
+current-waveform aggressors (RO array, AES module).  The voltage
+waveforms it produces feed both the reference TDC sensor and the
+benign-logic sensors.
+"""
+
+from repro.pdn.aggressors import (
+    CurrentSchedule,
+    ROAggressorSchedule,
+    aes_current_waveform,
+)
+from repro.pdn.model import PDNModel, PDNParameters
+
+__all__ = [
+    "CurrentSchedule",
+    "PDNModel",
+    "PDNParameters",
+    "ROAggressorSchedule",
+    "aes_current_waveform",
+]

@@ -1,0 +1,144 @@
+"""Current-draw waveform generators ("aggressors") for the PDN model.
+
+An aggressor converts an activity schedule into a current waveform
+sampled at the PDN rate.  Two aggressors matter for the paper:
+
+* the 8000-RO array, used as a *controlled* source of strong voltage
+  fluctuations (gradually enabled, suddenly disabled at 4 MHz), and
+* the AES module, whose round-dependent switching current is the
+  *secret-correlated* signal the attack extracts.
+
+Both are expressed through :class:`CurrentSchedule`, a piecewise
+description compiled to a sample array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CurrentSchedule:
+    """Piecewise-linear current schedule compiled to samples.
+
+    Segments are (start_sample, end_sample, start_current, end_current)
+    with linear interpolation inside each segment; samples not covered
+    by any segment draw ``idle_current``.
+    """
+
+    num_samples: int
+    idle_current: float = 0.0
+    _segments: List[Tuple[int, int, float, float]] = field(
+        default_factory=list
+    )
+
+    def hold(self, start: int, end: int, amperes: float) -> "CurrentSchedule":
+        """Draw a constant current over ``[start, end)``."""
+        return self.ramp(start, end, amperes, amperes)
+
+    def ramp(
+        self, start: int, end: int, from_a: float, to_a: float
+    ) -> "CurrentSchedule":
+        """Linearly ramp the current over ``[start, end)``."""
+        if not 0 <= start < end <= self.num_samples:
+            raise ValueError(
+                "segment [%d, %d) outside 0..%d"
+                % (start, end, self.num_samples)
+            )
+        self._segments.append((start, end, float(from_a), float(to_a)))
+        return self
+
+    def compile(self) -> np.ndarray:
+        """Render the schedule to a current waveform (amperes)."""
+        waveform = np.full(self.num_samples, float(self.idle_current))
+        for start, end, from_a, to_a in self._segments:
+            span = end - start
+            waveform[start:end] += np.linspace(
+                from_a, to_a, span, endpoint=False
+            )
+        return waveform
+
+
+@dataclass(frozen=True)
+class ROAggressorSchedule:
+    """The paper's RO activity pattern (Sec. V-A, Figs. 5/6/14).
+
+    ``num_ros`` ring oscillators are *gradually* enabled over
+    ``ramp_samples`` and then *suddenly* disabled, repeating with period
+    ``period_samples``.  At a 150 MHz sample rate, a 4 MHz on/off
+    pattern corresponds to ``period_samples = 37`` (the paper's Fig. 6
+    shows the resulting droop + overshoot pairs).
+
+    Attributes:
+        num_ros: ring-oscillator count (8000 in the paper).
+        current_per_ro_a: average supply current per enabled RO.
+        start_sample: first sample of the first enable ramp.
+        ramp_samples: length of the gradual enable ramp.
+        period_samples: distance between successive enable ramps.
+        repetitions: number of on/off cycles.
+    """
+
+    num_ros: int = 8000
+    current_per_ro_a: float = 220e-6
+    start_sample: int = 40
+    ramp_samples: int = 30
+    period_samples: int = 40
+    repetitions: int = 2
+
+    @property
+    def peak_current_a(self) -> float:
+        return self.num_ros * self.current_per_ro_a
+
+    def current_waveform(self, num_samples: int) -> np.ndarray:
+        """Compile the on/off pattern to a current waveform."""
+        schedule = CurrentSchedule(num_samples)
+        for k in range(self.repetitions):
+            start = self.start_sample + k * self.period_samples
+            end = min(start + self.ramp_samples, num_samples)
+            if start >= num_samples:
+                break
+            schedule.ramp(start, end, 0.0, self.peak_current_a)
+            # Sudden disable: no segment after `end`, current falls to 0.
+        return schedule.compile()
+
+    def enabled_count(self, num_samples: int) -> np.ndarray:
+        """Number of enabled ROs at each sample (for reporting)."""
+        waveform = self.current_waveform(num_samples)
+        return np.round(waveform / self.current_per_ro_a).astype(int)
+
+
+def aes_current_waveform(
+    round_hd: Sequence[int],
+    num_samples: int,
+    start_sample: int,
+    samples_per_cycle: float,
+    current_per_bit_a: float = 6.25e-3,
+    static_current_a: float = 0.02,
+) -> np.ndarray:
+    """Current waveform of an AES encryption.
+
+    Args:
+        round_hd: Hamming distance of the AES state register per clock
+            cycle (from :mod:`repro.aes.leakage`).
+        num_samples: waveform length at the PDN sample rate.
+        start_sample: sample at which the encryption starts.
+        samples_per_cycle: PDN samples per AES clock cycle (1.5 for
+            100 MHz AES sampled at 150 MHz).
+        current_per_bit_a: dynamic current per flipped state bit.
+        static_current_a: module static + control current while active.
+
+    Returns:
+        waveform in amperes.
+    """
+    waveform = np.zeros(num_samples)
+    for cycle, hd in enumerate(round_hd):
+        start = int(round(start_sample + cycle * samples_per_cycle))
+        end = int(round(start_sample + (cycle + 1) * samples_per_cycle))
+        if start >= num_samples:
+            break
+        end = min(max(end, start + 1), num_samples)
+        waveform[start:end] += static_current_a + current_per_bit_a * hd
+    return waveform

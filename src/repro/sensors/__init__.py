@@ -1,0 +1,24 @@
+"""Reference sensors and aggressors.
+
+The established attack circuits the paper compares against (and that
+bitstream checkers detect): the TDC delay-line sensor, the RO-counter
+sensor, and the 8000-RO aggressor array used as a controlled source of
+voltage fluctuations.
+"""
+
+from repro.sensors.base import VoltageSensor
+from repro.sensors.ro import (
+    RingOscillatorArray,
+    ROSensor,
+    build_ro_netlist,
+)
+from repro.sensors.tdc import TDCSensor, build_tdc_netlist
+
+__all__ = [
+    "RingOscillatorArray",
+    "ROSensor",
+    "TDCSensor",
+    "VoltageSensor",
+    "build_ro_netlist",
+    "build_tdc_netlist",
+]

@@ -1,0 +1,55 @@
+"""Common interface for on-chip voltage sensors.
+
+Three sensor families exist in this library:
+
+* the reference TDC (:mod:`repro.sensors.tdc`) — the established
+  attack sensor the paper compares against,
+* the RO-counter sensor (:mod:`repro.sensors.ro`) — the slower
+  loop-based sensor of prior work, and
+* the benign-logic sensor (:mod:`repro.core.endpoint_sensor`) — the
+  paper's contribution.
+
+All of them implement :class:`VoltageSensor`: given a supply-voltage
+waveform (one value per sample tick) they return their digital readout
+per sample.  Keeping the interface waveform-in/samples-out lets every
+experiment drive any sensor through the same pipeline.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class VoltageSensor(abc.ABC):
+    """Abstract on-chip sensor sampling a voltage waveform."""
+
+    @property
+    @abc.abstractmethod
+    def num_bits(self) -> int:
+        """Number of output bits per sample."""
+
+    @abc.abstractmethod
+    def sample_bits(
+        self, voltages: np.ndarray, seed: int = 0
+    ) -> np.ndarray:
+        """Digital readout for each supply-voltage sample.
+
+        Args:
+            voltages: shape (num_samples,) supply voltage per tick.
+            seed: seed for sensor-local noise (jitter, metastability).
+
+        Returns:
+            uint8 array of shape (num_samples, num_bits).
+        """
+
+    def sample_scalar(
+        self, voltages: np.ndarray, seed: int = 0
+    ) -> np.ndarray:
+        """Scalar per-sample readout (default: sum of output bits).
+
+        For a thermometer-coded TDC this is the decoded stage count;
+        for the benign sensor the Hamming weight of the endpoint bits.
+        """
+        return self.sample_bits(voltages, seed=seed).sum(axis=1)

@@ -1,0 +1,146 @@
+"""Voltage-dependent gate-delay models.
+
+The attack mechanism rests on one physical fact: CMOS gate delay grows
+when the supply voltage drops.  We use the alpha-power-law MOSFET model
+(Sakurai/Newton), in which propagation delay scales as::
+
+    d(V) = d_nominal * ((V_nom - V_th) / (V - V_th)) ** alpha
+
+with threshold voltage ``V_th`` and velocity-saturation exponent
+``alpha`` (~1.3 for modern processes).  At the nominal supply the
+factor is exactly 1.
+
+Per-gate nominal delays come from the gate-type library
+(:mod:`repro.netlist.gates`) scaled by a deterministic per-net *routing
+factor*.  On a real FPGA, placement and routing add wire delay that
+differs per net; this scatter is what makes the set of
+voltage-sensitive endpoint bits irregular (paper Figs. 3/4: "the
+circuit is quite scattered") instead of a clean carry frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.util.rng import make_rng
+
+#: Nominal core supply voltage of the modeled 7-series device (volts).
+NOMINAL_VOLTAGE = 1.0
+#: Transistor threshold voltage used by the alpha-power law (volts).
+THRESHOLD_VOLTAGE = 0.35
+#: Velocity-saturation exponent.
+ALPHA = 1.3
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Alpha-power-law supply-voltage delay scaling.
+
+    >>> m = DelayModel()
+    >>> round(m.delay_factor(1.0), 6)
+    1.0
+    >>> m.delay_factor(0.95) > 1.0  # droop slows gates down
+    True
+    >>> m.delay_factor(1.05) < 1.0  # overshoot speeds them up
+    True
+    """
+
+    nominal_voltage: float = NOMINAL_VOLTAGE
+    threshold_voltage: float = THRESHOLD_VOLTAGE
+    alpha: float = ALPHA
+
+    def __post_init__(self) -> None:
+        if self.nominal_voltage <= self.threshold_voltage:
+            raise ValueError(
+                "nominal voltage %.3f must exceed threshold %.3f"
+                % (self.nominal_voltage, self.threshold_voltage)
+            )
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive, got %r" % self.alpha)
+
+    def delay_factor(self, voltage) -> np.ndarray:
+        """Multiplicative delay factor at ``voltage`` (scalar or array).
+
+        Voltages at or below the threshold would stall the transistor
+        entirely; they are clamped just above threshold so the factor
+        stays finite (the PDN model never produces such droops in
+        practice, but the guard keeps sweeps robust).
+        """
+        v = np.asarray(voltage, dtype=float)
+        floor = self.threshold_voltage + 1e-3
+        v = np.maximum(v, floor)
+        headroom = self.nominal_voltage - self.threshold_voltage
+        factor = (headroom / (v - self.threshold_voltage)) ** self.alpha
+        if np.ndim(voltage) == 0:
+            return float(factor)
+        return factor
+
+    def voltage_for_factor(self, factor: float) -> float:
+        """Inverse of :meth:`delay_factor` (scalar).
+
+        Used by the calibration layer to convert a per-endpoint critical
+        delay factor into the latch-threshold voltage.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive, got %r" % factor)
+        headroom = self.nominal_voltage - self.threshold_voltage
+        return self.threshold_voltage + headroom * factor ** (-1.0 / self.alpha)
+
+
+@dataclass
+class DelayAnnotation:
+    """Per-gate nominal delays (ps) for one placed netlist.
+
+    Attributes:
+        netlist: the annotated netlist.
+        gate_delay_ps: mapping from gate output net to its nominal
+            propagation delay in picoseconds, routing included.
+        model: the voltage scaling model shared by all gates.
+    """
+
+    netlist: Netlist
+    gate_delay_ps: Dict[str, float]
+    model: DelayModel = field(default_factory=DelayModel)
+
+    def delay_at(self, net: str, voltage: float) -> float:
+        """Delay of the gate driving ``net`` at a given supply voltage."""
+        return self.gate_delay_ps[net] * self.model.delay_factor(voltage)
+
+
+def annotate_delays(
+    netlist: Netlist,
+    seed: int = 0,
+    routing_spread: float = 0.35,
+    routing_floor: float = 0.25,
+    model: Optional[DelayModel] = None,
+) -> DelayAnnotation:
+    """Assign a nominal delay to every gate of ``netlist``.
+
+    Each gate gets ``type_delay * (1 + wire)`` where ``wire`` is a
+    deterministic pseudo-random routing contribution drawn uniformly
+    from ``[routing_floor, routing_floor + routing_spread]`` per output
+    net.  The draw is keyed by ``(seed, netlist.name, net)`` so the same
+    placement seed always reproduces the same timing — the simulated
+    analogue of an FPGA implementation run with a fixed placer seed.
+
+    Args:
+        netlist: frozen netlist to annotate.
+        seed: placement/routing seed.
+        routing_spread: width of the uniform wire-delay factor range.
+        routing_floor: minimum wire-delay factor.
+        model: voltage model (default :class:`DelayModel`).
+    """
+    if not netlist.frozen:
+        raise ValueError("netlist must be frozen before delay annotation")
+    if routing_spread < 0 or routing_floor < 0:
+        raise ValueError("routing factors must be non-negative")
+    delays: Dict[str, float] = {}
+    for gate in netlist.gates:
+        rng = make_rng(seed, "routing", netlist.name, gate.output)
+        wire = routing_floor + routing_spread * rng.random()
+        delays[gate.output] = gate.gate_type.nominal_delay_ps * (1.0 + wire)
+    return DelayAnnotation(netlist, delays, model or DelayModel())

@@ -1,0 +1,120 @@
+"""Delay-annotation persistence in a simplified SDF-like format.
+
+Real EDA flows hand timing between tools as SDF (Standard Delay
+Format) files.  This module serializes a
+:class:`~repro.timing.delay_model.DelayAnnotation` to a minimal
+SDF-inspired text format so an "implementation run" can be stored,
+diffed, and reloaded — useful for pinning the exact timing a published
+experiment used.
+
+Format (one CELL per gate, IOPATH delay in picoseconds)::
+
+    (DELAYFILE
+      (DESIGN "alu192")
+      (TIMESCALE 1ps)
+      (CELL (CELLTYPE "XOR") (INSTANCE fa0_axb)
+        (DELAY (ABSOLUTE (IOPATH * fa0_axb (123.4)))))
+      ...
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.netlist.netlist import Netlist
+from repro.timing.delay_model import DelayAnnotation, DelayModel
+
+
+class SdfError(Exception):
+    """Malformed delay file or mismatch against the netlist."""
+
+
+def write_sdf(annotation: DelayAnnotation) -> str:
+    """Serialize an annotation to SDF-like text."""
+    netlist = annotation.netlist
+    lines = [
+        "(DELAYFILE",
+        '  (DESIGN "%s")' % netlist.name,
+        "  (TIMESCALE 1ps)",
+    ]
+    for gate in netlist.gates:
+        delay = annotation.gate_delay_ps[gate.output]
+        lines.append(
+            '  (CELL (CELLTYPE "%s") (INSTANCE %s)'
+            % (gate.type_name, gate.output)
+        )
+        # repr() keeps full float precision so reload is bit-exact.
+        lines.append(
+            "    (DELAY (ABSOLUTE (IOPATH * %s (%s)))))"
+            % (gate.output, repr(float(delay)))
+        )
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+_DESIGN_RE = re.compile(r'\(DESIGN\s+"([^"]+)"\)')
+_CELL_RE = re.compile(
+    r'\(CELL \(CELLTYPE "([^"]+)"\) \(INSTANCE ([^\s)]+)\)'
+)
+_IOPATH_RE = re.compile(
+    r"\(IOPATH \* ([^\s)]+) \(([-0-9.eE+]+)\)\)"
+)
+
+
+def read_sdf(
+    text: str,
+    netlist: Netlist,
+    model: Optional[DelayModel] = None,
+) -> DelayAnnotation:
+    """Parse SDF-like text back into an annotation for ``netlist``.
+
+    Validates that the file covers exactly the netlist's gates and that
+    recorded cell types match.
+
+    Raises:
+        SdfError: on design-name mismatch, missing/extra gates, type
+            mismatches, or non-positive delays.
+    """
+    design = _DESIGN_RE.search(text)
+    if design is None:
+        raise SdfError("missing (DESIGN ...) header")
+    if design.group(1) != netlist.name:
+        raise SdfError(
+            "delay file is for design %r, netlist is %r"
+            % (design.group(1), netlist.name)
+        )
+
+    cell_types: Dict[str, str] = {
+        instance: cell_type
+        for cell_type, instance in _CELL_RE.findall(text)
+    }
+    delays: Dict[str, float] = {}
+    for instance, value in _IOPATH_RE.findall(text):
+        delay = float(value)
+        if delay <= 0:
+            raise SdfError("non-positive delay for %s" % instance)
+        delays[instance] = delay
+
+    expected = {gate.output for gate in netlist.gates}
+    missing = expected - set(delays)
+    extra = set(delays) - expected
+    if missing:
+        raise SdfError(
+            "delay file missing %d gate(s) (first: %s)"
+            % (len(missing), sorted(missing)[0])
+        )
+    if extra:
+        raise SdfError(
+            "delay file has %d unknown gate(s) (first: %s)"
+            % (len(extra), sorted(extra)[0])
+        )
+    for gate in netlist.gates:
+        recorded = cell_types.get(gate.output)
+        if recorded is not None and recorded != gate.type_name:
+            raise SdfError(
+                "gate %s is %s in the netlist but %s in the delay file"
+                % (gate.output, gate.type_name, recorded)
+            )
+    return DelayAnnotation(netlist, delays, model or DelayModel())

@@ -1,0 +1,11 @@
+"""Trace-set containers and persistence.
+
+The paper's host script stores "tuples of plaintexts and ciphertexts"
+with raw traces, plus "a separate file with traces only containing
+relevant bits for the CPA" (Sec. IV).  :class:`TraceSet` mirrors that
+layout and round-trips through compressed ``.npz`` files.
+"""
+
+from repro.traceio.traces import TraceSet, load_traces, save_traces
+
+__all__ = ["TraceSet", "load_traces", "save_traces"]

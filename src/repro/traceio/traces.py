@@ -1,0 +1,83 @@
+"""Trace-set container with ``.npz`` persistence."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class TraceSet:
+    """A captured side-channel trace campaign.
+
+    Attributes:
+        ciphertexts: (N, 16) uint8 ciphertext blocks.
+        leakage: (N,) or (N, S) measured sensor values (reduced traces
+            or raw endpoint words).
+        metadata: free-form campaign description (sensor name, clock
+            rates, seeds, selected bits...).  Values must be
+            JSON-serializable.
+    """
+
+    ciphertexts: np.ndarray
+    leakage: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ct = np.asarray(self.ciphertexts)
+        lk = np.asarray(self.leakage)
+        if ct.ndim != 2 or ct.shape[1] != 16:
+            raise ValueError("ciphertexts must have shape (N, 16)")
+        if lk.shape[0] != ct.shape[0]:
+            raise ValueError(
+                "leakage has %d rows but ciphertexts %d"
+                % (lk.shape[0], ct.shape[0])
+            )
+        self.ciphertexts = ct.astype(np.uint8)
+        self.leakage = lk
+
+    @property
+    def num_traces(self) -> int:
+        return int(self.ciphertexts.shape[0])
+
+    def subset(self, count: int) -> "TraceSet":
+        """First ``count`` traces (e.g. for progressive analysis)."""
+        if not 0 < count <= self.num_traces:
+            raise ValueError(
+                "count must be 1..%d, got %d" % (self.num_traces, count)
+            )
+        return TraceSet(
+            self.ciphertexts[:count],
+            self.leakage[:count],
+            dict(self.metadata),
+        )
+
+    def __len__(self) -> int:
+        return self.num_traces
+
+
+def save_traces(path: str, traces: TraceSet) -> None:
+    """Write a trace set to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        ciphertexts=traces.ciphertexts,
+        leakage=traces.leakage,
+        metadata=np.frombuffer(
+            json.dumps(traces.metadata, sort_keys=True).encode("utf-8"),
+            dtype=np.uint8,
+        ),
+    )
+
+
+def load_traces(path: str) -> TraceSet:
+    """Read a trace set written by :func:`save_traces`."""
+    with np.load(path) as data:
+        metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+        return TraceSet(
+            ciphertexts=data["ciphertexts"],
+            leakage=data["leakage"],
+            metadata=metadata,
+        )

@@ -1,0 +1,33 @@
+"""Shared low-level utilities: bit manipulation and seeded randomness.
+
+These helpers are deliberately dependency-light; every other subpackage
+may import from here, but :mod:`repro.util` imports nothing from the rest
+of the library.
+"""
+
+from repro.util.bits import (
+    bits_to_int,
+    bitstring,
+    hamming_distance,
+    hamming_weight,
+    hamming_weight_array,
+    int_to_bits,
+    parity,
+    popcount64_array,
+    rotate_left,
+)
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = [
+    "bits_to_int",
+    "bitstring",
+    "derive_seed",
+    "hamming_distance",
+    "hamming_weight",
+    "hamming_weight_array",
+    "int_to_bits",
+    "make_rng",
+    "parity",
+    "popcount64_array",
+    "rotate_left",
+]

@@ -1,0 +1,142 @@
+"""Tests for the AES-128 reference implementation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes import (
+    AES128,
+    INV_SBOX,
+    SBOX,
+    expand_key,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestKnownVectors:
+    def test_fips197_appendix_c1(self):
+        assert AES128(FIPS_KEY).encrypt(FIPS_PT) == FIPS_CT
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        ct = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt(pt) == ct
+
+    def test_nist_ecb_vector(self):
+        # SP 800-38A F.1.1 ECB-AES128 block #1
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES128(key).encrypt(pt) == ct
+
+    def test_decrypt_known_vector(self):
+        assert AES128(FIPS_KEY).decrypt(FIPS_CT) == FIPS_PT
+
+    def test_all_zero_key_and_block(self):
+        # Well-known AES-128 all-zeros test vector.
+        ct = AES128(bytes(16)).encrypt(bytes(16))
+        assert ct == bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+
+
+class TestRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    def test_decrypt_inverts_encrypt(self, key, pt):
+        cipher = AES128(key)
+        assert cipher.decrypt(cipher.encrypt(pt)) == pt
+
+    def test_encryption_is_deterministic(self):
+        cipher = AES128(FIPS_KEY)
+        assert cipher.encrypt(FIPS_PT) == cipher.encrypt(FIPS_PT)
+
+
+class TestKeySchedule:
+    def test_eleven_round_keys(self):
+        keys = expand_key(FIPS_KEY)
+        assert len(keys) == 11
+        assert all(len(k) == 16 for k in keys)
+
+    def test_round_zero_is_key(self):
+        assert bytes(expand_key(FIPS_KEY)[0]) == FIPS_KEY
+
+    def test_fips_last_round_key(self):
+        # FIPS-197 appendix A.1: w40..w43 for the appendix B key.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        last = bytes(expand_key(key)[10])
+        assert last == bytes.fromhex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+
+    def test_last_round_key_property(self):
+        cipher = AES128(FIPS_KEY)
+        assert cipher.last_round_key == bytes(cipher.round_keys[10])
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(ValueError):
+            AES128(b"short")
+
+
+class TestRoundOperations:
+    def test_sbox_involution_pair(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_sbox_fixed_points(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+
+    def test_shift_rows_roundtrip(self):
+        state = list(range(16))
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    def test_shift_rows_row0_unchanged(self):
+        state = list(range(16))
+        shifted = shift_rows(state)
+        assert [shifted[4 * c] for c in range(4)] == [0, 4, 8, 12]
+
+    def test_mix_columns_roundtrip(self):
+        state = list(range(16))
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    def test_mix_columns_fips_example(self):
+        # FIPS-197 example column: db 13 53 45 -> 8e 4d a1 bc
+        state = [0xDB, 0x13, 0x53, 0x45] + [0] * 12
+        mixed = mix_columns(state)
+        assert mixed[:4] == [0x8E, 0x4D, 0xA1, 0xBC]
+
+    def test_sub_bytes_roundtrip(self):
+        state = list(range(16))
+        assert inv_sub_bytes(sub_bytes(state)) == state
+
+
+class TestRoundStates:
+    def test_state_count(self):
+        states = AES128(FIPS_KEY).round_states(FIPS_PT)
+        assert len(states) == 12
+
+    def test_first_state_is_plaintext(self):
+        states = AES128(FIPS_KEY).round_states(FIPS_PT)
+        assert bytes(states[0]) == FIPS_PT
+
+    def test_last_state_is_ciphertext(self):
+        states = AES128(FIPS_KEY).round_states(FIPS_PT)
+        assert bytes(states[-1]) == FIPS_CT
+
+    def test_whitening_state(self):
+        states = AES128(FIPS_KEY).round_states(FIPS_PT)
+        expected = bytes(a ^ b for a, b in zip(FIPS_PT, FIPS_KEY))
+        assert bytes(states[1]) == expected
+
+    def test_wrong_block_size_rejected(self):
+        cipher = AES128(FIPS_KEY)
+        with pytest.raises(ValueError):
+            cipher.encrypt(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"short")

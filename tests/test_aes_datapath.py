@@ -1,0 +1,74 @@
+"""Tests for the 32-bit datapath activity model."""
+
+import pytest
+
+from repro.aes import AES128, DatapathSchedule, column_hd, encryption_cycle_hd
+
+
+class TestSchedule:
+    def test_total_cycles(self):
+        assert DatapathSchedule().total_cycles == 44
+
+    def test_round_of_cycle(self):
+        schedule = DatapathSchedule()
+        assert schedule.round_of_cycle(0) == 0
+        assert schedule.round_of_cycle(3) == 0
+        assert schedule.round_of_cycle(4) == 1
+        assert schedule.round_of_cycle(43) == 10
+
+    def test_round_of_cycle_bounds(self):
+        schedule = DatapathSchedule()
+        with pytest.raises(ValueError):
+            schedule.round_of_cycle(44)
+        with pytest.raises(ValueError):
+            schedule.round_of_cycle(-1)
+
+    def test_last_round_cycles(self):
+        assert list(DatapathSchedule().last_round_cycles()) == [40, 41, 42, 43]
+
+
+class TestColumnHd:
+    def test_identical_states(self):
+        state = list(range(16))
+        assert column_hd(state, state, 0) == 0
+
+    def test_single_column_change(self):
+        a = [0] * 16
+        b = [0] * 16
+        b[4] = 0xFF  # column 1, row 0
+        assert column_hd(a, b, 1) == 8
+        assert column_hd(a, b, 0) == 0
+
+    def test_column_bounds(self):
+        with pytest.raises(ValueError):
+            column_hd([0] * 16, [0] * 16, 4)
+
+
+class TestEncryptionCycleHd:
+    @pytest.fixture(scope="class")
+    def cipher(self):
+        return AES128(bytes(range(16)))
+
+    def test_cycle_count(self, cipher):
+        hd = encryption_cycle_hd(cipher, bytes(16))
+        assert len(hd) == 44
+
+    def test_total_matches_state_transitions(self, cipher):
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        hd = encryption_cycle_hd(cipher, pt)
+        states = cipher.round_states(pt)
+        expected = sum(
+            bin(a ^ b).count("1")
+            for prev, nxt in zip(states, states[1:])
+            for a, b in zip(prev, nxt)
+        )
+        assert sum(hd) == expected
+
+    def test_activity_is_data_dependent(self, cipher):
+        hd_a = encryption_cycle_hd(cipher, bytes(16))
+        hd_b = encryption_cycle_hd(cipher, bytes([0xFF] * 16))
+        assert hd_a != hd_b
+
+    def test_cycle_hd_bounded_by_column_width(self, cipher):
+        hd = encryption_cycle_hd(cipher, bytes(range(16)))
+        assert all(0 <= value <= 32 for value in hd)

@@ -1,0 +1,152 @@
+"""Tests for the CPA engine."""
+
+import numpy as np
+import pytest
+
+from repro.aes import AES128, last_round_activity, random_ciphertexts
+from repro.attacks import (
+    StreamingCPA,
+    default_checkpoints,
+    run_cpa,
+    single_bit_hypothesis,
+)
+
+
+def synthetic_campaign(num_traces=30_000, noise=4.0, seed=0):
+    """Leakage with a known embedded key byte."""
+    cipher = AES128(bytes(range(16)))
+    k10 = cipher.last_round_key
+    cts = random_ciphertexts(num_traces, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    leak = -last_round_activity(cts, k10, column=3) + rng.normal(
+        0, noise, num_traces
+    )
+    hypotheses = single_bit_hypothesis(cts[:, 3])
+    return leak, hypotheses, k10[3]
+
+
+class TestStreamingCPA:
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        h = rng.normal(size=(500, 4))
+        engine = StreamingCPA(num_candidates=4)
+        engine.update(x[:200], h[:200])
+        engine.update(x[200:], h[200:])
+        corr = engine.correlations()
+        for k in range(4):
+            expected = np.corrcoef(x, h[:, k])[0, 1]
+            assert corr[k] == pytest.approx(expected, abs=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        engine = StreamingCPA(num_candidates=4)
+        with pytest.raises(ValueError):
+            engine.update(np.zeros(10), np.zeros((10, 3)))
+
+    def test_fewer_than_two_traces_gives_zero(self):
+        engine = StreamingCPA(num_candidates=2)
+        engine.update(np.array([1.0]), np.array([[0.0, 1.0]]))
+        assert np.allclose(engine.correlations(), 0.0)
+
+    def test_constant_leakage_gives_zero(self):
+        engine = StreamingCPA(num_candidates=2)
+        engine.update(np.ones(100), np.random.default_rng(0).normal(size=(100, 2)))
+        assert np.allclose(engine.correlations(), 0.0)
+
+
+class TestDefaultCheckpoints:
+    def test_covers_full_range(self):
+        points = default_checkpoints(100_000)
+        assert points[-1] == 100_000
+        assert points[0] >= 2
+
+    def test_strictly_increasing(self):
+        points = default_checkpoints(50_000)
+        assert np.all(np.diff(points) > 0)
+
+    def test_small_trace_count(self):
+        points = default_checkpoints(100)
+        assert points[-1] == 100
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            default_checkpoints(1)
+
+
+class TestRunCpa:
+    def test_recovers_embedded_key(self):
+        leak, hypotheses, correct = synthetic_campaign()
+        result = run_cpa(leak, hypotheses, correct_key=correct)
+        assert result.best_guess == correct
+        assert result.disclosed
+
+    def test_mtd_reasonable(self):
+        leak, hypotheses, correct = synthetic_campaign()
+        result = run_cpa(leak, hypotheses, correct_key=correct)
+        mtd = result.measurements_to_disclosure()
+        assert mtd is not None and mtd < 30_000
+
+    def test_pure_noise_not_disclosed(self):
+        rng = np.random.default_rng(3)
+        leak = rng.normal(size=20_000)
+        cts = random_ciphertexts(20_000, seed=4)
+        hypotheses = single_bit_hypothesis(cts[:, 3])
+        result = run_cpa(leak, hypotheses, correct_key=77)
+        # With pure noise the key can only be "found" by luck (p=1/256);
+        # require that the result is not a stable early disclosure.
+        mtd = result.measurements_to_disclosure()
+        assert mtd is None or mtd > 1000
+
+    def test_progress_shape(self):
+        leak, hypotheses, correct = synthetic_campaign(num_traces=5000)
+        result = run_cpa(leak, hypotheses, correct_key=correct)
+        assert result.correlations.shape == (len(result.checkpoints), 256)
+
+    def test_custom_checkpoints(self):
+        leak, hypotheses, correct = synthetic_campaign(num_traces=5000)
+        result = run_cpa(
+            leak, hypotheses, checkpoints=[1000, 5000], correct_key=correct
+        )
+        assert result.checkpoints.tolist() == [1000, 5000]
+
+    def test_checkpoint_validation(self):
+        leak, hypotheses, correct = synthetic_campaign(num_traces=1000)
+        with pytest.raises(ValueError):
+            run_cpa(leak, hypotheses, checkpoints=[2000])
+
+    def test_correlation_magnitude_grows_clean(self):
+        leak, hypotheses, correct = synthetic_campaign(noise=1.0)
+        result = run_cpa(leak, hypotheses, correct_key=correct)
+        correct_track = np.abs(result.correlations[:, correct])
+        assert correct_track[-1] > correct_track[0]
+
+    def test_key_ranks_degenerate_guard(self):
+        # A constant bit must not look like a disclosure.
+        leak = np.ones(1000)
+        cts = random_ciphertexts(1000, seed=5)
+        hypotheses = single_bit_hypothesis(cts[:, 3])
+        result = run_cpa(leak, hypotheses, correct_key=10)
+        assert result.measurements_to_disclosure() is None
+        assert result.key_ranks().max() == 255
+
+    def test_final_correlations_are_abs(self):
+        leak, hypotheses, correct = synthetic_campaign(num_traces=3000)
+        result = run_cpa(leak, hypotheses, correct_key=correct)
+        assert result.final_correlations.min() >= 0
+
+    def test_requires_correct_key_for_metrics(self):
+        leak, hypotheses, _ = synthetic_campaign(num_traces=2000)
+        result = run_cpa(leak, hypotheses)
+        with pytest.raises(ValueError):
+            result.key_ranks()
+
+    def test_leakage_shape_validation(self):
+        with pytest.raises(ValueError):
+            run_cpa(np.zeros((10, 2)), np.zeros((10, 256)))
+        with pytest.raises(ValueError):
+            run_cpa(np.zeros(10), np.zeros((5, 256)))
+
+    def test_key_rank_at(self):
+        leak, hypotheses, correct = synthetic_campaign()
+        result = run_cpa(leak, hypotheses, correct_key=correct)
+        assert result.key_rank_at(-1) == 0

@@ -1,0 +1,56 @@
+"""Tests for the DPA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.aes import AES128, last_round_activity, random_ciphertexts
+from repro.attacks import run_cpa, run_dpa, single_bit_hypothesis
+
+
+def campaign(num_traces=30_000, noise=4.0, seed=0):
+    cipher = AES128(bytes(range(16)))
+    cts = random_ciphertexts(num_traces, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    leak = -last_round_activity(
+        cts, cipher.last_round_key, column=3
+    ) + rng.normal(0, noise, num_traces)
+    return leak, single_bit_hypothesis(cts[:, 3]), cipher.last_round_key[3]
+
+
+class TestRunDpa:
+    def test_recovers_key(self):
+        leak, hypotheses, correct = campaign()
+        result = run_dpa(leak, hypotheses, correct_key=correct)
+        assert result.best_guess == correct
+        assert result.disclosed
+        assert result.key_rank() == 0
+
+    def test_agrees_with_cpa_ranking(self):
+        leak, hypotheses, correct = campaign(num_traces=20_000)
+        dpa = run_dpa(leak, hypotheses, correct_key=correct)
+        cpa = run_cpa(leak, hypotheses, correct_key=correct)
+        # For a binary hypothesis the two distinguishers pick the same
+        # best candidate.
+        assert dpa.best_guess == cpa.best_guess
+
+    def test_requires_binary_hypotheses(self):
+        leak = np.zeros(10)
+        with pytest.raises(ValueError):
+            run_dpa(leak, np.full((10, 256), 3.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            run_dpa(np.zeros(10), np.zeros((5, 256)))
+
+    def test_metrics_require_correct_key(self):
+        leak, hypotheses, _ = campaign(num_traces=1000)
+        result = run_dpa(leak, hypotheses)
+        with pytest.raises(ValueError):
+            result.key_rank()
+
+    def test_difference_sign_tracks_leakage_polarity(self):
+        leak, hypotheses, correct = campaign(num_traces=20_000, noise=0.5)
+        result = run_dpa(leak, hypotheses, correct_key=correct)
+        # Leakage is negative in activity: hypothesis bit 1 -> lower
+        # voltage -> mean difference negative.
+        assert result.differences[correct] < 0

@@ -1,0 +1,75 @@
+"""Tests for the ripple-carry adder generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    adder_input_assignment,
+    build_ripple_carry_adder,
+)
+
+
+def add_via_netlist(nl, a, b, width, cin=0):
+    out = nl.evaluate_outputs(adder_input_assignment(a, b, width, cin))
+    total = sum(out["s%d" % i] << i for i in range(width))
+    return total, out["cout"]
+
+
+class TestRippleCarryAdder:
+    def test_width_one(self):
+        nl = build_ripple_carry_adder(1)
+        assert add_via_netlist(nl, 1, 1, 1) == (0, 1)
+
+    def test_exhaustive_4bit(self):
+        nl = build_ripple_carry_adder(4)
+        for a in range(16):
+            for b in range(16):
+                for cin in (0, 1):
+                    total, cout = add_via_netlist(nl, a, b, 4, cin)
+                    expected = a + b + cin
+                    assert total == expected & 0xF
+                    assert cout == expected >> 4
+
+    def test_carry_chain_pattern(self):
+        # The paper's stimulus: A = 2^n - 1, B = 1 -> result 0, carry 1.
+        nl = build_ripple_carry_adder(8)
+        assert add_via_netlist(nl, 255, 1, 8) == (0, 1)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            build_ripple_carry_adder(0)
+
+    def test_gate_count_linear(self):
+        # 5 gates per full adder + 1 output buffer per bit + cout buffer.
+        nl = build_ripple_carry_adder(8)
+        assert nl.num_gates == 8 * 6 + 1
+
+    def test_default_name(self):
+        assert build_ripple_carry_adder(12).name == "rca12"
+
+    def test_custom_name(self):
+        assert build_ripple_carry_adder(4, name="acc").name == "acc"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 2**16 - 1),
+        st.integers(0, 1),
+    )
+    def test_random_16bit(self, a, b, cin):
+        nl = build_ripple_carry_adder(16)
+        total, cout = add_via_netlist(nl, a, b, 16, cin)
+        expected = a + b + cin
+        assert total == expected & 0xFFFF
+        assert cout == expected >> 16
+
+
+class TestInputAssignment:
+    def test_bit_decomposition(self):
+        values = adder_input_assignment(0b101, 0b011, 3)
+        assert values["a0"] == 1 and values["a1"] == 0 and values["a2"] == 1
+        assert values["b0"] == 1 and values["b1"] == 1 and values["b2"] == 0
+        assert values["cin"] == 0
+
+    def test_carry_in(self):
+        assert adder_input_assignment(0, 0, 2, carry_in=1)["cin"] == 1

@@ -1,0 +1,126 @@
+"""Tests for the C6288-style array multiplier generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    C6288_OPERAND_WIDTH,
+    C6288_OUTPUT_WIDTH,
+    C6288Stimulus,
+    build_c6288,
+    c6288_input_assignment,
+)
+
+
+def multiply(nl, a, b, width):
+    out = nl.evaluate_outputs(c6288_input_assignment(a, b, width))
+    return sum(out["p%d" % i] << i for i in range(2 * width))
+
+
+class TestMultiplierFunction:
+    def test_exhaustive_3bit(self):
+        nl = build_c6288(3)
+        for a in range(8):
+            for b in range(8):
+                assert multiply(nl, a, b, 3) == a * b
+
+    def test_exhaustive_4bit_both_styles(self):
+        for style in ("xor", "nor"):
+            nl = build_c6288(4, style=style)
+            for a in range(16):
+                for b in range(16):
+                    assert multiply(nl, a, b, 4) == a * b, style
+
+    def test_width_two_corner(self):
+        nl = build_c6288(2)
+        for a in range(4):
+            for b in range(4):
+                assert multiply(nl, a, b, 2) == a * b
+
+    def test_full_width_extremes(self):
+        nl = build_c6288()
+        ones = 2**16 - 1
+        assert multiply(nl, ones, ones, 16) == ones * ones
+        assert multiply(nl, 0, ones, 16) == 0
+        assert multiply(nl, 1, ones, 16) == ones
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_random_16bit(self, a, b):
+        nl = build_c6288()
+        assert multiply(nl, a, b, 16) == a * b
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_random_nor_style(self, a, b):
+        nl = build_c6288(8, style="nor")
+        assert multiply(nl, a, b, 8) == a * b
+
+    def test_commutative(self):
+        nl = build_c6288(6)
+        assert multiply(nl, 37, 21, 6) == multiply(nl, 21, 37, 6)
+
+    def test_rejects_width_one(self):
+        with pytest.raises(ValueError):
+            build_c6288(1)
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(ValueError):
+            build_c6288(4, style="cmos")
+
+
+class TestMultiplierShape:
+    def test_paper_dimensions(self):
+        assert C6288_OPERAND_WIDTH == 16
+        assert C6288_OUTPUT_WIDTH == 32
+
+    def test_output_count(self):
+        nl = build_c6288()
+        assert len(nl.outputs) == 32
+
+    def test_default_name(self):
+        assert build_c6288().name == "c6288"
+        assert build_c6288(8).name == "mult8x8"
+
+    def test_nor_style_is_nor_dominant(self):
+        nl = build_c6288(8, style="nor")
+        stats = nl.stats()
+        nor_count = stats.get("NOR", 0)
+        other_logic = sum(
+            count
+            for name, count in stats.items()
+            if not name.startswith("__") and name not in ("NOR", "AND", "BUF")
+        )
+        assert nor_count > other_logic
+
+    def test_gate_count_in_c6288_ballpark(self):
+        # The authentic C6288 has 2406 gates; the generator should land
+        # in the same order of magnitude for both styles.
+        assert 1000 <= build_c6288().num_gates <= 4000
+        assert 1500 <= build_c6288(style="nor").num_gates <= 5000
+
+
+class TestC6288Stimulus:
+    def test_measure_is_all_ones(self):
+        stim = C6288Stimulus(width=4)
+        measure = stim.measure_inputs
+        assert all(measure["a%d" % i] == 1 for i in range(4))
+        assert all(measure["b%d" % i] == 1 for i in range(4))
+
+    def test_reset_is_zero(self):
+        stim = C6288Stimulus(width=4)
+        nl = build_c6288(4)
+        out = nl.evaluate_outputs(stim.reset_inputs)
+        assert all(v == 0 for v in out.values())
+
+    def test_endpoint_count(self):
+        assert len(C6288Stimulus().endpoint_nets) == 32
+
+    def test_measure_activates_most_endpoints(self):
+        # (2^16-1)^2 = 0xFFFE0001: endpoints settle to a mix of 0s/1s,
+        # having transitioned through the array.
+        stim = C6288Stimulus()
+        nl = build_c6288()
+        out = nl.evaluate_outputs(stim.measure_inputs)
+        product = sum(out["p%d" % i] << i for i in range(32))
+        assert product == (2**16 - 1) ** 2

@@ -1,0 +1,50 @@
+"""Tests for the benign-circuit registry."""
+
+import pytest
+
+from repro.circuits import available_circuits, get_circuit_spec
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_circuits() == [
+            "alu", "c6288", "c6288x2", "wallace16",
+        ]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_circuit_spec("cpu")
+
+    def test_alu_endpoints(self):
+        spec = get_circuit_spec("alu")
+        assert spec.num_endpoints == 192
+        assert spec.instances == 1
+
+    def test_c6288x2_endpoints(self):
+        spec = get_circuit_spec("c6288x2")
+        assert spec.num_endpoints == 64
+        assert spec.instances == 2
+        assert len(spec.endpoint_nets) == 32
+
+    def test_build_produces_frozen_netlist(self):
+        nl = get_circuit_spec("c6288").build()
+        assert nl.frozen
+
+    def test_stimuli_cover_all_inputs(self):
+        for name in available_circuits():
+            spec = get_circuit_spec(name)
+            nl = spec.build()
+            for net in nl.inputs:
+                assert net in spec.reset_inputs, (name, net)
+                assert net in spec.measure_inputs, (name, net)
+
+    def test_reset_and_measure_differ(self):
+        for name in available_circuits():
+            spec = get_circuit_spec(name)
+            assert dict(spec.reset_inputs) != dict(spec.measure_inputs)
+
+    def test_endpoints_are_outputs(self):
+        for name in available_circuits():
+            spec = get_circuit_spec(name)
+            outputs = set(spec.build().outputs)
+            assert set(spec.endpoint_nets) <= outputs

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.netlist import write_bench
+from repro.sensors import build_ro_netlist
+
+
+class TestScan:
+    def test_scan_ro_rejected(self, capsys):
+        assert main(["scan", "ro"]) == 1
+        assert "REJECT" in capsys.readouterr().out
+
+    def test_scan_alu_accepted(self, capsys):
+        assert main(["scan", "alu"]) == 0
+        assert "ACCEPT" in capsys.readouterr().out
+
+    def test_scan_bench_file(self, tmp_path, capsys):
+        path = tmp_path / "evil.bench"
+        path.write_text(write_bench(build_ro_netlist()))
+        assert main(["scan", str(path)]) == 1
+        assert "REJECT" in capsys.readouterr().out
+
+
+class TestTiming:
+    def test_overclock_rejected(self, capsys):
+        assert main(["timing", "alu", "300"]) == 1
+        assert "REJECT" in capsys.readouterr().out
+
+    def test_legitimate_accepted(self, capsys):
+        assert main(["timing", "alu", "30"]) == 0
+        assert "ACCEPT" in capsys.readouterr().out
+
+
+class TestCensus:
+    def test_census_output(self, capsys):
+        assert main(["census", "c6288x2"]) == 0
+        out = capsys.readouterr().out
+        assert "ro_sensitive" in out
+        assert "top endpoints" in out
+
+
+class TestFloorplan:
+    def test_floorplan_renders(self, capsys):
+        assert main(["floorplan", "alu"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "#" in out
+
+
+class TestCovert:
+    def test_moderate_rate_succeeds(self, capsys):
+        assert main(["covert", "--rate-mbps", "1", "--bits", "32"]) == 0
+        assert "BER 0.000" in capsys.readouterr().out
+
+    def test_excessive_rate_fails(self, capsys):
+        assert main(["covert", "--rate-mbps", "40", "--bits", "32"]) == 1
+
+
+class TestAttack:
+    def test_small_attack_runs(self, capsys):
+        # 20k traces: pipeline exercise; disclosure not required.
+        code = main(["attack", "alu", "--traces", "20000"])
+        out = capsys.readouterr().out
+        assert "best guess" in out
+        assert code in (0, 1)
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["census", "cpu"])

@@ -1,0 +1,83 @@
+"""Tests for the covert channel."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CovertTransmitter,
+    OOKModulation,
+    run_covert_channel,
+)
+
+
+class TestOOKModulation:
+    def test_rate(self):
+        assert OOKModulation(symbol_samples=150).bits_per_second == (
+            pytest.approx(1e6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OOKModulation(symbol_samples=1)
+        with pytest.raises(ValueError):
+            OOKModulation(symbol_samples=10, settle_samples=10)
+
+
+class TestTransmitter:
+    def test_waveform_shape(self):
+        tx = CovertTransmitter(
+            OOKModulation(symbol_samples=10, settle_samples=2)
+        )
+        waveform = tx.current_waveform([1, 0, 1])
+        assert waveform.shape == (30,)
+        assert np.all(waveform[:10] > 0)
+        assert np.all(waveform[10:20] == 0)
+        assert np.all(waveform[20:] > 0)
+
+    def test_rejects_non_binary(self):
+        tx = CovertTransmitter()
+        with pytest.raises(ValueError):
+            tx.current_waveform([0, 2])
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        rng = np.random.default_rng(1)
+        return rng.integers(0, 2, 48).tolist()
+
+    def test_error_free_at_moderate_rate(self, alu_sensor, payload):
+        result = run_covert_channel(
+            alu_sensor,
+            payload,
+            OOKModulation(symbol_samples=150, settle_samples=20),
+            seed=2,
+        )
+        assert result.received == payload
+        assert result.bit_error_rate == 0.0
+
+    def test_collapses_at_excessive_rate(self, alu_sensor, payload):
+        result = run_covert_channel(
+            alu_sensor,
+            payload,
+            OOKModulation(symbol_samples=4, settle_samples=1),
+            seed=2,
+        )
+        # Far above the PDN bandwidth: close to coin-flip decoding.
+        assert result.bit_error_rate > 0.2
+
+    def test_deterministic(self, alu_sensor, payload):
+        modulation = OOKModulation(symbol_samples=75, settle_samples=15)
+        a = run_covert_channel(alu_sensor, payload, modulation, seed=5)
+        b = run_covert_channel(alu_sensor, payload, modulation, seed=5)
+        assert a.received == b.received
+
+    def test_result_metrics(self, alu_sensor):
+        result = run_covert_channel(
+            alu_sensor, [1, 0, 1, 1],
+            OOKModulation(symbol_samples=150, settle_samples=20),
+            seed=3,
+        )
+        assert len(result.received) == 4
+        assert 0.0 <= result.bit_error_rate <= 1.0
+        assert result.bits_per_second == pytest.approx(1e6)

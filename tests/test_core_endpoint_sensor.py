@@ -1,0 +1,88 @@
+"""Tests for the BenignSensor."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit_spec
+from repro.core import BenignSensor
+
+
+class TestConstruction:
+    def test_alu_shape(self, alu_sensor):
+        assert alu_sensor.num_bits == 192
+        assert len(alu_sensor.instances) == 1
+        assert alu_sensor.name == "alu"
+
+    def test_c6288_shape(self, c6288_sensor):
+        assert c6288_sensor.num_bits == 64
+        assert len(c6288_sensor.instances) == 2
+
+    def test_sample_period(self, alu_sensor):
+        assert alu_sensor.sample_period_ps == pytest.approx(1e6 / 300.0)
+
+    def test_from_spec_equivalent(self):
+        spec = get_circuit_spec("c6288")
+        sensor = BenignSensor.from_spec(spec)
+        assert sensor.num_bits == 32
+
+    def test_instances_get_distinct_placements(self, c6288_sensor):
+        a, b = c6288_sensor.instances
+        assert a.annotation.gate_delay_ps != b.annotation.gate_delay_ps
+
+    def test_rejects_empty_instances(self):
+        with pytest.raises(ValueError):
+            BenignSensor([])
+
+    def test_rejects_bad_overclock(self):
+        with pytest.raises(ValueError):
+            BenignSensor.from_name("c6288", overclock_mhz=0.0)
+
+
+class TestOverclockReporting:
+    def test_alu_is_heavily_overclocked(self, alu_sensor):
+        assert alu_sensor.legitimate_fmax_mhz() < 150.0
+        assert alu_sensor.overclock_factor() > 2.0
+
+    def test_settle_times_exceed_period(self, alu_sensor):
+        settle = alu_sensor.endpoint_settle_times_ps()
+        assert settle.shape == (192,)
+        # Many endpoints settle after the 3333 ps sampling period —
+        # the precondition for the sensor to work at all.
+        assert (settle > alu_sensor.sample_period_ps).sum() > 50
+
+
+class TestSampling:
+    def test_bits_shape_and_dtype(self, alu_sensor):
+        v = np.full(10, 1.0)
+        bits = alu_sensor.sample_bits(v, seed=0)
+        assert bits.shape == (10, 192)
+        assert bits.dtype == np.uint8
+
+    def test_seeded_reproducible(self, alu_sensor):
+        v = np.full(50, 1.0)
+        assert np.array_equal(
+            alu_sensor.sample_bits(v, seed=5),
+            alu_sensor.sample_bits(v, seed=5),
+        )
+
+    def test_seed_changes_jitter(self, alu_sensor):
+        v = np.full(50, 1.0)
+        a = alu_sensor.sample_bits(v, seed=5)
+        b = alu_sensor.sample_bits(v, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_voltage_affects_word(self, alu_sensor):
+        low = alu_sensor.sample_bits(np.full(1, 0.9), seed=0)
+        high = alu_sensor.sample_bits(np.full(1, 1.1), seed=0)
+        assert not np.array_equal(low, high)
+
+    def test_scalar_readout_is_hw(self, alu_sensor):
+        v = np.full(5, 1.0)
+        bits = alu_sensor.sample_bits(v, seed=1)
+        scalar = alu_sensor.sample_scalar(v, seed=1)
+        assert np.array_equal(scalar, bits.sum(axis=1))
+
+    def test_instance_concatenation_order(self, c6288_sensor):
+        v = np.full(3, 1.0)
+        combined = c6288_sensor.sample_bits(v, seed=2)
+        assert combined.shape == (3, 64)

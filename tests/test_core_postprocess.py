@@ -1,0 +1,149 @@
+"""Tests for sensor post-processing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    best_bit,
+    bit_variances,
+    bits_of_interest,
+    hamming_weight_series,
+    rank_bits_by_variance,
+    sensitivity_census,
+    toggling_bits,
+)
+
+
+class TestTogglingBits:
+    def test_static_bits_not_flagged(self):
+        bits = np.zeros((10, 4), dtype=np.uint8)
+        bits[:, 2] = 1
+        assert toggling_bits(bits).tolist() == [False] * 4
+
+    def test_toggling_flagged(self):
+        bits = np.zeros((10, 3), dtype=np.uint8)
+        bits[5, 1] = 1
+        assert toggling_bits(bits).tolist() == [False, True, False]
+
+    def test_empty_capture(self):
+        assert toggling_bits(np.zeros((0, 4))).sum() == 0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            toggling_bits(np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.uint8, (12, 6), elements=st.integers(0, 1)))
+    def test_consistent_with_variance(self, bits):
+        toggling = toggling_bits(bits)
+        variances = bit_variances(bits)
+        assert np.array_equal(toggling, variances > 0)
+
+
+class TestVarianceRanking:
+    def test_variance_values(self):
+        bits = np.array([[0, 0, 1], [1, 0, 1], [0, 0, 1], [1, 0, 1]])
+        variances = bit_variances(bits)
+        assert variances[0] == pytest.approx(0.25)
+        assert variances[1] == 0.0
+        assert variances[2] == 0.0
+
+    def test_rank_order(self):
+        rng = np.random.default_rng(0)
+        bits = np.zeros((400, 3), dtype=np.uint8)
+        bits[:, 0] = rng.random(400) < 0.5   # max variance
+        bits[:, 1] = rng.random(400) < 0.05  # low variance
+        order = rank_bits_by_variance(bits)
+        assert order[0] == 0
+        assert order[-1] == 2
+
+    def test_best_bit(self):
+        rng = np.random.default_rng(1)
+        bits = np.zeros((400, 4), dtype=np.uint8)
+        bits[:, 3] = rng.random(400) < 0.5
+        assert best_bit(bits) == 3
+
+
+class TestHammingWeightSeries:
+    def test_unmasked(self):
+        bits = np.array([[1, 1, 0], [0, 0, 0], [1, 1, 1]])
+        assert hamming_weight_series(bits).tolist() == [2, 0, 3]
+
+    def test_masked(self):
+        bits = np.array([[1, 1, 0], [0, 1, 1]])
+        mask = np.array([True, False, True])
+        assert hamming_weight_series(bits, mask).tolist() == [1, 1]
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            hamming_weight_series(np.zeros((5, 3)), np.array([True]))
+
+
+class TestSensitivityCensus:
+    def make_captures(self):
+        # 6 bits: 0-3 toggle under RO; 1-2 toggle under AES; 4,5 static.
+        ro = np.zeros((20, 6), dtype=np.uint8)
+        aes = np.zeros((20, 6), dtype=np.uint8)
+        rng = np.random.default_rng(2)
+        for bit in (0, 1, 2, 3):
+            ro[:, bit] = rng.integers(0, 2, 20)
+        for bit in (1, 2):
+            aes[:, bit] = rng.integers(0, 2, 20)
+        return ro, aes
+
+    def test_counts(self):
+        ro, aes = self.make_captures()
+        census = sensitivity_census(ro, aes)
+        assert census.num_ro_sensitive == 4
+        assert census.num_aes_sensitive == 2
+        assert census.num_aes_subset_of_ro == 2
+        assert census.num_unaffected == 2
+        assert census.aes_is_subset
+
+    def test_summary_layout(self):
+        ro, aes = self.make_captures()
+        summary = sensitivity_census(ro, aes).summary()
+        assert summary == {
+            "total": 6,
+            "ro_sensitive": 4,
+            "aes_sensitive": 2,
+            "aes_subset_of_ro": 2,
+            "unaffected": 2,
+        }
+
+    def test_non_subset_detected(self):
+        ro = np.zeros((10, 2), dtype=np.uint8)
+        aes = np.zeros((10, 2), dtype=np.uint8)
+        ro[5, 0] = 1
+        aes[5, 1] = 1
+        census = sensitivity_census(ro, aes)
+        assert not census.aes_is_subset
+        assert census.num_unaffected == 0
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_census(np.zeros((5, 3)), np.zeros((5, 4)))
+
+
+class TestBitsOfInterest:
+    def test_ordering_and_masking(self):
+        rng = np.random.default_rng(3)
+        bits = np.zeros((500, 4), dtype=np.uint8)
+        bits[:, 0] = rng.random(500) < 0.5
+        bits[:, 1] = rng.random(500) < 0.3
+        bits[:, 2] = rng.random(500) < 0.1
+        mask = np.array([False, True, True, True])
+        order = bits_of_interest(bits, mask=mask)
+        assert order.tolist() == [1, 2, 3]
+
+    def test_top_k(self):
+        rng = np.random.default_rng(4)
+        bits = (rng.random((200, 8)) < 0.5).astype(np.uint8)
+        order = bits_of_interest(bits, top_k=3)
+        assert len(order) == 3
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            bits_of_interest(np.zeros((5, 3)), top_k=0)

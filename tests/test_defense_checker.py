@@ -1,0 +1,59 @@
+"""Tests for the bitstream checker — the paper's stealthiness claim."""
+
+import pytest
+
+from repro.circuits import build_alu, build_c6288
+from repro.defense import BitstreamChecker
+from repro.netlist import Netlist
+from repro.sensors import build_ro_netlist, build_tdc_netlist
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return BitstreamChecker()
+
+
+class TestVerdicts:
+    def test_ro_rejected(self, checker):
+        assert not checker.scan(build_ro_netlist()).accepted
+
+    def test_tdc_rejected(self, checker):
+        assert not checker.scan(build_tdc_netlist()).accepted
+
+    def test_alu_accepted(self, checker):
+        """The paper's central stealthiness result: the benign ALU that
+        doubles as a sensor passes every published structural check."""
+        assert checker.scan(build_alu()).accepted
+
+    def test_c6288_accepted(self, checker):
+        assert checker.scan(build_c6288()).accepted
+
+    def test_scan_many(self, checker):
+        reports = checker.scan_many(
+            [build_ro_netlist(), build_alu(16)]
+        )
+        assert [r.accepted for r in reports] == [False, True]
+
+
+class TestReport:
+    def test_summary_contains_verdict(self, checker):
+        report = checker.scan(build_ro_netlist())
+        assert "REJECT" in report.summary()
+        report = checker.scan(build_alu(16))
+        assert "ACCEPT" in report.summary()
+
+    def test_findings_partitioned(self, checker):
+        report = checker.scan(build_tdc_netlist())
+        assert report.critical_findings
+        total = len(report.critical_findings) + len(report.warnings)
+        assert total <= len(report.findings)
+
+    def test_unfrozen_rejected(self, checker):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            checker.scan(nl)
+
+    def test_custom_rule_set(self):
+        checker = BitstreamChecker(rules=[])
+        assert checker.scan(build_ro_netlist()).accepted

@@ -1,0 +1,106 @@
+"""Tests for the individual detection rules."""
+
+import pytest
+
+from repro.circuits import build_alu, build_c6288
+from repro.defense import (
+    ClockAsDataRule,
+    CombinationalLoopRule,
+    DelayLineTapRule,
+    SEVERITY_CRITICAL,
+    SEVERITY_WARNING,
+)
+from repro.netlist import Netlist
+from repro.sensors import build_ro_netlist, build_tdc_netlist
+
+
+class TestCombinationalLoopRule:
+    def test_detects_ring_oscillator(self):
+        findings = CombinationalLoopRule().check(build_ro_netlist(3))
+        assert any(f.severity == SEVERITY_CRITICAL for f in findings)
+
+    def test_detects_enable_gated_loop(self):
+        findings = CombinationalLoopRule().check(build_ro_netlist(5))
+        assert findings
+
+    def test_clean_on_alu(self):
+        assert CombinationalLoopRule().check(build_alu(16)) == []
+
+    def test_clean_on_multiplier(self):
+        assert CombinationalLoopRule().check(build_c6288(8)) == []
+
+    def test_clean_on_tdc(self):
+        assert CombinationalLoopRule().check(build_tdc_netlist()) == []
+
+
+class TestDelayLineTapRule:
+    def test_detects_tdc(self):
+        findings = DelayLineTapRule().check(build_tdc_netlist())
+        assert any(
+            f.severity == SEVERITY_CRITICAL and "TDC" in f.message
+            for f in findings
+        )
+
+    def test_untapped_chain_is_warning_only(self):
+        nl = Netlist("chain")
+        nl.add_input("a")
+        prev = "a"
+        for i in range(12):
+            nl.add_gate("b%d" % i, "BUF", [prev])
+            prev = "b%d" % i
+        nl.add_output(prev)
+        nl.freeze()
+        findings = DelayLineTapRule().check(nl)
+        assert findings
+        assert all(f.severity == SEVERITY_WARNING for f in findings)
+
+    def test_short_chain_ignored(self):
+        nl = Netlist("short")
+        nl.add_input("a")
+        nl.add_gate("b0", "BUF", ["a"])
+        nl.add_gate("b1", "BUF", ["b0"])
+        nl.add_output("b1")
+        nl.freeze()
+        assert DelayLineTapRule().check(nl) == []
+
+    def test_clean_on_alu(self):
+        findings = DelayLineTapRule().check(build_alu(32))
+        assert all(f.severity != SEVERITY_CRITICAL for f in findings)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DelayLineTapRule(min_chain=1)
+
+
+class TestClockAsDataRule:
+    def test_detects_clock_fed_logic(self):
+        nl = Netlist("t")
+        nl.add_input("clk")
+        nl.add_input("d")
+        nl.add_gate("y", "AND", ["clk", "d"])
+        nl.add_output("y")
+        nl.freeze()
+        findings = ClockAsDataRule().check(nl)
+        assert len(findings) == 1
+        assert findings[0].severity == SEVERITY_CRITICAL
+
+    def test_detects_tdc_launch(self):
+        findings = ClockAsDataRule().check(build_tdc_netlist())
+        assert findings
+
+    def test_data_inputs_ignored(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("y", "NOT", ["a"])
+        nl.add_output("y")
+        nl.freeze()
+        assert ClockAsDataRule().check(nl) == []
+
+    def test_custom_patterns(self):
+        nl = Netlist("t")
+        nl.add_input("sysosc")
+        nl.add_gate("y", "NOT", ["sysosc"])
+        nl.add_output("y")
+        nl.freeze()
+        rule = ClockAsDataRule(clock_patterns=(r"^sysosc$",))
+        assert rule.check(nl)

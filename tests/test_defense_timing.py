@@ -1,0 +1,62 @@
+"""Tests for the strict timing-check defense (paper Sec. VI)."""
+
+import pytest
+
+from repro.circuits import build_alu
+from repro.defense import TimingConstraints, strict_timing_check
+from repro.timing import fpga_annotate
+
+
+@pytest.fixture(scope="module")
+def alu_annotation():
+    return fpga_annotate(build_alu(64))
+
+
+class TestStrictTimingCheck:
+    def test_overclock_rejected(self, alu_annotation):
+        report = strict_timing_check(alu_annotation, 300.0)
+        assert not report.accepted
+        assert report.failing_endpoints
+
+    def test_legitimate_clock_accepted(self, alu_annotation):
+        report = strict_timing_check(alu_annotation, 30.0)
+        assert report.accepted
+
+    def test_false_paths_defeat_the_check(self, alu_annotation):
+        """The paper's Sec. VI argument: exempting the sensor endpoints
+        as false paths makes the overclocked design formally clean."""
+        rejected = strict_timing_check(alu_annotation, 300.0)
+        constraints = TimingConstraints.exempting(
+            rejected.failing_endpoints
+        )
+        evaded = strict_timing_check(
+            alu_annotation, 300.0, constraints=constraints
+        )
+        assert evaded.accepted
+        assert evaded.exemptions_hide_violations
+
+    def test_margin_tightens_check(self, alu_annotation):
+        loose = strict_timing_check(alu_annotation, 30.0, margin=0.0)
+        # Find a frequency accepted without margin but rejected with a
+        # 30% guard band.
+        boundary = loose.fmax_mhz * 0.95
+        assert strict_timing_check(
+            alu_annotation, boundary, margin=0.0
+        ).accepted
+        assert not strict_timing_check(
+            alu_annotation, boundary, margin=0.3
+        ).accepted
+
+    def test_fmax_reported(self, alu_annotation):
+        report = strict_timing_check(alu_annotation, 300.0)
+        assert 0 < report.fmax_mhz < 300.0
+
+    def test_summary_format(self, alu_annotation):
+        text = strict_timing_check(alu_annotation, 300.0).summary()
+        assert "REJECT" in text and "300" in text
+
+    def test_parameter_validation(self, alu_annotation):
+        with pytest.raises(ValueError):
+            strict_timing_check(alu_annotation, -1.0)
+        with pytest.raises(ValueError):
+            strict_timing_check(alu_annotation, 100.0, margin=1.5)

@@ -1,0 +1,124 @@
+"""Tests for the per-figure experiment drivers (reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    PAPER_EXPECTED,
+    describe_mtd,
+    fig03_04_floorplan,
+    fig05_raw_toggle,
+    fig06_tdc_vs_benign,
+    fig07_15_census,
+    fig08_16_variance,
+    fig09_cpa_tdc,
+    fig11_cpa_tdc_single,
+    format_table,
+    sparkline,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.num_traces == 500_000
+        assert config.target_byte == 3
+        assert config.target_bit == 0
+        assert config.overclock_mhz == 300.0
+
+    def test_scaling(self):
+        small = ExperimentConfig().scaled(0.01)
+        assert small.num_traces == 5000
+        assert small.seed == ExperimentConfig().seed
+
+    def test_scaling_floor(self):
+        assert ExperimentConfig(num_traces=2000).scaled(0.001).num_traces == 1000
+
+    def test_scaling_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig().scaled(0.0)
+
+    def test_paper_expected_covers_all_figures(self):
+        expected = {"fig%02d" % i for i in range(3, 19)}
+        assert set(PAPER_EXPECTED) == expected
+
+
+class TestPreliminaryDrivers:
+    def test_fig05(self, small_setup):
+        result = fig05_raw_toggle(small_setup)
+        assert result["bits"].shape[1] == 192
+        assert (
+            result["toggling_after_enable"]
+            > result["toggling_before_enable"]
+        )
+
+    def test_fig06_shapes_and_tracking(self, small_setup):
+        result = fig06_tdc_vs_benign(small_setup)
+        assert result["tdc_droop_min"] < result["tdc_idle"] - 10
+        assert result["tdc_overshoot_max"] > result["tdc_idle"] + 4
+        assert result["correlation"] > 0.7
+
+    def test_fig07_census_alu(self, small_setup):
+        summary = fig07_15_census(small_setup, "alu")
+        assert summary["total"] == 192
+        assert summary["ro_sensitive"] > summary["aes_sensitive"]
+
+    def test_fig15_census_c6288(self, small_setup):
+        summary = fig07_15_census(small_setup, "c6288x2")
+        assert summary["total"] == 64
+        assert 40 <= summary["ro_sensitive"] <= 58
+
+    def test_fig08_variance(self, small_setup):
+        result = fig08_16_variance(small_setup, "alu")
+        assert result["variance_ro"].shape == (192,)
+        assert result["best_bit"] != result["second_bit"]
+
+    def test_fig03_floorplan(self, small_setup):
+        result = fig03_04_floorplan(small_setup, "alu")
+        assert "#" in result["rendered"]
+        assert result["sensitive_sites"] > 20
+
+
+class TestCpaDrivers:
+    def test_fig09_tdc(self, small_setup):
+        outcome = fig09_cpa_tdc(small_setup)
+        assert outcome.disclosed
+        assert outcome.mtd < 10_000
+        row = outcome.summary_row()
+        assert row["figure"] == "fig09"
+        assert row["disclosed"]
+
+    def test_fig11_tdc_single_bit(self, small_setup):
+        outcome = fig11_cpa_tdc_single(small_setup)
+        assert outcome.sensor_bit == 32
+        assert outcome.disclosed
+
+
+class TestReportHelpers:
+    def test_sparkline_shape(self):
+        assert sparkline([0, 1, 2, 3], width=4) == "▁▃▆█"
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(range(1000), width=50)) == 50
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_describe_mtd(self):
+        assert describe_mtd(None) == "not disclosed"
+        assert describe_mtd(640) == "~640 traces"
+        assert describe_mtd(152_000) == "~152k traces"

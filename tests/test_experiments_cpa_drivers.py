@@ -1,0 +1,51 @@
+"""Tests for the CPA figure drivers' records (reduced trace budget)."""
+
+import pytest
+
+from repro.experiments import (
+    CPA_FIGURES,
+    fig10_cpa_alu,
+    fig12_cpa_alu_best_bit,
+    fig13_cpa_alu_alternate_bit,
+)
+
+
+class TestDriverTable:
+    def test_all_cpa_figures_registered(self):
+        assert sorted(CPA_FIGURES) == [
+            "fig09", "fig10", "fig11", "fig12", "fig13", "fig17", "fig18",
+        ]
+
+    def test_drivers_are_callable(self):
+        for driver in CPA_FIGURES.values():
+            assert callable(driver)
+
+
+class TestOutcomeRecords:
+    @pytest.fixture(scope="class")
+    def alu_outcome(self, small_setup):
+        return fig10_cpa_alu(small_setup)
+
+    def test_summary_row_fields(self, alu_outcome):
+        row = alu_outcome.summary_row()
+        assert row["figure"] == "fig10"
+        assert row["num_traces"] == small_setup_traces()
+        assert isinstance(row["disclosed"], bool)
+        assert "final_margin" in row
+
+    def test_result_carries_progress(self, alu_outcome):
+        result = alu_outcome.result
+        assert result.correlations.shape[1] == 256
+        assert result.checkpoints[-1] == small_setup_traces()
+
+    def test_single_bit_figures_report_their_endpoint(self, small_setup):
+        best = fig12_cpa_alu_best_bit(small_setup)
+        alternate = fig13_cpa_alu_alternate_bit(small_setup)
+        assert best.sensor_bit is not None
+        assert alternate.sensor_bit is not None
+        assert best.sensor_bit != alternate.sensor_bit
+
+
+def small_setup_traces() -> int:
+    """The trace budget of the shared ``small_setup`` fixture."""
+    return 20_000

@@ -1,0 +1,50 @@
+"""Tests for the batch experiment runner and report rendering."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import (
+    FigureRecord,
+    render_report,
+    run_all_figures,
+)
+
+
+class TestRunAllFigures:
+    @pytest.fixture(scope="class")
+    def records(self):
+        # Preliminary figures only: fast and deterministic.
+        return run_all_figures(
+            ExperimentConfig(num_traces=5000), include_cpa=False
+        )
+
+    def test_covers_preliminary_figures(self, records):
+        figures = {record.figure for record in records}
+        assert figures == {
+            "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig14", "fig15", "fig16",
+        }
+
+    def test_all_preliminary_ok(self, records):
+        failures = [r.figure for r in records if not r.ok]
+        assert failures == []
+
+    def test_records_sorted(self, records):
+        figures = [record.figure for record in records]
+        assert figures == sorted(figures)
+
+    def test_measured_strings_populated(self, records):
+        assert all(record.measured for record in records)
+
+
+class TestRenderReport:
+    def test_markdown_table(self):
+        records = [
+            FigureRecord("fig07", "paper says X", "we measured Y", True),
+            FigureRecord("fig10", "paper says Z", "we failed", False),
+        ]
+        text = render_report(records)
+        assert "| fig07 |" in text
+        assert "| yes |" in text
+        assert "| NO |" in text
+        assert "1 of 2 figures" in text

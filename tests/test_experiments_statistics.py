@@ -1,0 +1,46 @@
+"""Tests for repeated-campaign statistics."""
+
+import pytest
+
+from repro.experiments.statistics import CampaignStatistics, repeat_attack
+
+
+class TestCampaignStatistics:
+    def test_summary_with_disclosures(self):
+        stats = CampaignStatistics(
+            mtds=[1000, 2000, None],
+            final_ranks=[0, 0, 5],
+            num_traces=10_000,
+        )
+        assert stats.num_runs == 3
+        assert stats.success_rate == pytest.approx(2 / 3)
+        assert stats.guessing_entropy == pytest.approx(5 / 3)
+        assert stats.mtd_quantiles() == (1000, 1500, 2000)
+        assert "success rate 67%" in stats.summary()
+
+    def test_summary_without_disclosures(self):
+        stats = CampaignStatistics(
+            mtds=[None, None], final_ranks=[40, 90], num_traces=500
+        )
+        assert stats.mtd_quantiles() is None
+        assert "no run disclosed" in stats.summary()
+
+
+class TestRepeatAttack:
+    def test_runs_independent_campaigns(self):
+        stats = repeat_attack(
+            "alu",
+            bytes(range(16)),
+            num_traces=5_000,
+            num_runs=2,
+            root_seed=3,
+        )
+        assert stats.num_runs == 2
+        assert len(stats.final_ranks) == 2
+        # 5k traces is below disclosure scale; ranks just need to be
+        # valid candidate ranks.
+        assert all(0 <= rank <= 255 for rank in stats.final_ranks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repeat_attack("alu", bytes(16), 1000, num_runs=0)

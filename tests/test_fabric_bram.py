@@ -1,0 +1,68 @@
+"""Tests for the BRAM capture buffer."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import BRAMBuffer, BRAMOverflowError
+
+
+class TestBRAMBuffer:
+    def test_capacity_computation(self):
+        buffer = BRAMBuffer(word_bits=192, num_blocks=4)
+        assert buffer.capacity_words == (4 * 36 * 1024) // 192
+
+    def test_write_and_drain(self):
+        buffer = BRAMBuffer(word_bits=4, num_blocks=1)
+        buffer.write(np.array([1, 0, 1, 1], dtype=np.uint8))
+        buffer.write(np.array([0, 0, 0, 1], dtype=np.uint8))
+        data = buffer.drain()
+        assert data.shape == (2, 4)
+        assert data[0].tolist() == [1, 0, 1, 1]
+        assert buffer.depth == 0
+
+    def test_drain_empty(self):
+        buffer = BRAMBuffer(word_bits=8)
+        assert buffer.drain().shape == (0, 8)
+
+    def test_word_width_enforced(self):
+        buffer = BRAMBuffer(word_bits=4)
+        with pytest.raises(ValueError):
+            buffer.write(np.zeros(5, dtype=np.uint8))
+
+    def test_overflow_raises(self):
+        buffer = BRAMBuffer(word_bits=36 * 1024, num_blocks=1)
+        buffer.write(np.zeros(36 * 1024, dtype=np.uint8))
+        with pytest.raises(BRAMOverflowError):
+            buffer.write(np.zeros(36 * 1024, dtype=np.uint8))
+
+    def test_burst_write(self):
+        buffer = BRAMBuffer(word_bits=8, num_blocks=1)
+        burst = np.ones((10, 8), dtype=np.uint8)
+        buffer.write_burst(burst)
+        assert buffer.depth == 10
+        assert np.array_equal(buffer.drain(), burst)
+
+    def test_burst_overflow(self):
+        buffer = BRAMBuffer(word_bits=36 * 1024, num_blocks=1)
+        with pytest.raises(BRAMOverflowError):
+            buffer.write_burst(np.zeros((2, 36 * 1024), dtype=np.uint8))
+
+    def test_burst_shape_validation(self):
+        buffer = BRAMBuffer(word_bits=4)
+        with pytest.raises(ValueError):
+            buffer.write_burst(np.zeros((3, 5), dtype=np.uint8))
+
+    def test_traces_per_drain(self):
+        buffer = BRAMBuffer(word_bits=192, num_blocks=4)
+        per_trace = 40  # samples captured per encryption
+        assert buffer.max_samples_per_encryption(per_trace) == (
+            buffer.capacity_words // 40
+        )
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BRAMBuffer(word_bits=0)
+        with pytest.raises(ValueError):
+            BRAMBuffer(word_bits=8, num_blocks=0)
+        with pytest.raises(ValueError):
+            BRAMBuffer(word_bits=8, num_blocks=1000)

@@ -1,0 +1,83 @@
+"""Tests for the MMCM clocking model."""
+
+import pytest
+
+from repro.fabric import (
+    ClockTree,
+    MMCMConfig,
+    paper_clock_tree,
+    synthesize_clock,
+)
+
+
+class TestMMCMConfig:
+    def test_output_frequency(self):
+        config = MMCMConfig(multiply=8.0, divide=10.0)
+        assert config.output_mhz(125.0) == pytest.approx(100.0)
+
+    def test_vco_range_check(self):
+        assert MMCMConfig(6.0, 2.0).vco_in_range(125.0)
+        assert not MMCMConfig(2.0, 1.0).vco_in_range(125.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"multiply": 1.0, "divide": 2.0},
+            {"multiply": 65.0, "divide": 2.0},
+            {"multiply": 4.05, "divide": 2.0},
+            {"multiply": 4.0, "divide": 0.5},
+            {"multiply": 4.0, "divide": 2.3},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            MMCMConfig(**kwargs)
+
+
+class TestSynthesizeClock:
+    @pytest.mark.parametrize("target", [50.0, 100.0, 125.0, 150.0, 300.0])
+    def test_paper_frequencies_reachable(self, target):
+        config = synthesize_clock(target)
+        assert config.output_mhz() == pytest.approx(target, rel=1e-6)
+        assert config.vco_in_range()
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ValueError):
+            synthesize_clock(0.001)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            synthesize_clock(0.0)
+
+
+class TestClockTree:
+    def test_request_and_query(self):
+        tree = ClockTree()
+        tree.request_clock("aes", 100.0)
+        assert tree.frequency_mhz("aes") == pytest.approx(100.0)
+
+    def test_duplicate_domain_rejected(self):
+        tree = ClockTree()
+        tree.request_clock("aes", 100.0)
+        with pytest.raises(ValueError):
+            tree.request_clock("aes", 50.0)
+
+    def test_mmcm_supply_limited(self):
+        tree = ClockTree(num_mmcms=2)
+        tree.request_clock("a", 100.0)
+        tree.request_clock("b", 150.0)
+        with pytest.raises(ValueError, match="MMCM"):
+            tree.request_clock("c", 200.0)
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            ClockTree().frequency_mhz("ghost")
+
+    def test_paper_tree(self):
+        clocks = paper_clock_tree().requested_clocks()
+        assert clocks == {
+            "aes": pytest.approx(100.0),
+            "tdc_sample": pytest.approx(150.0),
+            "benign_overclock": pytest.approx(300.0),
+            "uart": pytest.approx(125.0),
+        }

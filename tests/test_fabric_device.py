@@ -1,0 +1,94 @@
+"""Tests for the FPGA device and region model."""
+
+import pytest
+
+from repro.fabric import FpgaDevice, Region, default_multi_tenant_device
+
+
+class TestRegion:
+    def test_dimensions(self):
+        region = Region("r", 2, 3, 10, 9)
+        assert region.width == 8
+        assert region.height == 6
+        assert region.num_sites == 48
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", 5, 5, 5, 9)
+
+    def test_contains(self):
+        region = Region("r", 0, 0, 4, 4)
+        assert region.contains(0, 0)
+        assert region.contains(3, 3)
+        assert not region.contains(4, 0)
+        assert not region.contains(-1, 0)
+
+    def test_sites_iteration(self):
+        region = Region("r", 1, 1, 3, 2)
+        assert list(region.sites()) == [(1, 1), (2, 1)]
+
+    def test_overlap_detection(self):
+        a = Region("a", 0, 0, 4, 4)
+        b = Region("b", 3, 3, 6, 6)
+        c = Region("c", 4, 0, 8, 4)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_center(self):
+        assert Region("r", 0, 0, 4, 2).center() == (2.0, 1.0)
+
+
+class TestFpgaDevice:
+    def test_default_resources(self):
+        device = FpgaDevice()
+        assert device.total_luts == 150 * 100 * 4
+
+    def test_add_region_registers(self):
+        device = FpgaDevice()
+        device.add_region(Region("t", 0, 0, 10, 10))
+        assert device.region("t").num_sites == 100
+
+    def test_duplicate_region_rejected(self):
+        device = FpgaDevice()
+        device.add_region(Region("t", 0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            device.add_region(Region("t", 20, 20, 30, 30))
+
+    def test_overlapping_regions_rejected(self):
+        device = FpgaDevice()
+        device.add_region(Region("a", 0, 0, 10, 10))
+        with pytest.raises(ValueError, match="overlaps"):
+            device.add_region(Region("b", 5, 5, 15, 15))
+
+    def test_out_of_grid_rejected(self):
+        device = FpgaDevice(columns=50, rows=50)
+        with pytest.raises(ValueError):
+            device.add_region(Region("r", 40, 40, 60, 60))
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(KeyError):
+            FpgaDevice().region("ghost")
+
+    def test_region_distance(self):
+        device = FpgaDevice()
+        device.add_region(Region("a", 0, 0, 10, 10))
+        device.add_region(Region("b", 30, 0, 40, 10))
+        assert device.region_distance("a", "b") == pytest.approx(30.0)
+
+
+class TestDefaultDevice:
+    def test_four_tenant_blocks(self):
+        device = default_multi_tenant_device()
+        assert set(device.regions) == {
+            "victim_aes",
+            "attacker_benign",
+            "attacker_tdc",
+            "ro_array",
+        }
+
+    def test_regions_disjoint_by_construction(self):
+        device = default_multi_tenant_device()
+        regions = list(device.regions.values())
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)

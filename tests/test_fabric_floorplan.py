@@ -1,0 +1,62 @@
+"""Tests for floorplan rendering."""
+
+import pytest
+
+from repro.circuits import build_ripple_carry_adder
+from repro.fabric import (
+    Floorplan,
+    SENSITIVE_GLYPH,
+    default_multi_tenant_device,
+    place_netlist,
+)
+
+
+@pytest.fixture(scope="module")
+def populated_floorplan():
+    device = default_multi_tenant_device()
+    adder = build_ripple_carry_adder(8)
+    placement = place_netlist(
+        adder, device.region("attacker_benign"), seed=0
+    )
+    return Floorplan(device, [placement], {0: ["s0", "s7"]})
+
+
+class TestRender:
+    def test_contains_legend_and_blocks(self, populated_floorplan):
+        text = populated_floorplan.render()
+        assert "legend" in text
+        assert "attacker_benign" in text
+        assert "B" in text  # placed gates, upper case
+
+    def test_sensitive_marker_present(self, populated_floorplan):
+        assert SENSITIVE_GLYPH in populated_floorplan.render()
+
+    def test_render_size_bounded(self, populated_floorplan):
+        text = populated_floorplan.render(max_width=50, max_height=20)
+        body = text.splitlines()[2:]
+        assert len(body) <= 20
+        assert all(len(line) <= 50 for line in body)
+
+    def test_tiny_render_rejected(self, populated_floorplan):
+        with pytest.raises(ValueError):
+            populated_floorplan.render(max_width=2, max_height=2)
+
+    def test_empty_regions_drawn_lowercase(self):
+        device = default_multi_tenant_device()
+        floorplan = Floorplan(device, [], {})
+        text = floorplan.render()
+        assert "a" in text  # victim_aes region fill
+        assert "r" in text  # ro_array region fill
+
+    def test_sensitive_site_count(self, populated_floorplan):
+        count = populated_floorplan.sensitive_site_count()
+        assert count in (1, 2)  # two nets, possibly sharing a site
+
+    def test_unplaced_sensitive_net_ignored(self):
+        device = default_multi_tenant_device()
+        adder = build_ripple_carry_adder(4)
+        placement = place_netlist(
+            adder, device.region("attacker_benign"), seed=0
+        )
+        floorplan = Floorplan(device, [placement], {0: ["nonexistent"]})
+        assert floorplan.sensitive_site_count() == 0

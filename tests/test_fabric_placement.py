@@ -1,0 +1,54 @@
+"""Tests for the placer."""
+
+import pytest
+
+from repro.circuits import build_ripple_carry_adder
+from repro.fabric import Region, place_netlist
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return build_ripple_carry_adder(8)
+
+
+class TestPlacement:
+    def test_all_gates_placed_inside_region(self, adder):
+        region = Region("r", 10, 10, 30, 30)
+        placement = place_netlist(adder, region, seed=0)
+        assert set(placement.site_of) == {g.output for g in adder.gates}
+        for x, y in placement.site_of.values():
+            assert region.contains(x, y)
+
+    def test_deterministic(self, adder):
+        region = Region("r", 0, 0, 20, 20)
+        a = place_netlist(adder, region, seed=3).site_of
+        b = place_netlist(adder, region, seed=3).site_of
+        assert a == b
+
+    def test_seed_varies_placement(self, adder):
+        region = Region("r", 0, 0, 20, 20)
+        a = place_netlist(adder, region, seed=3).site_of
+        b = place_netlist(adder, region, seed=4).site_of
+        assert a != b
+
+    def test_capacity_enforced(self, adder):
+        tiny = Region("r", 0, 0, 2, 2)  # 16 gate slots < 49 gates
+        with pytest.raises(ValueError, match="capacity"):
+            place_netlist(adder, tiny, seed=0)
+
+    def test_refinement_reduces_wirelength(self, adder):
+        region = Region("r", 0, 0, 40, 40)
+        rough = place_netlist(adder, region, seed=1, refine_sweeps=0)
+        refined = place_netlist(adder, region, seed=1, refine_sweeps=3)
+        assert refined.wirelength() < rough.wirelength()
+
+    def test_sites_of_helper(self, adder):
+        region = Region("r", 0, 0, 20, 20)
+        placement = place_netlist(adder, region, seed=0)
+        sites = placement.sites_of(["s0", "s1"])
+        assert len(sites) == 2
+
+    def test_utilization_in_unit_interval(self, adder):
+        region = Region("r", 0, 0, 20, 20)
+        placement = place_netlist(adder, region, seed=0)
+        assert 0.0 < placement.utilization() <= 1.0

@@ -1,0 +1,96 @@
+"""Tests for the multi-tenant deployment flow."""
+
+import pytest
+
+from repro.circuits import build_alu, build_c6288
+from repro.defense import TimingConstraints, strict_timing_check
+from repro.fabric import DeploymentRejected, MultiTenantSystem
+from repro.sensors import build_ro_netlist, build_tdc_netlist
+from repro.timing import fpga_annotate
+
+
+class TestDeploymentGate:
+    def test_benign_circuit_deploys(self):
+        system = MultiTenantSystem()
+        tenant = system.deploy("attacker_benign", build_alu(16), 300.0)
+        assert tenant.clock_mhz == pytest.approx(300.0)
+        assert tenant.check_report.accepted
+        assert "attacker_benign" in system.tenants
+
+    def test_ro_rejected_at_gate(self):
+        system = MultiTenantSystem()
+        with pytest.raises(DeploymentRejected, match="loop"):
+            system.deploy("ro_array", build_ro_netlist(), 100.0)
+        assert "ro_array" not in system.tenants
+
+    def test_tdc_rejected_at_gate(self):
+        system = MultiTenantSystem()
+        with pytest.raises(DeploymentRejected):
+            system.deploy("attacker_tdc", build_tdc_netlist(), 150.0)
+
+    def test_region_occupancy(self):
+        system = MultiTenantSystem()
+        system.deploy("attacker_benign", build_alu(16), 300.0)
+        with pytest.raises(DeploymentRejected, match="occupied"):
+            system.deploy("attacker_benign", build_c6288(4), 100.0)
+
+    def test_unknown_region(self):
+        system = MultiTenantSystem()
+        with pytest.raises(KeyError):
+            system.deploy("penthouse", build_alu(16), 100.0)
+
+    def test_evict_frees_region(self):
+        system = MultiTenantSystem()
+        system.deploy("attacker_benign", build_alu(16), 300.0)
+        system.evict("attacker_benign")
+        assert "attacker_benign" not in system.tenants
+
+    def test_evict_unknown(self):
+        with pytest.raises(KeyError):
+            MultiTenantSystem().evict("ghost")
+
+
+class TestTimingEnforcement:
+    def test_overclock_rejected_when_enforced(self):
+        system = MultiTenantSystem(enforce_timing=True)
+        with pytest.raises(DeploymentRejected, match="timing"):
+            system.deploy("attacker_benign", build_alu(64), 300.0)
+
+    def test_legitimate_clock_passes_when_enforced(self):
+        system = MultiTenantSystem(enforce_timing=True)
+        tenant = system.deploy("attacker_benign", build_alu(64), 30.0)
+        assert tenant.timing_report is not None
+        assert tenant.timing_report.accepted
+
+    def test_false_paths_slip_through(self):
+        """The Sec. VI loophole at system level: declare the failing
+        endpoints as false paths and the overclock deploys."""
+        netlist = build_alu(64)
+        rejected = strict_timing_check(fpga_annotate(netlist), 300.0)
+        constraints = TimingConstraints.exempting(
+            rejected.failing_endpoints
+        )
+        # Note: the timing check inside deploy() uses its own placement
+        # seed, so exempt generously (all endpoints).
+        constraints = TimingConstraints.exempting(netlist.outputs)
+        system = MultiTenantSystem(enforce_timing=True)
+        tenant = system.deploy(
+            "attacker_benign", netlist, 300.0,
+            timing_constraints=constraints,
+        )
+        assert tenant.timing_report.exemptions_hide_violations
+
+    def test_not_enforced_by_default(self):
+        system = MultiTenantSystem()
+        tenant = system.deploy("attacker_benign", build_alu(16), 300.0)
+        assert tenant.timing_report is None
+
+
+class TestElectricalNeighbors:
+    def test_all_tenants_share_pdn(self):
+        system = MultiTenantSystem()
+        system.deploy("attacker_benign", build_alu(16), 300.0)
+        system.deploy("victim_aes", build_c6288(4), 100.0)
+        assert system.electrical_neighbors("attacker_benign") == [
+            "victim_aes"
+        ]

@@ -1,0 +1,100 @@
+"""Tests for the UART host link."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import (
+    UartFramingError,
+    UartLink,
+    decode_frame,
+    encode_frame,
+    pack_trace_words,
+    unpack_trace_words,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = bytes(range(32))
+        assert decode_frame(encode_frame(payload)) == payload
+
+    def test_empty_payload(self):
+        assert decode_frame(encode_frame(b"")) == b""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=512))
+    def test_roundtrip_property(self, payload):
+        assert decode_frame(encode_frame(payload)) == payload
+
+    def test_bad_sof(self):
+        frame = bytearray(encode_frame(b"hi"))
+        frame[0] = 0x00
+        with pytest.raises(UartFramingError, match="start"):
+            decode_frame(bytes(frame))
+
+    def test_bad_eof(self):
+        frame = bytearray(encode_frame(b"hi"))
+        frame[-1] = 0x00
+        with pytest.raises(UartFramingError, match="end"):
+            decode_frame(bytes(frame))
+
+    def test_corrupted_payload_detected(self):
+        frame = bytearray(encode_frame(b"hello"))
+        frame[4] ^= 0xFF
+        with pytest.raises(UartFramingError, match="checksum"):
+            decode_frame(bytes(frame))
+
+    def test_truncated_frame(self):
+        with pytest.raises(UartFramingError):
+            decode_frame(encode_frame(b"hello")[:-2])
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            encode_frame(bytes(70_000))
+
+
+class TestTracePacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random((20, 192)) < 0.5).astype(np.uint8)
+        payload = pack_trace_words(bits)
+        assert np.array_equal(unpack_trace_words(payload, 192), bits)
+
+    def test_non_byte_multiple_width(self):
+        bits = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        payload = pack_trace_words(bits)
+        assert np.array_equal(unpack_trace_words(payload, 3), bits)
+
+    def test_bad_payload_length(self):
+        with pytest.raises(UartFramingError):
+            unpack_trace_words(b"\x00\x01\x02", 16)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            pack_trace_words(np.zeros(8, dtype=np.uint8))
+
+
+class TestLinkTiming:
+    def test_byte_rate(self):
+        link = UartLink(baud_rate=115_200)
+        assert link.bytes_per_second == pytest.approx(11_520.0)
+
+    def test_transfer_time(self):
+        link = UartLink(baud_rate=10)
+        assert link.transfer_seconds(1) == pytest.approx(1.0)
+
+    def test_campaign_takes_hours_at_paper_scale(self):
+        # 500k traces of a 192-bit word, 1 sample per trace, 921600 baud:
+        # the real bottleneck the paper's setup faces.
+        link = UartLink()
+        seconds = link.campaign_seconds(
+            num_traces=500_000, samples_per_trace=1, word_bits=192
+        )
+        assert seconds > 300  # tens of minutes at minimum
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            UartLink(baud_rate=0)
+        with pytest.raises(ValueError):
+            UartLink().transfer_seconds(-1)

@@ -1,0 +1,114 @@
+"""Tests for the ISCAS-85 .bench parser/writer."""
+
+import pytest
+
+from repro.circuits import build_c6288, c6288_input_assignment
+from repro.netlist import (
+    BenchParseError,
+    parse_bench,
+    write_bench,
+)
+
+C17 = """
+# c17 (ISCAS-85 smallest benchmark)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestParse:
+    def test_c17_structure(self):
+        nl = parse_bench(C17, "c17")
+        assert len(nl.inputs) == 5
+        assert len(nl.outputs) == 2
+        assert nl.num_gates == 6
+
+    def test_c17_function(self):
+        nl = parse_bench(C17, "c17")
+        out = nl.evaluate_outputs(
+            {"1": 0, "2": 0, "3": 0, "6": 0, "7": 0}
+        )
+        # All-NAND with zero inputs: 10=1, 11=1, 16=1, 19=1, 22=0, 23=0
+        assert out == {"22": 0, "23": 0}
+
+    def test_comments_and_blanks_ignored(self):
+        nl = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert nl.evaluate_outputs({"a": 0}) == {"y": 1}
+
+    def test_case_insensitive_keywords(self):
+        nl = parse_bench("input(a)\noutput(y)\ny = not(a)")
+        assert nl.num_gates == 1
+
+    def test_alias_gate_names(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)")
+        assert nl.gate_driving("y").type_name == "BUF"
+
+    def test_inline_comment(self):
+        nl = parse_bench("INPUT(a) # the input\nOUTPUT(y)\ny = NOT(a)")
+        assert len(nl.inputs) == 1
+
+    def test_garbage_line_raises_with_location(self):
+        with pytest.raises(BenchParseError) as info:
+            parse_bench("INPUT(a)\nthis is not bench\n")
+        assert info.value.line_number == 2
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = WIBBLE(a)")
+
+    def test_empty_operands_raise(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND()")
+
+    def test_bad_arity_raises(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)")
+
+    def test_output_declared_before_driver(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)")
+        assert "y" in nl.outputs
+
+
+class TestWrite:
+    def test_roundtrip_c17(self):
+        nl = parse_bench(C17, "c17")
+        text = write_bench(nl)
+        again = parse_bench(text, "c17rt")
+        assert again.inputs == nl.inputs
+        assert again.outputs == nl.outputs
+        assert again.num_gates == nl.num_gates
+        vector = {"1": 1, "2": 0, "3": 1, "6": 0, "7": 1}
+        assert again.evaluate_outputs(vector) == nl.evaluate_outputs(vector)
+
+    def test_roundtrip_c6288(self):
+        nl = build_c6288(8)
+        again = parse_bench(write_bench(nl), "rt")
+        vector = c6288_input_assignment(173, 59, width=8)
+        assert again.evaluate_outputs(vector) == nl.evaluate_outputs(vector)
+
+    def test_header_written_as_comments(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+        text = write_bench(nl, header="line one\nline two")
+        assert "# line one" in text and "# line two" in text
+
+    def test_written_gates_topological(self):
+        nl = parse_bench(C17, "c17")
+        text = write_bench(nl)
+        position = {
+            line.split(" =")[0]: index
+            for index, line in enumerate(text.splitlines())
+            if " = " in line
+        }
+        assert position["10"] < position["22"]
+        assert position["16"] < position["23"]

@@ -1,0 +1,70 @@
+"""Tests for NetlistBuilder."""
+
+import pytest
+
+from repro.netlist import NetlistBuilder
+
+
+class TestBuilder:
+    def test_basic_flow(self):
+        b = NetlistBuilder("t")
+        a, c = b.inputs(["a", "c"])
+        s = b.gate("XOR", [a, c], hint="sum")
+        b.mark_outputs([s])
+        nl = b.build()
+        assert nl.evaluate_outputs({"a": 1, "c": 0})[s] == 1
+
+    def test_input_bus_order(self):
+        b = NetlistBuilder("t")
+        bus = b.input_bus("d", 4)
+        assert bus == ["d0", "d1", "d2", "d3"]
+
+    def test_fresh_names_unique(self):
+        b = NetlistBuilder("t")
+        names = {b.fresh_name("n") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_explicit_output_name(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        out = b.gate("NOT", [a], output="inv")
+        assert out == "inv"
+
+    def test_constant_one(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        one = b.constant(1, a)
+        b.mark_outputs([one])
+        nl = b.build()
+        for v in (0, 1):
+            assert nl.evaluate_outputs({"a": v})[one] == 1
+
+    def test_constant_zero(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        zero = b.constant(0, a)
+        b.mark_outputs([zero])
+        nl = b.build()
+        for v in (0, 1):
+            assert nl.evaluate_outputs({"a": v})[zero] == 0
+
+    def test_constant_rejects_non_binary(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        with pytest.raises(ValueError):
+            b.constant(2, a)
+
+    def test_build_single_use(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.gate("NOT", [a], output="y")
+        b.mark_outputs(["y"])
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_hint_appears_in_name(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        net = b.gate("NOT", [a], hint="carry")
+        assert net.startswith("carry")

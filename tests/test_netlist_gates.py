@@ -1,0 +1,125 @@
+"""Tests for the primitive gate library."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.gates import (
+    GATE_TYPES,
+    controlling_value,
+    evaluate_gate,
+    has_controlling_value,
+    resolve_gate_type,
+)
+
+
+class TestResolveGateType:
+    def test_canonical_names(self):
+        for name in GATE_TYPES:
+            assert resolve_gate_type(name).name == name
+
+    def test_case_insensitive(self):
+        assert resolve_gate_type("nand").name == "NAND"
+
+    def test_aliases(self):
+        assert resolve_gate_type("BUFF").name == "BUF"
+        assert resolve_gate_type("INV").name == "NOT"
+        assert resolve_gate_type("mux2").name == "MUX"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            resolve_gate_type("FLUXCAP")
+
+    def test_whitespace_tolerated(self):
+        assert resolve_gate_type("  XOR ").name == "XOR"
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "gate,inputs,expected",
+        [
+            ("AND", (0, 0), 0), ("AND", (1, 1), 1), ("AND", (1, 0), 0),
+            ("OR", (0, 0), 0), ("OR", (0, 1), 1),
+            ("NAND", (1, 1), 0), ("NAND", (0, 1), 1),
+            ("NOR", (0, 0), 1), ("NOR", (1, 0), 0),
+            ("XOR", (1, 1), 0), ("XOR", (1, 0), 1),
+            ("XNOR", (1, 1), 1), ("XNOR", (0, 1), 0),
+            ("BUF", (1,), 1), ("BUF", (0,), 0),
+            ("NOT", (0,), 1), ("NOT", (1,), 0),
+        ],
+    )
+    def test_truth_tables(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) == expected
+
+    @pytest.mark.parametrize(
+        "inputs,expected",
+        [((0, 0, 1), 0), ((0, 1, 0), 1), ((1, 0, 1), 1), ((1, 1, 0), 0)],
+    )
+    def test_mux(self, inputs, expected):
+        # MUX(select, a, b) = a if select == 0 else b
+        assert evaluate_gate("MUX", inputs) == expected
+
+    def test_wide_and(self):
+        assert evaluate_gate("AND", (1,) * 10) == 1
+        assert evaluate_gate("AND", (1,) * 9 + (0,)) == 0
+
+    def test_wide_xor_is_parity(self):
+        assert evaluate_gate("XOR", (1, 1, 1)) == 1
+        assert evaluate_gate("XOR", (1, 1, 1, 1)) == 0
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            evaluate_gate("NOT", (1, 0))
+        with pytest.raises(ValueError):
+            evaluate_gate("AND", (1,))
+        with pytest.raises(ValueError):
+            evaluate_gate("MUX", (1, 0))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_gate("AND", (1, 2))
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=8))
+    def test_demorgan(self, inputs):
+        nand = evaluate_gate("NAND", inputs)
+        or_of_nots = evaluate_gate("OR", [1 - v for v in inputs])
+        assert nand == or_of_nots
+
+
+class TestControllingValues:
+    def test_and_controlled_by_zero(self):
+        assert controlling_value("AND") == (0, 0)
+
+    def test_nand_controlled_by_zero(self):
+        assert controlling_value("NAND") == (0, 1)
+
+    def test_or_controlled_by_one(self):
+        assert controlling_value("OR") == (1, 1)
+
+    def test_nor_controlled_by_one(self):
+        assert controlling_value("NOR") == (1, 0)
+
+    @pytest.mark.parametrize("gate", ["XOR", "XNOR", "BUF", "NOT", "MUX"])
+    def test_no_controlling_value(self, gate):
+        assert not has_controlling_value(gate)
+        with pytest.raises(ValueError):
+            controlling_value(gate)
+
+    @pytest.mark.parametrize("gate", ["AND", "NAND", "OR", "NOR"])
+    def test_controlling_value_forces_output(self, gate):
+        control, forced = controlling_value(gate)
+        for other in itertools.product((0, 1), repeat=2):
+            assert evaluate_gate(gate, (control,) + other) == forced
+
+
+class TestDelays:
+    def test_all_delays_positive(self):
+        for gate_type in GATE_TYPES.values():
+            assert gate_type.nominal_delay_ps > 0
+
+    def test_inverter_faster_than_xor(self):
+        assert (
+            GATE_TYPES["NOT"].nominal_delay_ps
+            < GATE_TYPES["XOR"].nominal_delay_ps
+        )

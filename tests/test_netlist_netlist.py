@@ -1,0 +1,198 @@
+"""Tests for the netlist graph structure and evaluation."""
+
+import pytest
+
+from repro.netlist import Netlist, NetlistError
+
+
+def build_half_adder():
+    nl = Netlist("ha")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("s", "XOR", ["a", "b"])
+    nl.add_gate("c", "AND", ["a", "b"])
+    nl.add_output("s")
+    nl.add_output("c")
+    return nl.freeze()
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("")
+
+    def test_duplicate_input_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_input("a")
+
+    def test_duplicate_driver_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "NOT", ["a"])
+        with pytest.raises(NetlistError):
+            nl.add_gate("x", "BUF", ["a"])
+
+    def test_gate_cannot_drive_input(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_gate("a", "NOT", ["a"])
+
+    def test_input_cannot_shadow_gate(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "NOT", ["a"])
+        with pytest.raises(NetlistError):
+            nl.add_input("x")
+
+    def test_duplicate_output_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_output("a")
+        with pytest.raises(NetlistError):
+            nl.add_output("a")
+
+    def test_frozen_rejects_mutation(self):
+        nl = build_half_adder()
+        with pytest.raises(NetlistError):
+            nl.add_input("z")
+
+    def test_freeze_idempotent(self):
+        nl = build_half_adder()
+        assert nl.freeze() is nl
+
+
+class TestFreezeValidation:
+    def test_undriven_gate_input(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "AND", ["a", "ghost"])
+        nl.add_output("x")
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.freeze()
+
+    def test_undriven_output(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_output("ghost")
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.freeze()
+
+    def test_cycle_detected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "AND", ["a", "y"])
+        nl.add_gate("y", "NOT", ["x"])
+        nl.add_output("y")
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.freeze()
+
+    def test_cycle_allowed_when_requested(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "AND", ["a", "y"])
+        nl.add_gate("y", "NOT", ["x"])
+        nl.add_output("y")
+        nl.freeze(allow_cycles=True)
+        assert nl.frozen and nl.has_cycles
+
+    def test_cyclic_netlist_cannot_evaluate(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "AND", ["a", "y"])
+        nl.add_gate("y", "NOT", ["x"])
+        nl.add_output("y")
+        nl.freeze(allow_cycles=True)
+        with pytest.raises(NetlistError):
+            nl.evaluate({"a": 1})
+
+    def test_acyclic_netlist_has_no_cycles_flag(self):
+        assert not build_half_adder().has_cycles
+
+
+class TestEvaluation:
+    def test_half_adder_truth_table(self):
+        nl = build_half_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                out = nl.evaluate_outputs({"a": a, "b": b})
+                assert out["s"] == a ^ b
+                assert out["c"] == a & b
+
+    def test_missing_input_raises(self):
+        nl = build_half_adder()
+        with pytest.raises(NetlistError, match="missing"):
+            nl.evaluate({"a": 1})
+
+    def test_non_binary_input_raises(self):
+        nl = build_half_adder()
+        with pytest.raises(ValueError):
+            nl.evaluate({"a": 1, "b": 2})
+
+    def test_unfrozen_evaluation_raises(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.evaluate({"a": 0})
+
+    def test_internal_nets_visible(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("mid", "NOT", ["a"])
+        nl.add_gate("out", "NOT", ["mid"])
+        nl.add_output("out")
+        nl.freeze()
+        values = nl.evaluate({"a": 0})
+        assert values["mid"] == 1 and values["out"] == 0
+
+
+class TestIntrospection:
+    def test_gates_in_topological_order(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("z", "NOT", ["y"])  # declared before its driver
+        nl.add_gate("y", "NOT", ["a"])
+        nl.add_output("z")
+        nl.freeze()
+        order = [g.output for g in nl.gates]
+        assert order.index("y") < order.index("z")
+
+    def test_fanout(self):
+        nl = build_half_adder()
+        assert set(nl.fanout_of("a")) == {"s", "c"}
+        assert nl.fanout_of("s") == ()
+
+    def test_fanout_requires_frozen(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.fanout_of("a")
+
+    def test_gate_driving(self):
+        nl = build_half_adder()
+        assert nl.gate_driving("s").type_name == "XOR"
+        assert nl.gate_driving("a") is None
+
+    def test_stats(self):
+        stats = build_half_adder().stats()
+        assert stats["XOR"] == 1
+        assert stats["AND"] == 1
+        assert stats["__inputs__"] == 2
+        assert stats["__outputs__"] == 2
+        assert stats["__gates__"] == 2
+
+    def test_logic_depth(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "NOT", ["a"])
+        nl.add_gate("y", "NOT", ["x"])
+        nl.add_output("y")
+        nl.freeze()
+        depth = nl.logic_depth()
+        assert depth == {"a": 0, "x": 1, "y": 2}
+
+    def test_repr(self):
+        text = repr(build_half_adder())
+        assert "ha" in text and "gates=2" in text

@@ -1,0 +1,76 @@
+"""Tests for structural netlist validation."""
+
+import pytest
+
+from repro.circuits import build_alu, build_c6288
+from repro.netlist import Netlist, validate_netlist
+
+
+def simple_netlist():
+    nl = Netlist("t")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("y", "AND", ["a", "b"])
+    nl.add_output("y")
+    return nl.freeze()
+
+
+class TestValidate:
+    def test_clean_netlist_passes(self):
+        report = validate_netlist(simple_netlist())
+        assert report.ok
+        assert report.warnings == []
+
+    def test_unfrozen_is_error(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        report = validate_netlist(nl)
+        assert not report.ok
+
+    def test_no_outputs_is_error(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("x", "NOT", ["a"])
+        nl.freeze()
+        report = validate_netlist(nl)
+        assert not report.ok
+
+    def test_unused_input_warns(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_input("unused")
+        nl.add_gate("y", "NOT", ["a"])
+        nl.add_output("y")
+        nl.freeze()
+        report = validate_netlist(nl)
+        assert report.ok
+        assert any("unused" in w for w in report.warnings)
+
+    def test_dead_logic_warns(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("y", "NOT", ["a"])
+        nl.add_gate("dead", "BUF", ["a"])
+        nl.add_output("y")
+        nl.freeze()
+        report = validate_netlist(nl)
+        assert report.ok
+        assert any("cone" in w for w in report.warnings)
+
+    def test_excess_fanin_is_error(self):
+        nl = Netlist("t")
+        for i in range(20):
+            nl.add_input("i%d" % i)
+        nl.add_gate("y", "AND", ["i%d" % i for i in range(20)])
+        nl.add_output("y")
+        nl.freeze()
+        report = validate_netlist(nl, max_fanin=16)
+        assert not report.ok
+
+    def test_alu_is_clean(self):
+        report = validate_netlist(build_alu(16))
+        assert report.ok
+
+    def test_c6288_is_clean(self):
+        report = validate_netlist(build_c6288(8))
+        assert report.ok

@@ -1,0 +1,118 @@
+"""Tests for current-schedule aggressors."""
+
+import numpy as np
+import pytest
+
+from repro.pdn import (
+    CurrentSchedule,
+    ROAggressorSchedule,
+    aes_current_waveform,
+)
+
+
+class TestCurrentSchedule:
+    def test_idle_default(self):
+        waveform = CurrentSchedule(10).compile()
+        assert np.allclose(waveform, 0.0)
+
+    def test_hold_segment(self):
+        waveform = CurrentSchedule(10).hold(2, 5, 1.5).compile()
+        assert np.allclose(waveform[2:5], 1.5)
+        assert np.allclose(waveform[:2], 0.0)
+        assert np.allclose(waveform[5:], 0.0)
+
+    def test_ramp_segment(self):
+        waveform = CurrentSchedule(10).ramp(0, 4, 0.0, 4.0).compile()
+        assert np.allclose(waveform[:4], [0.0, 1.0, 2.0, 3.0])
+
+    def test_segments_superpose(self):
+        schedule = CurrentSchedule(6).hold(0, 6, 1.0).hold(2, 4, 1.0)
+        waveform = schedule.compile()
+        assert waveform[3] == pytest.approx(2.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentSchedule(10).hold(5, 12, 1.0)
+        with pytest.raises(ValueError):
+            CurrentSchedule(10).hold(5, 5, 1.0)
+
+    def test_idle_current_floor(self):
+        waveform = CurrentSchedule(4, idle_current=0.2).compile()
+        assert np.allclose(waveform, 0.2)
+
+
+class TestROAggressorSchedule:
+    def test_peak_current(self):
+        schedule = ROAggressorSchedule(
+            num_ros=8000, current_per_ro_a=220e-6
+        )
+        assert schedule.peak_current_a == pytest.approx(1.76)
+
+    def test_gradual_enable_sudden_disable(self):
+        schedule = ROAggressorSchedule(
+            start_sample=10, ramp_samples=20, period_samples=40,
+            repetitions=1,
+        )
+        waveform = schedule.current_waveform(100)
+        assert np.allclose(waveform[:10], 0.0)
+        ramp = waveform[10:30]
+        assert np.all(np.diff(ramp) > 0)         # gradual enable
+        assert np.allclose(waveform[30:], 0.0)   # sudden disable
+
+    def test_repetitions(self):
+        schedule = ROAggressorSchedule(
+            start_sample=0, ramp_samples=10, period_samples=20,
+            repetitions=3,
+        )
+        waveform = schedule.current_waveform(70)
+        active = waveform > 0
+        assert active[5] and not active[15]
+        assert active[25] and not active[35]
+        assert active[45] and not active[55]
+
+    def test_truncated_at_end(self):
+        schedule = ROAggressorSchedule(start_sample=90, ramp_samples=30)
+        waveform = schedule.current_waveform(100)
+        assert waveform.shape == (100,)
+
+    def test_enabled_count_peaks_at_num_ros(self):
+        schedule = ROAggressorSchedule(num_ros=1000, repetitions=1)
+        counts = schedule.enabled_count(200)
+        assert counts.max() <= 1000
+        assert counts.max() > 900  # ramp approaches full array
+
+
+class TestAesCurrentWaveform:
+    def test_cycles_map_to_samples(self):
+        waveform = aes_current_waveform(
+            [10, 20], num_samples=10, start_sample=2,
+            samples_per_cycle=2.0, current_per_bit_a=0.01,
+            static_current_a=0.0,
+        )
+        assert np.allclose(waveform[2:4], 0.1)
+        assert np.allclose(waveform[4:6], 0.2)
+        assert np.allclose(waveform[6:], 0.0)
+
+    def test_static_component(self):
+        waveform = aes_current_waveform(
+            [0], num_samples=4, start_sample=0,
+            samples_per_cycle=1.0, static_current_a=0.05,
+        )
+        assert waveform[0] == pytest.approx(0.05)
+
+    def test_truncation_past_end(self):
+        waveform = aes_current_waveform(
+            [1] * 100, num_samples=10, start_sample=0,
+            samples_per_cycle=1.5,
+        )
+        assert waveform.shape == (10,)
+
+    def test_fractional_cycle_alignment(self):
+        # 1.5 samples/cycle: cycles alternate between 1- and 2-sample
+        # windows but every cycle lands somewhere.
+        waveform = aes_current_waveform(
+            [1, 1, 1, 1], num_samples=6, start_sample=0,
+            samples_per_cycle=1.5, current_per_bit_a=1.0,
+            static_current_a=0.0,
+        )
+        assert waveform[:6].sum() == pytest.approx(6.0)

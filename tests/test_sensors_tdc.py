@@ -1,0 +1,90 @@
+"""Tests for the TDC sensor (behavioural model + netlist)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors import TDCSensor, build_tdc_netlist
+
+
+class TestTDCBehaviour:
+    @pytest.fixture(scope="class")
+    def tdc(self):
+        return TDCSensor()
+
+    def test_idle_readout_near_configured_point(self, tdc):
+        v = np.full(2000, 1.0)
+        readout = tdc.sample_scalar(v, seed=0)
+        assert abs(readout.mean() - tdc.idle_stages) < 1.0
+
+    def test_droop_reduces_stages(self, tdc):
+        idle = tdc.sample_scalar(np.full(500, 1.0), seed=0).mean()
+        droop = tdc.sample_scalar(np.full(500, 0.95), seed=0).mean()
+        assert droop < idle - 5
+
+    def test_overshoot_increases_stages(self, tdc):
+        idle = tdc.sample_scalar(np.full(500, 1.0), seed=0).mean()
+        over = tdc.sample_scalar(np.full(500, 1.03), seed=0).mean()
+        assert over > idle + 3
+
+    def test_readout_clipped_to_range(self, tdc):
+        low = tdc.sample_scalar(np.full(100, 0.6), seed=0)
+        high = tdc.sample_scalar(np.full(100, 1.5), seed=0)
+        assert low.min() >= 0
+        assert high.max() <= tdc.num_stages
+
+    def test_monotone_noise_free(self, tdc):
+        voltages = np.linspace(0.85, 1.1, 40)
+        stages = tdc.stages_passed(voltages)
+        assert np.all(np.diff(stages) >= 0)
+
+    def test_thermometer_code(self, tdc):
+        bits = tdc.sample_bits(np.full(50, 1.0), seed=1)
+        # Thermometer property: once a tap is 0, all higher taps are 0.
+        for row in bits:
+            transitions = np.diff(row.astype(int))
+            assert np.all(transitions <= 0)
+
+    def test_scalar_equals_bit_sum(self, tdc):
+        v = np.full(100, 0.99)
+        scalar = tdc.sample_scalar(v, seed=7)
+        bits = tdc.sample_bits(v, seed=7)
+        assert np.array_equal(bits.sum(axis=1), scalar)
+
+    def test_single_bit_extraction(self, tdc):
+        v = np.full(100, 1.0)
+        bit = tdc.single_bit(v, bit=0, seed=2)
+        assert np.all(bit == 1)  # tap 0 always passed at nominal
+
+    def test_single_bit_bounds(self, tdc):
+        with pytest.raises(ValueError):
+            tdc.single_bit(np.full(4, 1.0), bit=64)
+
+    def test_jitter_reproducible(self, tdc):
+        v = np.full(200, 1.0)
+        assert np.array_equal(
+            tdc.sample_scalar(v, seed=3), tdc.sample_scalar(v, seed=3)
+        )
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            TDCSensor(idle_stages=100.0, num_stages=64)
+        with pytest.raises(ValueError):
+            TDCSensor(window_ps=100.0, idle_stages=32, fine_delay_ps=50.0)
+
+
+class TestTDCNetlist:
+    def test_structure(self):
+        nl = build_tdc_netlist(num_stages=64, coarse_stages=24)
+        assert nl.num_gates == 88
+        assert len(nl.outputs) == 64
+
+    def test_functionally_transparent(self):
+        nl = build_tdc_netlist(num_stages=8, coarse_stages=2)
+        out = nl.evaluate_outputs({"launch": 1})
+        assert all(v == 1 for v in out.values())
+
+    def test_invalid_stage_counts(self):
+        with pytest.raises(ValueError):
+            build_tdc_netlist(num_stages=0)
+        with pytest.raises(ValueError):
+            build_tdc_netlist(coarse_stages=-1)

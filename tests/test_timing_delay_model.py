@@ -1,0 +1,102 @@
+"""Tests for the voltage-dependent delay model and annotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import build_ripple_carry_adder
+from repro.timing import DelayModel, annotate_delays
+
+
+class TestDelayModel:
+    def test_nominal_factor_is_one(self):
+        assert DelayModel().delay_factor(1.0) == pytest.approx(1.0)
+
+    def test_droop_slows(self):
+        assert DelayModel().delay_factor(0.95) > 1.0
+
+    def test_overshoot_speeds_up(self):
+        assert DelayModel().delay_factor(1.05) < 1.0
+
+    def test_monotone_decreasing_in_voltage(self):
+        model = DelayModel()
+        voltages = np.linspace(0.7, 1.3, 50)
+        factors = model.delay_factor(voltages)
+        assert np.all(np.diff(factors) < 0)
+
+    def test_array_input(self):
+        factors = DelayModel().delay_factor(np.array([0.9, 1.0, 1.1]))
+        assert factors.shape == (3,)
+        assert factors[0] > factors[1] > factors[2]
+
+    def test_clamps_near_threshold(self):
+        factor = DelayModel().delay_factor(0.1)
+        assert np.isfinite(factor) and factor > 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DelayModel(nominal_voltage=0.3, threshold_voltage=0.35)
+        with pytest.raises(ValueError):
+            DelayModel(alpha=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=1.4))
+    def test_inverse_roundtrip(self, voltage):
+        model = DelayModel()
+        factor = model.delay_factor(voltage)
+        assert model.voltage_for_factor(factor) == pytest.approx(
+            max(voltage, model.threshold_voltage + 1e-3), rel=1e-6
+        )
+
+    def test_voltage_for_factor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DelayModel().voltage_for_factor(0.0)
+
+
+class TestAnnotateDelays:
+    @pytest.fixture(scope="class")
+    def adder(self):
+        return build_ripple_carry_adder(8)
+
+    def test_every_gate_annotated(self, adder):
+        ann = annotate_delays(adder, seed=0)
+        assert set(ann.gate_delay_ps) == {g.output for g in adder.gates}
+
+    def test_delays_positive(self, adder):
+        ann = annotate_delays(adder, seed=0)
+        assert all(d > 0 for d in ann.gate_delay_ps.values())
+
+    def test_deterministic_per_seed(self, adder):
+        a = annotate_delays(adder, seed=3).gate_delay_ps
+        b = annotate_delays(adder, seed=3).gate_delay_ps
+        assert a == b
+
+    def test_seed_changes_delays(self, adder):
+        a = annotate_delays(adder, seed=3).gate_delay_ps
+        b = annotate_delays(adder, seed=4).gate_delay_ps
+        assert a != b
+
+    def test_routing_floor_respected(self, adder):
+        ann = annotate_delays(
+            adder, seed=0, routing_spread=0.0, routing_floor=0.5
+        )
+        for gate in adder.gates:
+            expected = gate.gate_type.nominal_delay_ps * 1.5
+            assert ann.gate_delay_ps[gate.output] == pytest.approx(expected)
+
+    def test_requires_frozen(self):
+        from repro.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            annotate_delays(nl)
+
+    def test_negative_routing_rejected(self, adder):
+        with pytest.raises(ValueError):
+            annotate_delays(adder, routing_spread=-0.1)
+
+    def test_delay_at_scales_with_voltage(self, adder):
+        ann = annotate_delays(adder, seed=0)
+        net = adder.gates[0].output
+        assert ann.delay_at(net, 0.9) > ann.delay_at(net, 1.0)

@@ -1,0 +1,145 @@
+"""Tests for SDF persistence and switching-activity analysis."""
+
+import pytest
+
+from repro.circuits import (
+    adder_input_assignment,
+    build_c6288,
+    build_ripple_carry_adder,
+    c6288_input_assignment,
+)
+from repro.timing import (
+    SdfError,
+    annotate_delays,
+    fpga_annotate,
+    measure_activity,
+    average_activity_per_cycle,
+    read_sdf,
+    write_sdf,
+)
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return build_ripple_carry_adder(8)
+
+
+@pytest.fixture(scope="module")
+def adder_annotation(adder):
+    return fpga_annotate(adder)
+
+
+class TestSdf:
+    def test_roundtrip_exact(self, adder, adder_annotation):
+        reloaded = read_sdf(write_sdf(adder_annotation), adder)
+        assert reloaded.gate_delay_ps == adder_annotation.gate_delay_ps
+
+    def test_header_contains_design(self, adder_annotation):
+        text = write_sdf(adder_annotation)
+        assert '(DESIGN "rca8")' in text
+        assert "(TIMESCALE 1ps)" in text
+
+    def test_design_mismatch_rejected(self, adder, adder_annotation):
+        other = build_ripple_carry_adder(8, name="other")
+        with pytest.raises(SdfError, match="design"):
+            read_sdf(write_sdf(adder_annotation), other)
+
+    def test_missing_gate_rejected(self, adder, adder_annotation):
+        text = write_sdf(adder_annotation)
+        lines = [l for l in text.splitlines() if "IOPATH * s0 " not in l]
+        with pytest.raises(SdfError, match="missing"):
+            read_sdf("\n".join(lines), adder)
+
+    def test_type_mismatch_rejected(self, adder, adder_annotation):
+        text = write_sdf(adder_annotation).replace(
+            '(CELLTYPE "BUF") (INSTANCE s0)',
+            '(CELLTYPE "NOT") (INSTANCE s0)',
+        )
+        with pytest.raises(SdfError, match="NOT"):
+            read_sdf(text, adder)
+
+    def test_missing_header_rejected(self, adder):
+        with pytest.raises(SdfError, match="DESIGN"):
+            read_sdf("(DELAYFILE)", adder)
+
+    def test_nonpositive_delay_rejected(self, adder, adder_annotation):
+        text = write_sdf(adder_annotation)
+        first = text.find("(IOPATH * ")
+        # Replace one delay value with zero.
+        import re
+
+        text = re.sub(
+            r"\(IOPATH \* (\S+) \([-0-9.eE+]+\)\)",
+            r"(IOPATH * \1 (0.0))",
+            text,
+            count=1,
+        )
+        with pytest.raises(SdfError, match="non-positive"):
+            read_sdf(text, adder)
+
+
+class TestActivity:
+    def test_no_change_no_transitions(self, adder_annotation):
+        inputs = adder_input_assignment(5, 9, 8)
+        report = measure_activity(adder_annotation, inputs, inputs)
+        assert report.total_transitions == 0
+        assert report.glitch_transitions == 0
+
+    def test_carry_ripple_transitions(self, adder_annotation):
+        report = measure_activity(
+            adder_annotation,
+            adder_input_assignment(0, 0, 8),
+            adder_input_assignment(255, 1, 8),
+        )
+        # The carry chain plus sum toggles: at least one transition per
+        # full-adder stage.
+        assert report.total_transitions >= 16
+
+    def test_multiplier_is_glitch_dense(self):
+        multiplier = build_c6288(8)
+        annotation = fpga_annotate(multiplier)
+        report = measure_activity(
+            annotation,
+            c6288_input_assignment(0, 0, 8),
+            c6288_input_assignment(255, 255, 8),
+        )
+        # Array multipliers produce far more glitches than functional
+        # transitions — the well-known C6288 property.
+        assert report.glitch_transitions > report.total_transitions / 2
+        assert report.total_transitions > 5 * multiplier.num_gates / 2
+
+    def test_transition_parity_matches_value_change(self, adder,
+                                                    adder_annotation):
+        before = adder_input_assignment(3, 7, 8)
+        after = adder_input_assignment(200, 56, 8)
+        report = measure_activity(adder_annotation, before, after)
+        settled_before = adder.evaluate(before)
+        settled_after = adder.evaluate(after)
+        for gate in adder.gates:
+            changed = settled_before[gate.output] != settled_after[gate.output]
+            count = report.transitions_per_gate[gate.output]
+            assert count % 2 == int(changed), gate.output
+
+    def test_energy_scales_with_transitions(self, adder_annotation):
+        report = measure_activity(
+            adder_annotation,
+            adder_input_assignment(0, 0, 8),
+            adder_input_assignment(255, 1, 8),
+        )
+        assert report.dynamic_energy_au(2.0) == (
+            pytest.approx(2.0 * report.total_transitions)
+        )
+
+    def test_average_activity(self, adder_annotation):
+        pairs = [
+            (adder_input_assignment(0, 0, 8),
+             adder_input_assignment(255, 1, 8)),
+            (adder_input_assignment(255, 1, 8),
+             adder_input_assignment(0, 0, 8)),
+        ]
+        average = average_activity_per_cycle(adder_annotation, pairs)
+        assert average > 0
+
+    def test_average_requires_pairs(self, adder_annotation):
+        with pytest.raises(ValueError):
+            average_activity_per_cycle(adder_annotation, [])

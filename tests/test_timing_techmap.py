@@ -1,0 +1,96 @@
+"""Tests for the FPGA technology-mapping delay model."""
+
+import pytest
+
+from repro.circuits import build_alu, build_ripple_carry_adder
+from repro.timing import (
+    DEFAULT_CELL_DELAYS_PS,
+    FpgaImplementation,
+    analyze_timing,
+    fpga_annotate,
+)
+
+
+class TestFpgaAnnotate:
+    @pytest.fixture(scope="class")
+    def adder(self):
+        return build_ripple_carry_adder(16)
+
+    def test_all_gates_annotated(self, adder):
+        ann = fpga_annotate(adder)
+        assert set(ann.gate_delay_ps) == {g.output for g in adder.gates}
+
+    def test_deterministic_per_seed(self, adder):
+        a = fpga_annotate(adder, FpgaImplementation(seed=5)).gate_delay_ps
+        b = fpga_annotate(adder, FpgaImplementation(seed=5)).gate_delay_ps
+        assert a == b
+
+    def test_seed_changes_routing(self, adder):
+        a = fpga_annotate(adder, FpgaImplementation(seed=5)).gate_delay_ps
+        b = fpga_annotate(adder, FpgaImplementation(seed=6)).gate_delay_ps
+        assert a != b
+
+    def test_endpoint_gates_carry_detour(self, adder):
+        impl = FpgaImplementation(
+            seed=0,
+            wire_spread=0.0,
+            endpoint_route_min_ps=1000.0,
+            endpoint_route_max_ps=1000.0,
+        )
+        ann = fpga_annotate(adder, impl)
+        # s0 is a BUF driving a primary output: cell + fixed detour.
+        expected = DEFAULT_CELL_DELAYS_PS["BUF"] + 1000.0
+        assert ann.gate_delay_ps["s0"] == pytest.approx(expected)
+
+    def test_internal_gates_have_no_detour(self, adder):
+        impl = FpgaImplementation(
+            seed=0,
+            wire_spread=0.0,
+            endpoint_route_min_ps=1000.0,
+            endpoint_route_max_ps=1000.0,
+        )
+        ann = fpga_annotate(adder, impl)
+        internal = [
+            g.output for g in adder.gates if g.output not in adder.outputs
+        ]
+        for net in internal[:20]:
+            gate = adder.gate_driving(net)
+            assert ann.gate_delay_ps[net] == pytest.approx(
+                DEFAULT_CELL_DELAYS_PS[gate.type_name]
+            )
+
+    def test_carry_cells_fast(self):
+        assert DEFAULT_CELL_DELAYS_PS["AND"] < DEFAULT_CELL_DELAYS_PS["XOR"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FpgaImplementation(wire_spread=-1.0)
+        with pytest.raises(ValueError):
+            FpgaImplementation(
+                endpoint_route_min_ps=100.0, endpoint_route_max_ps=50.0
+            )
+
+    def test_requires_frozen(self):
+        from repro.netlist import Netlist
+
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            fpga_annotate(nl)
+
+
+class TestMappedTimingScale:
+    def test_alu_closes_around_50mhz(self):
+        """The paper's ALU is synthesized for 50 MHz: the mapped 192-bit
+        design must close somewhere in the tens of MHz — far below the
+        300 MHz overclock."""
+        alu = build_alu()
+        report = analyze_timing(fpga_annotate(alu))
+        assert 20.0 < report.max_frequency_mhz < 120.0
+        assert report.max_frequency_mhz < 300.0
+
+    def test_carry_chain_dominates_alu_critical_path(self):
+        alu = build_alu(64)
+        report = analyze_timing(fpga_annotate(alu))
+        # The critical path must traverse many carry stages.
+        assert report.critical_path.depth > 64

@@ -1,0 +1,69 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.traceio import TraceSet, load_traces, save_traces
+
+
+def make_traces(n=50):
+    rng = np.random.default_rng(0)
+    return TraceSet(
+        ciphertexts=rng.integers(0, 256, (n, 16), dtype=np.uint8),
+        leakage=rng.normal(size=n),
+        metadata={"sensor": "alu", "clock_mhz": 300},
+    )
+
+
+class TestTraceSet:
+    def test_basic_properties(self):
+        traces = make_traces(10)
+        assert traces.num_traces == 10
+        assert len(traces) == 10
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TraceSet(np.zeros((5, 8), dtype=np.uint8), np.zeros(5))
+        with pytest.raises(ValueError):
+            TraceSet(np.zeros((5, 16), dtype=np.uint8), np.zeros(4))
+
+    def test_subset(self):
+        traces = make_traces(50)
+        small = traces.subset(10)
+        assert small.num_traces == 10
+        assert np.array_equal(small.ciphertexts, traces.ciphertexts[:10])
+
+    def test_subset_bounds(self):
+        traces = make_traces(5)
+        with pytest.raises(ValueError):
+            traces.subset(6)
+        with pytest.raises(ValueError):
+            traces.subset(0)
+
+    def test_2d_leakage_supported(self):
+        traces = TraceSet(
+            np.zeros((4, 16), dtype=np.uint8),
+            np.zeros((4, 192)),
+        )
+        assert traces.leakage.shape == (4, 192)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        traces = make_traces()
+        path = str(tmp_path / "run.npz")
+        save_traces(path, traces)
+        loaded = load_traces(path)
+        assert np.array_equal(loaded.ciphertexts, traces.ciphertexts)
+        assert np.allclose(loaded.leakage, traces.leakage)
+        assert loaded.metadata == traces.metadata
+
+    def test_metadata_types_preserved(self, tmp_path):
+        traces = TraceSet(
+            np.zeros((2, 16), dtype=np.uint8),
+            np.zeros(2),
+            metadata={"bits": [1, 2, 3], "nested": {"a": True}},
+        )
+        path = str(tmp_path / "meta.npz")
+        save_traces(path, traces)
+        assert load_traces(path).metadata == traces.metadata
