@@ -1,0 +1,33 @@
+"""Regenerate the sampling/campaign performance snapshot.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf_sampling.py [output.json]
+
+Runs :func:`repro.experiments.benchmark.run_sampling_benchmark` at the
+acceptance configuration (100k-cycle ALU campaign) and writes the
+record to ``BENCH_sampling.json`` unless another path is given.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments.benchmark import write_sampling_benchmark
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sampling.json"
+    record = write_sampling_benchmark(path)
+    print(json.dumps(record, indent=2))
+    speedup = record["sampling"]["zero_jitter"]["speedup"]
+    print(
+        "\nbank vs loop (common query time): %.1fx; wrote %s"
+        % (speedup, path)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,12 +92,22 @@ class CPAResult:
 
 
 def default_checkpoints(num_traces: int, count: int = 60) -> np.ndarray:
-    """Logarithmically spaced evaluation points up to ``num_traces``."""
+    """Logarithmically spaced evaluation points up to ``num_traces``.
+
+    The grid normally starts at 50 traces (correlations below that are
+    pure noise).  For campaigns of at most 50 traces that start is
+    clamped so the grid still spans ``[2, num_traces]`` ascending — a
+    descending ``logspace`` would otherwise be filtered down to the
+    single point ``num_traces``.
+    """
     if num_traces < 2:
         raise ValueError("need at least 2 traces")
+    start = min(50, num_traces)
+    if start >= num_traces:
+        start = 2
     points = np.unique(
         np.round(
-            np.logspace(np.log10(50), np.log10(num_traces), count)
+            np.logspace(np.log10(start), np.log10(num_traces), count)
         ).astype(np.int64)
     )
     points = points[(points >= 2) & (points <= num_traces)]
@@ -144,6 +154,42 @@ class StreamingCPA:
         self._sum_hh += (h * h).sum(axis=0)
         self._sum_xh += h.T @ x
 
+    def merge(self, other: "StreamingCPA") -> "StreamingCPA":
+        """Fold another accumulator's traces into this one (in place).
+
+        Running sums are additive, so accumulators built over disjoint
+        trace blocks — by parallel workers, checkpointed shards, or
+        resumed campaigns — combine into exactly the single-stream
+        state (integer-valued leakage and hypotheses make the sums
+        float-exact, hence order-independent).
+
+        Returns:
+            self, for chaining.
+        """
+        if other.num_candidates != self.num_candidates:
+            raise ValueError(
+                "cannot merge %d-candidate accumulator into %d"
+                % (other.num_candidates, self.num_candidates)
+            )
+        self.count += other.count
+        self._sum_x += other._sum_x
+        self._sum_xx += other._sum_xx
+        self._sum_h += other._sum_h
+        self._sum_hh += other._sum_hh
+        self._sum_xh += other._sum_xh
+        return self
+
+    def copy(self) -> "StreamingCPA":
+        """Independent snapshot of the accumulated state."""
+        clone = StreamingCPA(num_candidates=self.num_candidates)
+        clone.count = self.count
+        clone._sum_x = self._sum_x
+        clone._sum_xx = self._sum_xx
+        clone._sum_h = self._sum_h.copy()
+        clone._sum_hh = self._sum_hh.copy()
+        clone._sum_xh = self._sum_xh.copy()
+        return clone
+
     def correlations(self) -> np.ndarray:
         """Pearson correlation of every candidate over all seen traces."""
         n = self.count
@@ -172,7 +218,11 @@ def run_cpa(
         hypotheses: (N, 256) hypothesis matrix from
             :mod:`repro.attacks.models`.
         checkpoints: trace counts at which to record correlations;
-            defaults to :func:`default_checkpoints`.
+            defaults to :func:`default_checkpoints`.  A final
+            checkpoint at ``num_traces`` is always appended when
+            missing, so every provided trace contributes to the result
+            (traces beyond the last explicit checkpoint used to be
+            silently dropped).
         correct_key: true key byte for rank/MTD metrics.
 
     Returns:
@@ -191,6 +241,8 @@ def run_cpa(
         points = np.unique(np.asarray(checkpoints, dtype=np.int64))
         if points.size == 0 or points[0] < 2 or points[-1] > num_traces:
             raise ValueError("checkpoints must lie in [2, num_traces]")
+        if points[-1] != num_traces:
+            points = np.append(points, num_traces)
 
     engine = StreamingCPA(num_candidates=h.shape[1])
     rows: List[np.ndarray] = []

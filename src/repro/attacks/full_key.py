@@ -13,6 +13,7 @@ key.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -108,6 +109,7 @@ def recover_last_round_key(
     target_bit: int = 0,
     correct_key: Optional[bytes] = None,
     checkpoints: Optional[List[int]] = None,
+    max_workers: Optional[int] = None,
 ) -> FullKeyResult:
     """CPA over all 16 last-round key bytes.
 
@@ -120,6 +122,10 @@ def recover_last_round_key(
         target_bit: hypothesis bit within the pre-SBox byte.
         correct_key: true round-10 key for metrics, if known.
         checkpoints: progress checkpoints forwarded to each CPA.
+        max_workers: if greater than 1, run the 16 independent per-byte
+            CPAs on a thread pool (each byte's CPA is a fixed function
+            of its inputs, so the result is identical to the serial
+            loop).  Default: serial.
 
     Returns:
         a :class:`FullKeyResult` with one CPA result per key byte.
@@ -131,22 +137,25 @@ def recover_last_round_key(
     if ct.shape != (leakage.shape[0], 16):
         raise ValueError("ciphertexts must have shape (N, 16)")
 
-    results: List[CPAResult] = []
-    for byte_index in range(16):
+    def attack_byte(byte_index: int) -> CPAResult:
         hypotheses = single_bit_hypothesis(
             ct[:, byte_index], bit=target_bit
         )
         column = column_of_key_byte(byte_index)
-        results.append(
-            run_cpa(
-                leakage[:, column],
-                hypotheses,
-                checkpoints=checkpoints,
-                correct_key=(
-                    None if correct_key is None else correct_key[byte_index]
-                ),
-            )
+        return run_cpa(
+            leakage[:, column],
+            hypotheses,
+            checkpoints=checkpoints,
+            correct_key=(
+                None if correct_key is None else correct_key[byte_index]
+            ),
         )
+
+    if max_workers is not None and max_workers > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            results = list(executor.map(attack_byte, range(16)))
+    else:
+        results = [attack_byte(byte_index) for byte_index in range(16)]
     return FullKeyResult(
         byte_results=results,
         true_last_round_key=correct_key,

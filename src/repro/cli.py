@@ -12,6 +12,8 @@ Commands:
 * ``floorplan <circuit>`` — render the Figs. 3/4 floorplan.
 * ``covert`` — run the covert-channel demonstration.
 * ``report`` — regenerate the paper-vs-measured figure table.
+* ``bench`` — measure sampling/campaign throughput and write
+  ``BENCH_sampling.json``.
 """
 
 from __future__ import annotations
@@ -47,9 +49,17 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["hamming_weight", "single_bit"],
         default="hamming_weight",
     )
+    attack.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads for the sharded driver (1 = serial)",
+    )
 
     fullkey = sub.add_parser("fullkey", help="recover all 16 key bytes")
     fullkey.add_argument("--traces", type=int, default=250_000)
+    fullkey.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads for collection and per-byte CPAs",
+    )
 
     scan = sub.add_parser("scan", help="bitstream-check a design")
     scan.add_argument(
@@ -73,6 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--no-cpa", action="store_true",
         help="skip the CPA campaigns (fast)",
+    )
+    report.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads for the sharded CPA figures",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="sampling/campaign performance snapshot"
+    )
+    bench.add_argument("--cycles", type=int, default=100_000)
+    bench.add_argument("--traces", type=int, default=100_000)
+    bench.add_argument(
+        "--circuit", default="alu", choices=["alu", "c6288", "c6288x2"]
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--workers", type=int, default=None)
+    bench.add_argument(
+        "--output", default="BENCH_sampling.json",
+        help="where to write the JSON record",
     )
     return parser
 
@@ -98,11 +127,22 @@ def _cmd_attack(args) -> int:
         describe_mtd,
     )
 
+    from repro.experiments import sharded_attack
+
     setup = ExperimentSetup(
-        ExperimentConfig(seed=args.seed, num_traces=args.traces)
+        ExperimentConfig(
+            seed=args.seed,
+            num_traces=args.traces,
+            max_workers=args.workers,
+        )
     )
     campaign = setup.campaign(args.circuit)
-    result = campaign.attack(args.traces, reduction=args.reduction)
+    result = sharded_attack(
+        campaign,
+        args.traces,
+        reduction=args.reduction,
+        max_workers=args.workers,
+    )
     correct = setup.cipher.last_round_key[setup.config.target_byte]
     print(
         "best guess 0x%02X (true 0x%02X), rank %d, %s"
@@ -119,10 +159,18 @@ def _cmd_attack(args) -> int:
 def _cmd_fullkey(args) -> int:
     from repro.experiments import ExperimentConfig, ExperimentSetup
 
+    from repro.experiments import sharded_full_key
+
     setup = ExperimentSetup(
-        ExperimentConfig(seed=args.seed, num_traces=args.traces)
+        ExperimentConfig(
+            seed=args.seed,
+            num_traces=args.traces,
+            max_workers=args.workers,
+        )
     )
-    result = setup.campaign("alu").attack_full_key(args.traces)
+    result = sharded_full_key(
+        setup.campaign("alu"), args.traces, max_workers=args.workers
+    )
     print(
         "correct bytes %d/16, residual enumeration 2^%.1f"
         % (result.num_correct_bytes, result.log2_remaining_enumeration())
@@ -206,11 +254,33 @@ def _cmd_report(args) -> int:
     from repro.experiments.runner import render_report, run_all_figures
 
     records = run_all_figures(
-        ExperimentConfig(seed=args.seed, num_traces=args.traces),
+        ExperimentConfig(
+            seed=args.seed,
+            num_traces=args.traces,
+            max_workers=args.workers,
+        ),
         include_cpa=not args.no_cpa,
     )
     print(render_report(records))
     return 0 if all(record.ok for record in records) else 1
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.experiments.benchmark import write_sampling_benchmark
+
+    record = write_sampling_benchmark(
+        args.output,
+        num_cycles=args.cycles,
+        circuit=args.circuit,
+        campaign_traces=args.traces,
+        repeats=args.repeats,
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    print(json.dumps(record, indent=2))
+    return 0
 
 
 _COMMANDS = {
@@ -222,6 +292,7 @@ _COMMANDS = {
     "floorplan": _cmd_floorplan,
     "covert": _cmd_covert,
     "report": _cmd_report,
+    "bench": _cmd_bench,
 }
 
 

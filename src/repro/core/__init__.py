@@ -38,6 +38,11 @@ from repro.core.calibration import (
     SensorCalibration,
     calibrate_endpoints,
 )
+from repro.core.calibration_cache import (
+    cached_calibrate_endpoints,
+    calibration_stats,
+    clear_calibration_cache,
+)
 from repro.core.endpoint_sensor import (
     DEFAULT_JITTER_PS,
     DEFAULT_SHARED_JITTER_PS,
@@ -45,6 +50,7 @@ from repro.core.endpoint_sensor import (
     BenignSensor,
     BenignSensorInstance,
 )
+from repro.core.waveform_bank import WaveformBank, build_bank
 from repro.core.postprocess import (
     SensitivityCensus,
     best_bit,
@@ -77,11 +83,16 @@ __all__ = [
     "SensitivityCensus",
     "SensorCalibration",
     "StimulusCandidate",
+    "WaveformBank",
     "WindowCoverage",
     "best_bit",
+    "build_bank",
     "bit_variances",
     "bits_of_interest",
+    "cached_calibrate_endpoints",
     "calibrate_endpoints",
+    "calibration_stats",
+    "clear_calibration_cache",
     "find_activation_stimulus",
     "hamming_weight_series",
     "rank_bits_by_variance",

@@ -21,7 +21,7 @@ The same campaign object drives the TDC for baseline comparisons, so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,13 @@ from repro.util.rng import derive_seed
 #: Reduction modes accepted by :meth:`AttackCampaign.collect_reduced_traces`.
 REDUCTION_HW = "hamming_weight"
 REDUCTION_SINGLE_BIT = "single_bit"
+
+#: Traces generated per vectorized block.  Per-block jitter seeds are
+#: derived from the block's *global* start index, so any consumer that
+#: honours this grid (the serial collectors below, the sharded campaign
+#: driver in :mod:`repro.experiments.parallel`) reproduces identical
+#: leakage regardless of how the work is partitioned.
+TRACE_CHUNK = 50_000
 
 
 @dataclass
@@ -232,12 +239,82 @@ class AttackCampaign:
     # ------------------------------------------------------------------
     # Phase 2+3+4: collection, reduction, CPA
     # ------------------------------------------------------------------
+    def resolve_reduction(
+        self, reduction: str, bit: Optional[int] = None
+    ) -> Tuple[Optional[np.ndarray], Optional[int]]:
+        """Validate a reduction mode against the characterization.
+
+        Returns:
+            ``(mask, bit)``: the sensitive-bit mask for Hamming-weight
+            reduction (else None), and the resolved endpoint index for
+            single-bit reduction (else None).
+        """
+        characterization = self.characterization
+        if reduction == REDUCTION_HW:
+            mask = characterization.census.ro_sensitive
+            if not mask.any():
+                raise RuntimeError("no sensitive bits to reduce over")
+            return mask, None
+        if reduction == REDUCTION_SINGLE_BIT:
+            if bit is None:
+                bit = characterization.best_bit()
+            if not 0 <= bit < self.sensor.num_bits:
+                raise ValueError("bit %d outside endpoint word" % bit)
+            return None, bit
+        raise ValueError("unknown reduction %r" % (reduction,))
+
+    def campaign_inputs(
+        self, num_traces: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Ciphertexts and aligned supply voltages for one campaign.
+
+        Both draws are campaign-global (seeded once for all N traces),
+        so any partitioning of downstream work observes the same
+        victim behaviour.
+        """
+        ciphertexts = random_ciphertexts(
+            num_traces, seed=derive_seed(self.seed, "campaign-ct")
+        )
+        voltages = self.leakage.voltages(
+            ciphertexts,
+            self.cipher.last_round_key,
+            seed=derive_seed(self.seed, "campaign-noise"),
+        )
+        return ciphertexts, voltages
+
+    def reduced_leakage_block(
+        self,
+        voltages: np.ndarray,
+        global_start: int,
+        reduction: str,
+        mask: Optional[np.ndarray],
+        bit: Optional[int],
+    ) -> np.ndarray:
+        """Reduced sensor leakage for one chunk of the campaign.
+
+        Args:
+            voltages: voltage slice for traces
+                ``[global_start, global_start + len(voltages))``.
+            global_start: the slice's offset in the full campaign —
+                the jitter seed is keyed on it, so identical slices
+                yield identical leakage no matter which worker or loop
+                computes them.
+            reduction / mask / bit: from :meth:`resolve_reduction`.
+        """
+        bits = self.sensor.sample_bits(
+            voltages,
+            seed=derive_seed(self.seed, "campaign-jitter", global_start),
+        )
+        if reduction == REDUCTION_HW:
+            return hamming_weight_series(bits, mask)
+        return bits[:, bit].astype(np.float64)
+
     def collect_reduced_traces(
         self,
         num_traces: int,
         reduction: str = REDUCTION_HW,
         bit: Optional[int] = None,
-        chunk_size: int = 50_000,
+        chunk_size: int = TRACE_CHUNK,
     ) -> Dict[str, np.ndarray]:
         """Generate ciphertexts and reduced sensor traces.
 
@@ -255,38 +332,14 @@ class AttackCampaign:
         """
         if num_traces < 2:
             raise ValueError("need at least 2 traces")
-        characterization = self.characterization
-        if reduction == REDUCTION_HW:
-            mask = characterization.census.ro_sensitive
-            if not mask.any():
-                raise RuntimeError("no sensitive bits to reduce over")
-        elif reduction == REDUCTION_SINGLE_BIT:
-            if bit is None:
-                bit = characterization.best_bit()
-            if not 0 <= bit < self.sensor.num_bits:
-                raise ValueError("bit %d outside endpoint word" % bit)
-        else:
-            raise ValueError("unknown reduction %r" % (reduction,))
-
-        ciphertexts = random_ciphertexts(
-            num_traces, seed=derive_seed(self.seed, "campaign-ct")
-        )
-        voltages = self.leakage.voltages(
-            ciphertexts,
-            self.cipher.last_round_key,
-            seed=derive_seed(self.seed, "campaign-noise"),
-        )
+        mask, bit = self.resolve_reduction(reduction, bit)
+        ciphertexts, voltages = self.campaign_inputs(num_traces)
         leakage = np.empty(num_traces, dtype=np.float64)
         for start in range(0, num_traces, chunk_size):
             end = min(start + chunk_size, num_traces)
-            bits = self.sensor.sample_bits(
-                voltages[start:end],
-                seed=derive_seed(self.seed, "campaign-jitter", start),
+            leakage[start:end] = self.reduced_leakage_block(
+                voltages[start:end], start, reduction, mask, bit
             )
-            if reduction == REDUCTION_HW:
-                leakage[start:end] = hamming_weight_series(bits, mask)
-            else:
-                leakage[start:end] = bits[:, bit]
         return {
             "ciphertexts": ciphertexts,
             "leakage": leakage,
@@ -387,10 +440,30 @@ class AttackCampaign:
             correct_key=self.cipher.last_round_key[target_byte],
         )
 
+    def column_leakage_block(
+        self,
+        voltages: np.ndarray,
+        global_start: int,
+        column: int,
+        mask: np.ndarray,
+    ) -> np.ndarray:
+        """Hamming-weight leakage for one column over one trace chunk.
+
+        Mirrors :meth:`reduced_leakage_block`: the jitter seed is keyed
+        on ``(column, global_start)``, matching the serial collector.
+        """
+        bits = self.sensor.sample_bits(
+            voltages,
+            seed=derive_seed(
+                self.seed, "campaign-jitter", column, global_start
+            ),
+        )
+        return hamming_weight_series(bits, mask)
+
     def collect_column_traces(
         self,
         num_traces: int,
-        chunk_size: int = 50_000,
+        chunk_size: int = TRACE_CHUNK,
     ) -> Dict[str, np.ndarray]:
         """Reduced traces for all four last-round column cycles.
 
@@ -420,14 +493,8 @@ class AttackCampaign:
         for column in range(4):
             for start in range(0, num_traces, chunk_size):
                 end = min(start + chunk_size, num_traces)
-                bits = self.sensor.sample_bits(
-                    voltages[start:end, column],
-                    seed=derive_seed(
-                        self.seed, "campaign-jitter", column, start
-                    ),
-                )
-                leakage[start:end, column] = hamming_weight_series(
-                    bits, mask
+                leakage[start:end, column] = self.column_leakage_block(
+                    voltages[start:end, column], start, column, mask
                 )
         return {"ciphertexts": ciphertexts, "leakage": leakage}
 

@@ -24,11 +24,12 @@ The equivalence between this fast path and the gate-level simulator
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.waveform_bank import WaveformBank
 from repro.timing.delay_model import DelayAnnotation, DelayModel
 from repro.timing.event_sim import TimedSimulator, endpoint_waveforms
 from repro.util.rng import make_rng
@@ -101,10 +102,20 @@ class SensorCalibration:
     waveforms: List[EndpointWaveform]
     sample_period_ps: float
     delay_model: DelayModel
+    _bank: Optional[WaveformBank] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_bits(self) -> int:
         return len(self.waveforms)
+
+    @property
+    def bank(self) -> WaveformBank:
+        """Flattened vectorized sampling kernel (built lazily once)."""
+        if self._bank is None:
+            self._bank = WaveformBank(self.waveforms)
+        return self._bank
 
     @property
     def endpoint_nets(self) -> List[str]:
@@ -117,14 +128,37 @@ class SensorCalibration:
         )
         return self.sample_period_ps / factor
 
+    def _query_times(
+        self,
+        voltages: np.ndarray,
+        shared_jitter_ps: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Per-cycle query times with shared jitter folded in."""
+        tau = self.nominal_times(voltages)
+        if shared_jitter_ps is not None:
+            shared = np.asarray(shared_jitter_ps, dtype=float)
+            if shared.shape != tau.shape:
+                raise ValueError(
+                    "shared jitter shape %r does not match voltages %r"
+                    % (shared.shape, tau.shape)
+                )
+            tau = tau + shared
+        return tau
+
     def sample_bits(
         self,
         voltages: np.ndarray,
         jitter_ps: float = 0.0,
         seed: int = 0,
-        shared_jitter_ps: np.ndarray = None,
+        shared_jitter_ps: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Latched endpoint values for a vector of per-cycle voltages.
+
+        Sampling runs through the vectorized :class:`WaveformBank`
+        kernel; :meth:`sample_bits_reference` keeps the original
+        per-endpoint loop, and the test suite asserts both paths are
+        bit-identical (the jitter draw consumes the same generator
+        stream in both).
 
         Args:
             voltages: (N,) supply voltage during each measure cycle.
@@ -135,14 +169,28 @@ class SensorCalibration:
             shared_jitter_ps: optional (N,) per-cycle time offset added
                 to every endpoint equally — capture-clock jitter, which
                 is common-mode across the register bank and therefore
-                does not average out over bits.
+                does not average out over bits.  Must match the shape
+                of ``voltages``.
 
         Returns:
             uint8 array (N, num_bits).
         """
-        tau = self.nominal_times(voltages)
-        if shared_jitter_ps is not None:
-            tau = tau + np.asarray(shared_jitter_ps, dtype=float)
+        tau = self._query_times(voltages, shared_jitter_ps)
+        return self.bank.sample(tau, jitter_ps=jitter_ps, seed=seed)
+
+    def sample_bits_reference(
+        self,
+        voltages: np.ndarray,
+        jitter_ps: float = 0.0,
+        seed: int = 0,
+        shared_jitter_ps: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Legacy per-endpoint sampling loop (reference implementation).
+
+        Kept as the ground truth the bank kernel is validated against;
+        see :meth:`sample_bits` for the argument contract.
+        """
+        tau = self._query_times(voltages, shared_jitter_ps)
         n = tau.shape[0]
         bits = np.empty((n, self.num_bits), dtype=np.uint8)
         rng = make_rng(seed, "endpoint-jitter") if jitter_ps > 0 else None

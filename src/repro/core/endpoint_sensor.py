@@ -26,7 +26,8 @@ from typing import List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.circuits.library import CircuitSpec, get_circuit_spec
-from repro.core.calibration import SensorCalibration, calibrate_endpoints
+from repro.core.calibration import SensorCalibration
+from repro.core.calibration_cache import cached_calibrate_endpoints
 from repro.sensors.base import VoltageSensor
 from repro.timing.delay_model import DelayAnnotation
 from repro.timing.event_sim import TimedSimulator
@@ -117,12 +118,13 @@ class BenignSensor(VoltageSensor):
                 impl = dataclasses.replace(implementation, seed=seed)
             netlist = spec.build()
             annotation = fpga_annotate(netlist, impl)
-            calibration = calibrate_endpoints(
+            calibration = cached_calibrate_endpoints(
                 annotation,
                 spec.reset_inputs,
                 spec.measure_inputs,
                 spec.endpoint_nets,
                 sample_period_ps,
+                context=(spec.name, seed),
             )
             instances.append(
                 BenignSensorInstance(

@@ -23,6 +23,12 @@ from repro.experiments.cpa_experiments import (
     fig17_cpa_c6288,
     fig18_cpa_c6288_best_bit,
 )
+from repro.experiments.parallel import (
+    Shard,
+    plan_shards,
+    sharded_attack,
+    sharded_full_key,
+)
 from repro.experiments.preliminary import (
     fig03_04_floorplan,
     fig05_raw_toggle,
@@ -40,6 +46,10 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentSetup",
     "PAPER_EXPECTED",
+    "Shard",
+    "plan_shards",
+    "sharded_attack",
+    "sharded_full_key",
     "describe_mtd",
     "fig03_04_floorplan",
     "fig05_raw_toggle",

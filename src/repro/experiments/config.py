@@ -9,7 +9,7 @@ figure; EXPERIMENTS.md pairs them with our measured values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 #: AES key used across experiments (arbitrary but fixed).
 DEFAULT_KEY = bytes(range(16))
@@ -27,6 +27,10 @@ class ExperimentConfig:
         target_byte / target_bit: CPA target (paper: 1st bit of the 4th
             byte of the last round key).
         overclock_mhz: benign-circuit clock (paper: 300 MHz).
+        max_workers: worker threads for the sharded campaign driver
+            (None: a machine-dependent default; 1: force serial).
+            Results are identical either way — sharding only changes
+            wall-clock.
     """
 
     seed: int = 1
@@ -36,6 +40,7 @@ class ExperimentConfig:
     target_byte: int = 3
     target_bit: int = 0
     overclock_mhz: float = 300.0
+    max_workers: Optional[int] = None
 
     def scaled(self, fraction: float) -> "ExperimentConfig":
         """A cheaper copy with ``num_traces`` scaled by ``fraction``.
@@ -53,6 +58,7 @@ class ExperimentConfig:
             target_byte=self.target_byte,
             target_bit=self.target_bit,
             overclock_mhz=self.overclock_mhz,
+            max_workers=self.max_workers,
         )
 
 

@@ -4,6 +4,13 @@ Each driver runs one figure's attack and returns a
 :class:`CPAExperimentOutcome` carrying the correlation-progress data
 (the paper's subfigure (b)), the final per-candidate correlations
 (subfigure (a)) and the measurements-to-disclosure headline number.
+
+Benign-sensor figures (10/12/13/17/18) run through the sharded
+campaign driver (:func:`repro.experiments.parallel.sharded_attack`),
+honouring ``config.max_workers``; the result is bit-identical to the
+serial :meth:`AttackCampaign.attack` path.  The TDC/RO baselines keep
+the serial path — their sensors draw a single whole-campaign noise
+stream that is not partitionable.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import numpy as np
 from repro.attacks.cpa import CPAResult
 from repro.attacks.metrics import summarize
 from repro.core.attack import REDUCTION_HW, REDUCTION_SINGLE_BIT
+from repro.experiments.parallel import sharded_attack
 from repro.experiments.setup import ExperimentSetup
 
 
@@ -70,11 +78,13 @@ def fig09_cpa_tdc(setup: ExperimentSetup) -> CPAExperimentOutcome:
 
 def fig10_cpa_alu(setup: ExperimentSetup) -> CPAExperimentOutcome:
     """Fig. 10: CPA with the ALU Hamming-weight sensor."""
-    result = setup.campaign("alu").attack(
+    result = sharded_attack(
+        setup.campaign("alu"),
         setup.config.num_traces,
         reduction=REDUCTION_HW,
         target_byte=setup.config.target_byte,
         target_bit=setup.config.target_bit,
+        max_workers=setup.config.max_workers,
     )
     return CPAExperimentOutcome(
         "fig10", "ALU @300 MHz, HW of sensitive bits", result
@@ -105,12 +115,14 @@ def fig12_cpa_alu_best_bit(setup: ExperimentSetup) -> CPAExperimentOutcome:
     analysis (trial CPA over the top-ranked candidates).
     """
     bit = setup.single_bit_ranking("alu")[0]
-    result = setup.campaign("alu").attack(
+    result = sharded_attack(
+        setup.campaign("alu"),
         setup.config.num_traces,
         reduction=REDUCTION_SINGLE_BIT,
         bit=bit,
         target_byte=setup.config.target_byte,
         target_bit=setup.config.target_bit,
+        max_workers=setup.config.max_workers,
     )
     return CPAExperimentOutcome(
         "fig12", "ALU, single endpoint (paper: bit 21)", result,
@@ -123,12 +135,14 @@ def fig13_cpa_alu_alternate_bit(
 ) -> CPAExperimentOutcome:
     """Fig. 13: CPA with an alternate ALU endpoint (paper: bit 6)."""
     bit = setup.single_bit_ranking("alu")[1]
-    result = setup.campaign("alu").attack(
+    result = sharded_attack(
+        setup.campaign("alu"),
         setup.config.num_traces,
         reduction=REDUCTION_SINGLE_BIT,
         bit=bit,
         target_byte=setup.config.target_byte,
         target_bit=setup.config.target_bit,
+        max_workers=setup.config.max_workers,
     )
     return CPAExperimentOutcome(
         "fig13", "ALU, alternate endpoint (paper: bit 6)", result,
@@ -138,11 +152,13 @@ def fig13_cpa_alu_alternate_bit(
 
 def fig17_cpa_c6288(setup: ExperimentSetup) -> CPAExperimentOutcome:
     """Fig. 17: CPA with the 2x C6288 Hamming-weight sensor."""
-    result = setup.campaign("c6288x2").attack(
+    result = sharded_attack(
+        setup.campaign("c6288x2"),
         setup.config.num_traces,
         reduction=REDUCTION_HW,
         target_byte=setup.config.target_byte,
         target_bit=setup.config.target_bit,
+        max_workers=setup.config.max_workers,
     )
     return CPAExperimentOutcome(
         "fig17", "2x C6288 @300 MHz, HW of 64-bit word", result
@@ -154,12 +170,14 @@ def fig18_cpa_c6288_best_bit(
 ) -> CPAExperimentOutcome:
     """Fig. 18: CPA with the C6288's best single endpoint (paper: 28)."""
     bit = setup.single_bit_ranking("c6288x2")[0]
-    result = setup.campaign("c6288x2").attack(
+    result = sharded_attack(
+        setup.campaign("c6288x2"),
         setup.config.num_traces,
         reduction=REDUCTION_SINGLE_BIT,
         bit=bit,
         target_byte=setup.config.target_byte,
         target_bit=setup.config.target_bit,
+        max_workers=setup.config.max_workers,
     )
     return CPAExperimentOutcome(
         "fig18", "C6288, single endpoint (paper: bit 28)", result,

@@ -1,0 +1,259 @@
+"""Sharded, mergeable CPA campaign driver.
+
+A half-million-trace campaign decomposes naturally: trace generation
+(sensor sampling) and hypothesis building are embarrassingly parallel
+over disjoint trace ranges, and the CPA statistic is a set of running
+sums, so per-shard :class:`~repro.attacks.cpa.StreamingCPA`
+accumulators merge into exactly the single-stream state.
+
+Determinism is preserved by construction:
+
+* ciphertexts and victim voltages are drawn campaign-globally (one
+  seeded draw for all N traces) before any sharding;
+* shard boundaries are aligned to the campaign's
+  :data:`~repro.core.attack.TRACE_CHUNK` grid, and each chunk's jitter
+  seed is keyed on its *global* start index — the same derivation the
+  serial collector uses — so every worker reproduces the exact leakage
+  the serial path would have produced;
+* leakage and hypothesis values are integer-valued, so the running
+  sums are float-exact and merging is order-independent: the sharded
+  result is bit-identical to :func:`repro.attacks.cpa.run_cpa`.
+
+Workers run on a :class:`concurrent.futures.ThreadPoolExecutor`; the
+heavy kernels (waveform-bank sampling, the hypothesis table lookups,
+the accumulator GEMV) are numpy calls that release the GIL for most of
+their runtime.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aes.leakage import random_ciphertexts
+from repro.attacks.cpa import (
+    CPAResult,
+    StreamingCPA,
+    default_checkpoints,
+)
+from repro.attacks.full_key import FullKeyResult, recover_last_round_key
+from repro.attacks.models import (
+    DEFAULT_TARGET_BIT,
+    DEFAULT_TARGET_BYTE,
+    single_bit_hypothesis,
+)
+from repro.core.attack import (
+    REDUCTION_HW,
+    TRACE_CHUNK,
+    AttackCampaign,
+)
+from repro.util.rng import derive_seed
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    return min(8, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous trace range ``[start, end)``."""
+
+    start: int
+    end: int
+
+    @property
+    def num_traces(self) -> int:
+        return self.end - self.start
+
+
+def plan_shards(
+    num_traces: int,
+    num_shards: Optional[int] = None,
+    chunk_size: int = TRACE_CHUNK,
+) -> List[Shard]:
+    """Split ``[0, num_traces)`` into chunk-aligned contiguous shards.
+
+    Shard boundaries land on multiples of ``chunk_size`` (except the
+    final partial chunk), because per-chunk jitter seeds are keyed on
+    the chunk grid; splitting mid-chunk would change the sampled noise
+    relative to the serial path.
+    """
+    if num_traces < 1:
+        raise ValueError("need at least one trace")
+    if chunk_size < 1:
+        raise ValueError("chunk size must be positive")
+    num_chunks = -(-num_traces // chunk_size)
+    shards = min(num_shards or default_workers(), num_chunks)
+    shards = max(1, shards)
+    # Distribute whole chunks as evenly as possible.
+    per_shard, extra = divmod(num_chunks, shards)
+    plan: List[Shard] = []
+    chunk_cursor = 0
+    for index in range(shards):
+        take = per_shard + (1 if index < extra else 0)
+        start = chunk_cursor * chunk_size
+        chunk_cursor += take
+        end = min(chunk_cursor * chunk_size, num_traces)
+        plan.append(Shard(start, end))
+    return plan
+
+
+def _normalize_checkpoints(
+    checkpoints: Optional[Sequence[int]], num_traces: int
+) -> np.ndarray:
+    """Checkpoint grid with the same contract as :func:`run_cpa`."""
+    if checkpoints is None:
+        return default_checkpoints(num_traces)
+    points = np.unique(np.asarray(checkpoints, dtype=np.int64))
+    if points.size == 0 or points[0] < 2 or points[-1] > num_traces:
+        raise ValueError("checkpoints must lie in [2, num_traces]")
+    if points[-1] != num_traces:
+        points = np.append(points, num_traces)
+    return points
+
+
+def _segment_ends(shard: Shard, points: np.ndarray) -> List[int]:
+    """Shard-internal segment boundaries: checkpoints, then shard end."""
+    inside = points[(points > shard.start) & (points < shard.end)]
+    return [int(p) for p in inside] + [shard.end]
+
+
+def _map_shards(work, shards: List[Shard], max_workers: Optional[int]):
+    """Run ``work`` over shards, in order, optionally in parallel."""
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers <= 1 or len(shards) <= 1:
+        return [work(shard) for shard in shards]
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(work, shards))
+
+
+def sharded_attack(
+    campaign: AttackCampaign,
+    num_traces: int,
+    reduction: str = REDUCTION_HW,
+    bit: Optional[int] = None,
+    target_byte: int = DEFAULT_TARGET_BYTE,
+    target_bit: int = DEFAULT_TARGET_BIT,
+    checkpoints: Optional[Sequence[int]] = None,
+    max_workers: Optional[int] = None,
+    chunk_size: int = TRACE_CHUNK,
+) -> CPAResult:
+    """Parallel drop-in for :meth:`AttackCampaign.attack`.
+
+    Trace generation and hypothesis building are sharded across
+    workers; each worker accumulates one :class:`StreamingCPA` partial
+    per checkpoint segment of its shard, and the driver merges the
+    partials in trace order, evaluating correlations whenever a merge
+    boundary is a checkpoint.  The result is bit-identical to the
+    serial path for the same seed (see module docstring).
+
+    Args:
+        campaign: characterized attack campaign.
+        num_traces / reduction / bit / target_byte / target_bit /
+            checkpoints: as in :meth:`AttackCampaign.attack`.
+        max_workers: worker threads (default: :func:`default_workers`;
+            pass 1 to force in-process serial execution).
+        chunk_size: trace-generation block length; must stay on the
+            campaign's chunk grid to reproduce the serial jitter seeds.
+    """
+    if num_traces < 2:
+        raise ValueError("need at least 2 traces")
+    mask, bit = campaign.resolve_reduction(reduction, bit)
+    ciphertexts, voltages = campaign.campaign_inputs(num_traces)
+    points = _normalize_checkpoints(checkpoints, num_traces)
+    shards = plan_shards(num_traces, max_workers, chunk_size)
+
+    def work(shard: Shard) -> List[Tuple[int, StreamingCPA]]:
+        leakage = np.empty(shard.num_traces, dtype=np.float64)
+        for start in range(shard.start, shard.end, chunk_size):
+            end = min(start + chunk_size, shard.end)
+            leakage[start - shard.start : end - shard.start] = (
+                campaign.reduced_leakage_block(
+                    voltages[start:end], start, reduction, mask, bit
+                )
+            )
+        hypotheses = single_bit_hypothesis(
+            ciphertexts[shard.start : shard.end, target_byte],
+            bit=target_bit,
+        )
+        partials: List[Tuple[int, StreamingCPA]] = []
+        previous = shard.start
+        for segment_end in _segment_ends(shard, points):
+            engine = StreamingCPA(num_candidates=hypotheses.shape[1])
+            engine.update(
+                leakage[previous - shard.start : segment_end - shard.start],
+                hypotheses[
+                    previous - shard.start : segment_end - shard.start
+                ],
+            )
+            partials.append((segment_end, engine))
+            previous = segment_end
+        return partials
+
+    per_shard = _map_shards(work, shards, max_workers)
+
+    running = StreamingCPA(num_candidates=256)
+    rows: List[np.ndarray] = []
+    checkpoint_set = {int(p) for p in points}
+    for partials in per_shard:
+        for boundary, engine in partials:
+            running.merge(engine)
+            if boundary in checkpoint_set:
+                rows.append(running.correlations())
+    return CPAResult(
+        checkpoints=points,
+        correlations=np.vstack(rows),
+        correct_key=campaign.cipher.last_round_key[target_byte],
+    )
+
+
+def sharded_full_key(
+    campaign: AttackCampaign,
+    num_traces: int,
+    target_bit: int = DEFAULT_TARGET_BIT,
+    checkpoints: Optional[List[int]] = None,
+    max_workers: Optional[int] = None,
+    chunk_size: int = TRACE_CHUNK,
+) -> FullKeyResult:
+    """Parallel drop-in for :meth:`AttackCampaign.attack_full_key`.
+
+    Column-resolved trace collection is sharded across workers (chunk
+    seeds keyed on the global ``(column, start)`` grid, identical to
+    the serial collector), then the 16 per-byte CPAs run in parallel.
+    """
+    if num_traces < 2:
+        raise ValueError("need at least 2 traces")
+    mask, _ = campaign.resolve_reduction(REDUCTION_HW)
+    ciphertexts = random_ciphertexts(
+        num_traces, seed=derive_seed(campaign.seed, "campaign-ct")
+    )
+    voltages = campaign.leakage.column_voltages(
+        ciphertexts,
+        campaign.cipher.last_round_key,
+        seed=derive_seed(campaign.seed, "campaign-noise"),
+    )
+    shards = plan_shards(num_traces, max_workers, chunk_size)
+    leakage = np.empty((num_traces, 4), dtype=np.float64)
+
+    def work(shard: Shard) -> None:
+        for column in range(4):
+            for start in range(shard.start, shard.end, chunk_size):
+                end = min(start + chunk_size, shard.end)
+                leakage[start:end, column] = campaign.column_leakage_block(
+                    voltages[start:end, column], start, column, mask
+                )
+
+    _map_shards(work, shards, max_workers)
+    return recover_last_round_key(
+        leakage,
+        ciphertexts,
+        target_bit=target_bit,
+        correct_key=campaign.cipher.last_round_key,
+        checkpoints=checkpoints,
+        max_workers=max_workers,
+    )

@@ -143,9 +143,17 @@ class TimedSimulator:
         next_sample = next(sample_iter)
 
         def take_snapshots_up_to(event_time: float) -> None:
-            """Emit snapshots for all sample times before ``event_time``."""
+            """Emit snapshots for all sample times at or before ``event_time``.
+
+            The comparison is inclusive: a transition scheduled exactly
+            at a sample time has *not* propagated through the capture
+            register yet, so the latch observes the value from strictly
+            before the clock edge.  (With a strict ``<`` an exact-tie
+            event would be applied first and wrongly counted as
+            latched.)
+            """
             nonlocal next_sample
-            while next_sample is not None and next_sample < event_time:
+            while next_sample is not None and next_sample <= event_time:
                 snapshots.append(
                     TimedSnapshot(next_sample, dict(values), settled=False)
                 )

@@ -150,3 +150,47 @@ class TestRunCpa:
         leak, hypotheses, correct = synthetic_campaign()
         result = run_cpa(leak, hypotheses, correct_key=correct)
         assert result.key_rank_at(-1) == 0
+
+
+class TestCheckpointRegressions:
+    """Pins for two historical checkpoint bugs."""
+
+    def test_small_campaign_grid_not_degenerate(self):
+        # Campaigns below the 50-trace grid start used to produce a
+        # descending logspace that filtered down to the single point
+        # [num_traces]; the grid must instead span [2, num_traces].
+        for num_traces in (5, 10, 30, 49, 50):
+            points = default_checkpoints(num_traces)
+            assert points[0] == 2, num_traces
+            assert points[-1] == num_traces
+            assert len(points) > 1
+            assert np.all(np.diff(points) > 0)
+
+    def test_grid_start_unchanged_for_large_campaigns(self):
+        points = default_checkpoints(100_000)
+        assert points[0] == 50
+
+    def test_traces_after_last_checkpoint_not_dropped(self):
+        # run_cpa used to silently ignore traces beyond the last
+        # explicit checkpoint; a final checkpoint at num_traces is now
+        # always appended.
+        leak, hypotheses, correct = synthetic_campaign(num_traces=5000)
+        partial = run_cpa(
+            leak, hypotheses, checkpoints=[1000], correct_key=correct
+        )
+        assert partial.checkpoints.tolist() == [1000, 5000]
+        full = run_cpa(
+            leak, hypotheses, checkpoints=[1000, 5000],
+            correct_key=correct,
+        )
+        assert np.array_equal(
+            partial.correlations, full.correlations
+        )
+
+    def test_explicit_final_checkpoint_not_duplicated(self):
+        leak, hypotheses, correct = synthetic_campaign(num_traces=3000)
+        result = run_cpa(
+            leak, hypotheses, checkpoints=[1000, 3000],
+            correct_key=correct,
+        )
+        assert result.checkpoints.tolist() == [1000, 3000]

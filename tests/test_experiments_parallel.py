@@ -1,0 +1,226 @@
+"""Tests for the sharded campaign driver.
+
+The contract under test: sharding changes wall-clock only — every
+result is bit-identical to the serial path, for any worker count and
+any chunk-aligned shard layout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import StreamingCPA
+from repro.attacks.full_key import recover_last_round_key
+from repro.core.attack import REDUCTION_HW, REDUCTION_SINGLE_BIT
+from repro.experiments.parallel import (
+    Shard,
+    plan_shards,
+    sharded_attack,
+    sharded_full_key,
+)
+
+
+class TestPlanShards:
+    def test_covers_range_contiguously(self):
+        shards = plan_shards(500_000, 4)
+        assert shards[0].start == 0
+        assert shards[-1].end == 500_000
+        for a, b in zip(shards, shards[1:]):
+            assert a.end == b.start
+
+    def test_boundaries_chunk_aligned(self):
+        cases = [
+            (plan_shards(500_000, 4), 50_000),
+            (plan_shards(120_001, 3, chunk_size=50_000), 50_000),
+            (plan_shards(7, 3, chunk_size=2), 2),
+        ]
+        for shards, chunk in cases:
+            for shard in shards[:-1]:
+                assert shard.end % chunk == 0
+
+    def test_fewer_chunks_than_workers(self):
+        shards = plan_shards(1000, 8)
+        assert shards == [Shard(0, 1000)]
+
+    def test_shard_num_traces(self):
+        assert Shard(100, 350).num_traces == 250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 4)
+        with pytest.raises(ValueError):
+            plan_shards(100, 4, chunk_size=0)
+
+
+class TestShardedAttack:
+    def test_matches_serial_exactly(self, alu_campaign):
+        checkpoints = [1500, 4000, 8000]
+        serial = alu_campaign.attack(
+            8000, reduction=REDUCTION_HW, checkpoints=checkpoints
+        )
+        sharded = sharded_attack(
+            alu_campaign,
+            8000,
+            reduction=REDUCTION_HW,
+            checkpoints=checkpoints,
+            max_workers=4,
+        )
+        assert np.array_equal(serial.checkpoints, sharded.checkpoints)
+        assert np.array_equal(serial.correlations, sharded.correlations)
+        assert serial.correct_key == sharded.correct_key
+
+    def test_worker_count_invariant(self, alu_campaign):
+        kwargs = dict(
+            reduction=REDUCTION_SINGLE_BIT,
+            checkpoints=[2000, 6000],
+            chunk_size=1000,
+        )
+        one = sharded_attack(alu_campaign, 6000, max_workers=1, **kwargs)
+        four = sharded_attack(alu_campaign, 6000, max_workers=4, **kwargs)
+        assert np.array_equal(one.correlations, four.correlations)
+
+    def test_chunk_grid_preserves_serial_seeds(self, alu_campaign):
+        # Sharding with a small chunk must equal the serial collector
+        # run at the same chunk size (jitter seeds are keyed on the
+        # global chunk grid, not on shard-local offsets).
+        from repro.attacks.cpa import run_cpa
+        from repro.attacks.models import single_bit_hypothesis
+
+        data = alu_campaign.collect_reduced_traces(
+            6000, REDUCTION_HW, chunk_size=1000
+        )
+        hypotheses = single_bit_hypothesis(data["ciphertexts"][:, 3])
+        serial = run_cpa(
+            data["leakage"], hypotheses, checkpoints=[2500, 6000]
+        )
+        sharded = sharded_attack(
+            alu_campaign,
+            6000,
+            reduction=REDUCTION_HW,
+            checkpoints=[2500, 6000],
+            max_workers=3,
+            chunk_size=1000,
+        )
+        assert np.array_equal(serial.correlations, sharded.correlations)
+
+    def test_appends_final_checkpoint(self, alu_campaign):
+        result = sharded_attack(
+            alu_campaign,
+            3000,
+            checkpoints=[1000],
+            max_workers=2,
+            chunk_size=1000,
+        )
+        assert result.checkpoints.tolist() == [1000, 3000]
+        assert result.correlations.shape[0] == 2
+
+    def test_validation(self, alu_campaign):
+        with pytest.raises(ValueError):
+            sharded_attack(alu_campaign, 1)
+        with pytest.raises(ValueError):
+            sharded_attack(alu_campaign, 1000, checkpoints=[5000])
+
+
+class TestShardedFullKey:
+    def test_matches_serial_exactly(self, alu_campaign):
+        # Default chunk grid: identical to attack_full_key.
+        serial = alu_campaign.attack_full_key(5000)
+        sharded = sharded_full_key(alu_campaign, 5000, max_workers=4)
+        assert (
+            serial.recovered_last_round_key
+            == sharded.recovered_last_round_key
+        )
+        for a, b in zip(serial.byte_results, sharded.byte_results):
+            assert np.array_equal(a.correlations, b.correlations)
+
+    def test_multi_shard_matches_serial_on_same_grid(self, alu_campaign):
+        # Sharding with a smaller chunk equals the serial collector run
+        # at that chunk size (the jitter-seed grid is the chunk grid).
+        data = alu_campaign.collect_column_traces(5000, chunk_size=1000)
+        serial = recover_last_round_key(
+            data["leakage"],
+            data["ciphertexts"],
+            correct_key=alu_campaign.cipher.last_round_key,
+        )
+        sharded = sharded_full_key(
+            alu_campaign, 5000, max_workers=4, chunk_size=1000
+        )
+        for a, b in zip(serial.byte_results, sharded.byte_results):
+            assert np.array_equal(a.correlations, b.correlations)
+
+    def test_parallel_byte_cpa_invariant(self):
+        rng = np.random.default_rng(0)
+        leakage = rng.normal(size=(3000, 4))
+        ciphertexts = rng.integers(
+            0, 256, size=(3000, 16), dtype=np.uint8
+        )
+        serial = recover_last_round_key(leakage, ciphertexts)
+        threaded = recover_last_round_key(
+            leakage, ciphertexts, max_workers=8
+        )
+        for a, b in zip(serial.byte_results, threaded.byte_results):
+            assert np.array_equal(a.correlations, b.correlations)
+
+
+class TestStreamingMerge:
+    def _integer_stream(self, n=6000, seed=0):
+        rng = np.random.default_rng(seed)
+        leakage = rng.integers(0, 64, size=n).astype(np.float64)
+        hypotheses = rng.integers(0, 2, size=(n, 16)).astype(np.float64)
+        return leakage, hypotheses
+
+    def test_merge_equals_single_stream(self):
+        leakage, hypotheses = self._integer_stream()
+        whole = StreamingCPA(num_candidates=16)
+        whole.update(leakage, hypotheses)
+
+        merged = StreamingCPA(num_candidates=16)
+        for lo, hi in ((0, 1000), (1000, 3500), (3500, 6000)):
+            part = StreamingCPA(num_candidates=16)
+            part.update(leakage[lo:hi], hypotheses[lo:hi])
+            merged.merge(part)
+        assert merged.count == whole.count
+        # Integer-valued inputs make the running sums float-exact, so
+        # merging must reproduce the single-stream state bit for bit.
+        assert np.array_equal(
+            merged.correlations(), whole.correlations()
+        )
+
+    def test_merge_order_independent(self):
+        leakage, hypotheses = self._integer_stream(seed=3)
+        parts = []
+        for lo, hi in ((0, 2000), (2000, 4000), (4000, 6000)):
+            part = StreamingCPA(num_candidates=16)
+            part.update(leakage[lo:hi], hypotheses[lo:hi])
+            parts.append(part)
+        forward = StreamingCPA(num_candidates=16)
+        for part in parts:
+            forward.merge(part)
+        backward = StreamingCPA(num_candidates=16)
+        for part in reversed(parts):
+            backward.merge(part)
+        assert np.array_equal(
+            forward.correlations(), backward.correlations()
+        )
+
+    def test_merge_returns_self(self):
+        a = StreamingCPA(num_candidates=4)
+        b = StreamingCPA(num_candidates=4)
+        assert a.merge(b) is a
+
+    def test_candidate_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingCPA(num_candidates=4).merge(
+                StreamingCPA(num_candidates=8)
+            )
+
+    def test_copy_is_independent(self):
+        leakage, hypotheses = self._integer_stream(n=100, seed=5)
+        original = StreamingCPA(num_candidates=16)
+        original.update(leakage, hypotheses)
+        snapshot = original.copy()
+        original.update(leakage, hypotheses)
+        assert snapshot.count == 100
+        assert original.count == 200
+        assert not np.array_equal(
+            snapshot._sum_h, original._sum_h
+        )
