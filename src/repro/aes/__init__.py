@@ -20,6 +20,14 @@ from repro.aes.aes128 import (
     shift_rows,
     sub_bytes,
 )
+from repro.aes.batch import (
+    GMUL2_TABLE,
+    GMUL3_TABLE,
+    POPCOUNT8_TABLE,
+    BatchedAES128,
+    cycle_hd_from_states,
+    encryption_cycle_hd_batch,
+)
 from repro.aes.datapath import (
     DatapathSchedule,
     column_hd,
@@ -43,7 +51,13 @@ from repro.aes.leakage import (
 
 __all__ = [
     "AES128",
+    "BatchedAES128",
     "DatapathSchedule",
+    "GMUL2_TABLE",
+    "GMUL3_TABLE",
+    "POPCOUNT8_TABLE",
+    "cycle_hd_from_states",
+    "encryption_cycle_hd_batch",
     "INV_SBOX",
     "INV_SBOX_TABLE",
     "LeakageModel",

@@ -13,9 +13,8 @@ key.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +22,7 @@ from repro.aes.aes128 import invert_key_schedule
 from repro.aes.leakage import SHIFT_ROWS_SOURCE
 from repro.attacks.cpa import CPAResult, run_cpa
 from repro.attacks.models import single_bit_hypothesis
+from repro.util.executors import map_ordered
 
 
 def column_of_key_byte(byte_index: int) -> int:
@@ -103,6 +103,21 @@ class FullKeyResult:
         return max(mtds)  # type: ignore[arg-type]
 
 
+def _attack_byte_task(
+    task: Tuple[np.ndarray, np.ndarray, int, Optional[List[int]],
+                Optional[int]]
+) -> CPAResult:
+    """One key byte's CPA (module-level so process pools can pickle it)."""
+    column_leakage, ct_column, target_bit, checkpoints, correct_byte = task
+    hypotheses = single_bit_hypothesis(ct_column, bit=target_bit)
+    return run_cpa(
+        column_leakage,
+        hypotheses,
+        checkpoints=checkpoints,
+        correct_key=correct_byte,
+    )
+
+
 def recover_last_round_key(
     column_leakage: np.ndarray,
     ciphertexts: np.ndarray,
@@ -110,6 +125,7 @@ def recover_last_round_key(
     correct_key: Optional[bytes] = None,
     checkpoints: Optional[List[int]] = None,
     max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> FullKeyResult:
     """CPA over all 16 last-round key bytes.
 
@@ -123,9 +139,11 @@ def recover_last_round_key(
         correct_key: true round-10 key for metrics, if known.
         checkpoints: progress checkpoints forwarded to each CPA.
         max_workers: if greater than 1, run the 16 independent per-byte
-            CPAs on a thread pool (each byte's CPA is a fixed function
+            CPAs on a worker pool (each byte's CPA is a fixed function
             of its inputs, so the result is identical to the serial
             loop).  Default: serial.
+        executor: ``"thread"`` (default) or ``"process"`` — see
+            :func:`repro.util.executors.map_ordered`.
 
     Returns:
         a :class:`FullKeyResult` with one CPA result per key byte.
@@ -137,25 +155,22 @@ def recover_last_round_key(
     if ct.shape != (leakage.shape[0], 16):
         raise ValueError("ciphertexts must have shape (N, 16)")
 
-    def attack_byte(byte_index: int) -> CPAResult:
-        hypotheses = single_bit_hypothesis(
-            ct[:, byte_index], bit=target_bit
+    tasks = [
+        (
+            leakage[:, column_of_key_byte(byte_index)],
+            ct[:, byte_index],
+            target_bit,
+            checkpoints,
+            None if correct_key is None else correct_key[byte_index],
         )
-        column = column_of_key_byte(byte_index)
-        return run_cpa(
-            leakage[:, column],
-            hypotheses,
-            checkpoints=checkpoints,
-            correct_key=(
-                None if correct_key is None else correct_key[byte_index]
-            ),
-        )
-
-    if max_workers is not None and max_workers > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as executor:
-            results = list(executor.map(attack_byte, range(16)))
-    else:
-        results = [attack_byte(byte_index) for byte_index in range(16)]
+        for byte_index in range(16)
+    ]
+    results = map_ordered(
+        _attack_byte_task,
+        tasks,
+        max_workers=1 if max_workers is None else max_workers,
+        executor=executor,
+    )
     return FullKeyResult(
         byte_results=results,
         true_last_round_key=correct_key,

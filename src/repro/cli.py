@@ -12,8 +12,15 @@ Commands:
 * ``floorplan <circuit>`` — render the Figs. 3/4 floorplan.
 * ``covert`` — run the covert-channel demonstration.
 * ``report`` — regenerate the paper-vs-measured figure table.
-* ``bench`` — measure sampling/campaign throughput and write
-  ``BENCH_sampling.json``.
+* ``bench`` — performance snapshot: ``--suite sampling`` (default)
+  measures sensor sampling + the sharded campaign driver and writes
+  ``BENCH_sampling.json``; ``--suite e2e`` measures the batched
+  end-to-end trace-generation pipeline (AES datapath + PDN IIR +
+  process sharding) and writes ``BENCH_e2e.json``.
+
+Parallel commands accept ``--workers N`` and ``--executor
+{thread,process}``; results are bit-identical across backends and
+worker counts.
 """
 
 from __future__ import annotations
@@ -23,6 +30,15 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _add_executor_argument(parser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="worker-pool backend (default: thread)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,15 +67,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument(
         "--workers", type=int, default=None,
-        help="worker threads for the sharded driver (1 = serial)",
+        help="workers for the sharded driver (1 = serial)",
     )
+    _add_executor_argument(attack)
 
     fullkey = sub.add_parser("fullkey", help="recover all 16 key bytes")
     fullkey.add_argument("--traces", type=int, default=250_000)
     fullkey.add_argument(
         "--workers", type=int, default=None,
-        help="worker threads for collection and per-byte CPAs",
+        help="workers for collection and per-byte CPAs",
     )
+    _add_executor_argument(fullkey)
 
     scan = sub.add_parser("scan", help="bitstream-check a design")
     scan.add_argument(
@@ -86,22 +104,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--workers", type=int, default=None,
-        help="worker threads for the sharded CPA figures",
+        help="workers for the sharded CPA figures",
     )
+    _add_executor_argument(report)
 
     bench = sub.add_parser(
-        "bench", help="sampling/campaign performance snapshot"
+        "bench", help="sampling/campaign or e2e performance snapshot"
+    )
+    bench.add_argument(
+        "--suite", choices=["sampling", "e2e"], default="sampling",
+        help="sampling: sensor kernels + sharded campaign; "
+        "e2e: batched trace-generation pipeline",
     )
     bench.add_argument("--cycles", type=int, default=100_000)
     bench.add_argument("--traces", type=int, default=100_000)
+    bench.add_argument(
+        "--gen-traces", type=int, default=4000,
+        help="traces per e2e trace-generation measurement",
+    )
     bench.add_argument(
         "--circuit", default="alu", choices=["alu", "c6288", "c6288x2"]
     )
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--workers", type=int, default=None)
+    _add_executor_argument(bench)
     bench.add_argument(
-        "--output", default="BENCH_sampling.json",
-        help="where to write the JSON record",
+        "--output", default=None,
+        help="where to write the JSON record (default: "
+        "BENCH_<suite>.json)",
     )
     return parser
 
@@ -134,6 +164,7 @@ def _cmd_attack(args) -> int:
             seed=args.seed,
             num_traces=args.traces,
             max_workers=args.workers,
+            executor=args.executor,
         )
     )
     campaign = setup.campaign(args.circuit)
@@ -142,6 +173,7 @@ def _cmd_attack(args) -> int:
         args.traces,
         reduction=args.reduction,
         max_workers=args.workers,
+        executor=args.executor,
     )
     correct = setup.cipher.last_round_key[setup.config.target_byte]
     print(
@@ -166,10 +198,14 @@ def _cmd_fullkey(args) -> int:
             seed=args.seed,
             num_traces=args.traces,
             max_workers=args.workers,
+            executor=args.executor,
         )
     )
     result = sharded_full_key(
-        setup.campaign("alu"), args.traces, max_workers=args.workers
+        setup.campaign("alu"),
+        args.traces,
+        max_workers=args.workers,
+        executor=args.executor,
     )
     print(
         "correct bytes %d/16, residual enumeration 2^%.1f"
@@ -258,6 +294,7 @@ def _cmd_report(args) -> int:
             seed=args.seed,
             num_traces=args.traces,
             max_workers=args.workers,
+            executor=args.executor,
         ),
         include_cpa=not args.no_cpa,
     )
@@ -268,17 +305,31 @@ def _cmd_report(args) -> int:
 def _cmd_bench(args) -> int:
     import json
 
-    from repro.experiments.benchmark import write_sampling_benchmark
+    if args.suite == "e2e":
+        from repro.experiments.benchmark import write_e2e_benchmark
 
-    record = write_sampling_benchmark(
-        args.output,
-        num_cycles=args.cycles,
-        circuit=args.circuit,
-        campaign_traces=args.traces,
-        repeats=args.repeats,
-        max_workers=args.workers,
-        seed=args.seed,
-    )
+        record = write_e2e_benchmark(
+            args.output or "BENCH_e2e.json",
+            gen_traces=args.gen_traces,
+            campaign_traces=args.traces,
+            circuit=args.circuit,
+            repeats=args.repeats,
+            max_workers=args.workers,
+            executor=args.executor,
+            seed=args.seed,
+        )
+    else:
+        from repro.experiments.benchmark import write_sampling_benchmark
+
+        record = write_sampling_benchmark(
+            args.output or "BENCH_sampling.json",
+            num_cycles=args.cycles,
+            circuit=args.circuit,
+            campaign_traces=args.traces,
+            repeats=args.repeats,
+            max_workers=args.workers,
+            seed=args.seed,
+        )
     print(json.dumps(record, indent=2))
     return 0
 

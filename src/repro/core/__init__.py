@@ -50,6 +50,7 @@ from repro.core.endpoint_sensor import (
     BenignSensor,
     BenignSensorInstance,
 )
+from repro.core.tracegen import PhysicalTraceGenerator, random_plaintexts
 from repro.core.waveform_bank import WaveformBank, build_bank
 from repro.core.postprocess import (
     SensitivityCensus,
@@ -72,6 +73,8 @@ __all__ = [
     "CovertReceiver",
     "CovertTransmitter",
     "OOKModulation",
+    "PhysicalTraceGenerator",
+    "random_plaintexts",
     "run_covert_channel",
     "DEFAULT_JITTER_PS",
     "DEFAULT_SHARED_JITTER_PS",

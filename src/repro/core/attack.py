@@ -218,16 +218,25 @@ class AttackCampaign:
         return result
 
     def _default_aes_activity(self, num_samples: int) -> List[int]:
-        """Back-to-back encryptions of random plaintexts (cycle HDs)."""
-        from repro.aes.datapath import encryption_cycle_hd
+        """Back-to-back encryptions of random plaintexts (cycle HDs).
+
+        The plaintext draw is one block ``(count, 16)`` from the same
+        generator state the original per-plaintext loop consumed, and a
+        numpy Generator produces identical bytes either way, so the
+        batched datapath returns the exact activity sequence the serial
+        ``encryption_cycle_hd`` loop produced.
+        """
+        from repro.aes.batch import encryption_cycle_hd_batch
 
         rng = np.random.default_rng(derive_seed(self.seed, "char-aes-pt"))
-        activity: List[int] = []
         needed_cycles = int(np.ceil(num_samples / 1.5)) + 44
-        while len(activity) < needed_cycles:
-            plaintext = bytes(rng.integers(0, 256, size=16, dtype=np.uint8))
-            activity.extend(encryption_cycle_hd(self.cipher, plaintext))
-        return activity
+        count = -(-needed_cycles // 44)
+        plaintexts = rng.integers(0, 256, size=(count, 16), dtype=np.uint8)
+        return (
+            encryption_cycle_hd_batch(self.cipher, plaintexts)
+            .reshape(-1)
+            .tolist()
+        )
 
     @property
     def characterization(self) -> CharacterizationResult:

@@ -162,13 +162,28 @@ class BenignSensor(VoltageSensor):
     def sample_period_ps(self) -> float:
         return self._instances[0].calibration.sample_period_ps
 
-    def sample_bits(self, voltages: np.ndarray, seed: int = 0) -> np.ndarray:
+    def sample_bits(
+        self,
+        voltages: np.ndarray,
+        seed: int = 0,
+        reference: bool = False,
+    ) -> np.ndarray:
         """Latched endpoint bits per measure cycle (N, num_bits).
 
         Instance outputs are concatenated in instance order, matching
         the paper's "32-bit outputs of the multipliers are concatenated
         into a 64-bit number".  All instances share the same capture
         clock, so the common-mode jitter draw is shared across them.
+
+        Args:
+            voltages: (N,) supply voltage during each measure cycle.
+            seed: jitter seed.
+            reference: route sampling through the legacy per-endpoint
+                loop (:meth:`SensorCalibration.sample_bits_reference`)
+                instead of the vectorized waveform bank.  Both paths
+                consume the same jitter stream and are bit-identical;
+                the reference path exists for validation and as the
+                baseline of the e2e performance suite.
         """
         v = np.asarray(voltages, dtype=float)
         if self.shared_jitter_ps > 0:
@@ -177,7 +192,11 @@ class BenignSensor(VoltageSensor):
         else:
             shared = None
         blocks = [
-            inst.calibration.sample_bits(
+            (
+                inst.calibration.sample_bits_reference
+                if reference
+                else inst.calibration.sample_bits
+            )(
                 v,
                 jitter_ps=self.jitter_ps,
                 seed=derive_seed(seed, self.name, "jitter", index),

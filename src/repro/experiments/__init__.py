@@ -28,6 +28,7 @@ from repro.experiments.parallel import (
     plan_shards,
     sharded_attack,
     sharded_full_key,
+    sharded_physical_attack,
 )
 from repro.experiments.preliminary import (
     fig03_04_floorplan,
@@ -50,6 +51,7 @@ __all__ = [
     "plan_shards",
     "sharded_attack",
     "sharded_full_key",
+    "sharded_physical_attack",
     "describe_mtd",
     "fig03_04_floorplan",
     "fig05_raw_toggle",

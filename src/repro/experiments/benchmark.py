@@ -1,4 +1,5 @@
-"""Performance harness for the sampling and campaign fast paths.
+"""Performance harness for the sampling, trace-generation and campaign
+fast paths.
 
 :func:`run_sampling_benchmark` times the four sensor-sampling
 configurations (bank vs reference loop, with and without per-register
@@ -6,6 +7,16 @@ jitter) and one end-to-end CPA campaign (serial vs sharded), and
 returns a JSON-serializable record; :func:`write_sampling_benchmark`
 persists it (``BENCH_sampling.json`` at the repo root is the tracked
 snapshot, regenerated via ``repro bench``).
+
+:func:`run_e2e_benchmark` covers the stages *feeding* the sampler: the
+batched AES datapath vs the per-trace cipher loop, the IIR-form PDN
+integrator vs the pure-Python recurrence, the combined physical trace
+generator, and a full physical CPA campaign — fast kernels on a
+multi-worker process pool against the per-trace reference path run
+serially.  Every comparison asserts bit-identical outputs (states,
+waveforms, sampled bits, CPA correlations) before anything is timed;
+``BENCH_e2e.json`` is the tracked snapshot
+(``repro bench --suite e2e``).
 
 Methodology:
 
@@ -195,5 +206,243 @@ def write_sampling_benchmark(
 ) -> Dict[str, object]:
     """Run the benchmark and write its record to ``path``."""
     record = run_sampling_benchmark(**kwargs)
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _stage_record(
+    reference_s: float, fast_s: float, n: int
+) -> Dict[str, float]:
+    return {
+        "reference_s": reference_s,
+        "fast_s": fast_s,
+        "reference_traces_per_s": n / reference_s,
+        "fast_traces_per_s": n / fast_s,
+        "speedup": reference_s / fast_s,
+    }
+
+
+def run_e2e_benchmark(
+    gen_traces: int = 4000,
+    campaign_traces: int = 40_000,
+    circuit: str = "alu",
+    repeats: int = 3,
+    max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Benchmark the vectorized trace-generation pipeline end to end.
+
+    Three per-stage comparisons on ``gen_traces`` random plaintexts —
+    batched AES cycle activity vs the per-trace datapath loop, batched
+    IIR PDN integration vs the pure-Python recurrence, and the combined
+    :class:`~repro.core.tracegen.PhysicalTraceGenerator` fast vs
+    reference paths — plus one physical CPA campaign comparison:
+    fast kernels sharded over ``max_workers`` workers on the chosen
+    ``executor`` backend against the per-trace reference pipeline run
+    serially.
+
+    Every stage first asserts the fast output is bit-identical to the
+    reference (AES activity, droop waveforms, generated voltages,
+    sampled sensor bits, CPA correlations); an ``AssertionError``
+    aborts the benchmark, so a recorded speedup can never come from
+    computing something different.
+
+    Args:
+        gen_traces: traces per trace-generation stage measurement.
+        campaign_traces: traces for the campaign comparison.
+        circuit: registry circuit used as the sensor.
+        repeats: timing repeats (best-of).
+        max_workers: campaign worker count (default: machine default).
+        executor: campaign executor backend (default: thread).
+        seed: campaign seed.
+    """
+    from repro.aes.batch import encryption_cycle_hd_batch
+    from repro.aes.datapath import encryption_cycle_hd
+    from repro.core.tracegen import (
+        PhysicalTraceGenerator,
+        random_plaintexts,
+    )
+    from repro.experiments.parallel import sharded_physical_attack
+    from repro.util.executors import resolve_executor
+
+    cipher = AES128(ExperimentConfig().key)
+    sensor = BenignSensor.from_name(circuit)
+    generator = PhysicalTraceGenerator(cipher)
+    plaintexts = random_plaintexts(
+        gen_traces, seed=derive_seed(seed, "bench-e2e-pt")
+    )
+
+    # Stage 1: AES datapath activity -----------------------------------
+    def aes_reference():
+        return np.array(
+            [
+                encryption_cycle_hd(cipher, bytes(pt))
+                for pt in plaintexts
+            ],
+            dtype=np.int64,
+        )
+
+    def aes_fast():
+        return encryption_cycle_hd_batch(cipher, plaintexts)
+
+    if not np.array_equal(aes_reference(), aes_fast()):
+        raise AssertionError("batched AES activity diverges from loop")
+    aes_stage = _stage_record(
+        _best_of(repeats, aes_reference),
+        _best_of(repeats, aes_fast),
+        gen_traces,
+    )
+
+    # Stage 2: PDN integration -----------------------------------------
+    from repro.aes.batch import cycle_activity_from_states, BatchedAES128
+    from repro.pdn.aggressors import aes_current_waveform_batch
+
+    currents = aes_current_waveform_batch(
+        cycle_activity_from_states(
+            BatchedAES128.from_cipher(cipher).round_states(plaintexts)
+        ),
+        generator.num_samples,
+        generator.start_sample,
+        generator.samples_per_cycle,
+    )
+
+    def pdn_reference():
+        return np.array(
+            [generator.pdn._integrate_reference(row) for row in currents]
+        )
+
+    def pdn_fast():
+        return generator.pdn.integrate_batch(currents)
+
+    if not np.array_equal(pdn_reference(), pdn_fast()):
+        raise AssertionError("IIR PDN integration diverges from loop")
+    pdn_stage = _stage_record(
+        _best_of(repeats, pdn_reference),
+        _best_of(repeats, pdn_fast),
+        gen_traces,
+    )
+
+    # Stage 3: combined physical trace generation ----------------------
+    noise_seed = derive_seed(seed, "bench-e2e-noise")
+    fast_data = generator.generate(plaintexts, seed=noise_seed)
+    reference_data = generator.generate_reference(
+        plaintexts, seed=noise_seed
+    )
+    if not (
+        np.array_equal(
+            fast_data["ciphertexts"], reference_data["ciphertexts"]
+        )
+        and np.array_equal(
+            fast_data["voltages"], reference_data["voltages"]
+        )
+    ):
+        raise AssertionError("fast trace generation diverges")
+    aligned = fast_data["voltages"][
+        :, generator.last_round_sample_indices()[0]
+    ]
+    jitter_seed = derive_seed(seed, "bench-e2e-jitter")
+    if not np.array_equal(
+        sensor.sample_bits(aligned, seed=jitter_seed),
+        sensor.sample_bits(aligned, seed=jitter_seed, reference=True),
+    ):
+        raise AssertionError("sensor bank path diverges from reference")
+    gen_stage = _stage_record(
+        _best_of(
+            repeats,
+            lambda: generator.generate_reference(
+                plaintexts, seed=noise_seed
+            ),
+        ),
+        _best_of(
+            repeats, lambda: generator.generate(plaintexts, seed=noise_seed)
+        ),
+        gen_traces,
+    )
+
+    # Stage 4: physical CPA campaign -----------------------------------
+    workers = max_workers if max_workers is not None else default_workers()
+    backend = resolve_executor(executor)
+    chunk = max(1, campaign_traces // (2 * workers))
+
+    def campaign_reference():
+        return sharded_physical_attack(
+            generator,
+            sensor,
+            campaign_traces,
+            max_workers=1,
+            chunk_size=chunk,
+            seed=seed,
+            reference=True,
+        )
+
+    def campaign_fast():
+        return sharded_physical_attack(
+            generator,
+            sensor,
+            campaign_traces,
+            max_workers=workers,
+            chunk_size=chunk,
+            executor=backend,
+            seed=seed,
+        )
+
+    def campaign_fast_serial():
+        return sharded_physical_attack(
+            generator,
+            sensor,
+            campaign_traces,
+            max_workers=1,
+            chunk_size=chunk,
+            seed=seed,
+        )
+
+    reference_result = campaign_reference()
+    fast_result = campaign_fast()
+    if not np.array_equal(
+        reference_result.correlations, fast_result.correlations
+    ):
+        raise AssertionError("fast campaign correlations diverge")
+    reference_s = _best_of(repeats, campaign_reference)
+    fast_s = _best_of(repeats, campaign_fast)
+    fast_serial_s = _best_of(repeats, campaign_fast_serial)
+
+    return {
+        "circuit": circuit,
+        "seed": seed,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "trace_generation": {
+            "num_traces": gen_traces,
+            "num_samples": generator.num_samples,
+            "aes_activity": aes_stage,
+            "pdn_integration": pdn_stage,
+            "end_to_end": gen_stage,
+        },
+        "campaign": {
+            "num_traces": campaign_traces,
+            "workers": workers,
+            "executor": backend,
+            "chunk_size": chunk,
+            "reference_serial_s": reference_s,
+            "fast_s": fast_s,
+            "fast_serial_s": fast_serial_s,
+            "reference_traces_per_s": campaign_traces / reference_s,
+            "fast_traces_per_s": campaign_traces / fast_s,
+            "speedup_vs_reference": reference_s / fast_s,
+            # Honest scaling note: kernels identical, workers varied.
+            "parallel_speedup_same_kernels": fast_serial_s / fast_s,
+            "identical_correlations": True,
+        },
+    }
+
+
+def write_e2e_benchmark(
+    path: str = "BENCH_e2e.json", **kwargs
+) -> Dict[str, object]:
+    """Run the e2e benchmark and write its record to ``path``."""
+    record = run_e2e_benchmark(**kwargs)
     Path(path).write_text(json.dumps(record, indent=2) + "\n")
     return record

@@ -27,10 +27,14 @@ class ExperimentConfig:
         target_byte / target_bit: CPA target (paper: 1st bit of the 4th
             byte of the last round key).
         overclock_mhz: benign-circuit clock (paper: 300 MHz).
-        max_workers: worker threads for the sharded campaign driver
+        max_workers: worker count for the sharded campaign driver
             (None: a machine-dependent default; 1: force serial).
             Results are identical either way — sharding only changes
             wall-clock.
+        executor: sharded-driver backend, ``"thread"`` (default) or
+            ``"process"`` (true multi-core; see
+            :mod:`repro.util.executors`).  Results are identical on
+            either backend.
     """
 
     seed: int = 1
@@ -41,6 +45,7 @@ class ExperimentConfig:
     target_bit: int = 0
     overclock_mhz: float = 300.0
     max_workers: Optional[int] = None
+    executor: Optional[str] = None
 
     def scaled(self, fraction: float) -> "ExperimentConfig":
         """A cheaper copy with ``num_traces`` scaled by ``fraction``.
@@ -59,6 +64,7 @@ class ExperimentConfig:
             target_bit=self.target_bit,
             overclock_mhz=self.overclock_mhz,
             max_workers=self.max_workers,
+            executor=self.executor,
         )
 
 

@@ -19,18 +19,20 @@ Determinism is preserved by construction:
   sums are float-exact and merging is order-independent: the sharded
   result is bit-identical to :func:`repro.attacks.cpa.run_cpa`.
 
-Workers run on a :class:`concurrent.futures.ThreadPoolExecutor`; the
-heavy kernels (waveform-bank sampling, the hypothesis table lookups,
-the accumulator GEMV) are numpy calls that release the GIL for most of
-their runtime.
+Workers run on either backend of
+:func:`repro.util.executors.map_ordered`: the default thread pool (the
+heavy kernels — waveform-bank sampling, hypothesis table lookups, the
+accumulator GEMV — are numpy calls that release the GIL for most of
+their runtime) or, with ``executor="process"``, a process pool whose
+shard tasks are module-level functions with picklable payloads,
+buying real multi-core scaling for the Python-bound stages.  Both
+backends produce bit-identical results at any worker count.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +42,11 @@ from repro.attacks.cpa import (
     StreamingCPA,
     default_checkpoints,
 )
-from repro.attacks.full_key import FullKeyResult, recover_last_round_key
+from repro.attacks.full_key import (
+    FullKeyResult,
+    column_of_key_byte,
+    recover_last_round_key,
+)
 from repro.attacks.models import (
     DEFAULT_TARGET_BIT,
     DEFAULT_TARGET_BYTE,
@@ -51,12 +57,20 @@ from repro.core.attack import (
     TRACE_CHUNK,
     AttackCampaign,
 )
+from repro.core.endpoint_sensor import BenignSensor
+from repro.core.postprocess import hamming_weight_series
+from repro.core.tracegen import PhysicalTraceGenerator, random_plaintexts
+from repro.util.executors import default_workers, map_ordered
 from repro.util.rng import derive_seed
 
-
-def default_workers() -> int:
-    """Worker count when the caller does not specify one."""
-    return min(8, os.cpu_count() or 1)
+__all__ = [
+    "Shard",
+    "default_workers",
+    "plan_shards",
+    "sharded_attack",
+    "sharded_full_key",
+    "sharded_physical_attack",
+]
 
 
 @dataclass(frozen=True)
@@ -123,13 +137,46 @@ def _segment_ends(shard: Shard, points: np.ndarray) -> List[int]:
     return [int(p) for p in inside] + [shard.end]
 
 
-def _map_shards(work, shards: List[Shard], max_workers: Optional[int]):
-    """Run ``work`` over shards, in order, optionally in parallel."""
-    workers = max_workers if max_workers is not None else default_workers()
-    if workers <= 1 or len(shards) <= 1:
-        return [work(shard) for shard in shards]
-    with ThreadPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(work, shards))
+def _attack_shard_task(
+    task: Dict[str, object]
+) -> List[Tuple[int, StreamingCPA]]:
+    """One shard's trace generation + per-segment CPA accumulation.
+
+    Module-level with a picklable payload (the campaign object, its
+    input slices, and plain parameters) so the process backend can ship
+    it to a worker; the thread backend calls it directly.
+    """
+    campaign: AttackCampaign = task["campaign"]
+    shard: Shard = task["shard"]
+    voltages: np.ndarray = task["voltages"]
+    ct_bytes: np.ndarray = task["ct_bytes"]
+    segment_ends: List[int] = task["segment_ends"]
+    chunk_size: int = task["chunk_size"]
+
+    leakage = np.empty(shard.num_traces, dtype=np.float64)
+    for start in range(shard.start, shard.end, chunk_size):
+        end = min(start + chunk_size, shard.end)
+        leakage[start - shard.start : end - shard.start] = (
+            campaign.reduced_leakage_block(
+                voltages[start - shard.start : end - shard.start],
+                start,
+                task["reduction"],
+                task["mask"],
+                task["bit"],
+            )
+        )
+    hypotheses = single_bit_hypothesis(ct_bytes, bit=task["target_bit"])
+    partials: List[Tuple[int, StreamingCPA]] = []
+    previous = shard.start
+    for segment_end in segment_ends:
+        engine = StreamingCPA(num_candidates=hypotheses.shape[1])
+        engine.update(
+            leakage[previous - shard.start : segment_end - shard.start],
+            hypotheses[previous - shard.start : segment_end - shard.start],
+        )
+        partials.append((segment_end, engine))
+        previous = segment_end
+    return partials
 
 
 def sharded_attack(
@@ -142,6 +189,7 @@ def sharded_attack(
     checkpoints: Optional[Sequence[int]] = None,
     max_workers: Optional[int] = None,
     chunk_size: int = TRACE_CHUNK,
+    executor: Optional[str] = None,
 ) -> CPAResult:
     """Parallel drop-in for :meth:`AttackCampaign.attack`.
 
@@ -156,10 +204,12 @@ def sharded_attack(
         campaign: characterized attack campaign.
         num_traces / reduction / bit / target_byte / target_bit /
             checkpoints: as in :meth:`AttackCampaign.attack`.
-        max_workers: worker threads (default: :func:`default_workers`;
+        max_workers: worker count (default: :func:`default_workers`;
             pass 1 to force in-process serial execution).
         chunk_size: trace-generation block length; must stay on the
             campaign's chunk grid to reproduce the serial jitter seeds.
+        executor: ``"thread"`` (default) or ``"process"`` — the
+            :func:`repro.util.executors.map_ordered` backend.
     """
     if num_traces < 2:
         raise ValueError("need at least 2 traces")
@@ -168,34 +218,25 @@ def sharded_attack(
     points = _normalize_checkpoints(checkpoints, num_traces)
     shards = plan_shards(num_traces, max_workers, chunk_size)
 
-    def work(shard: Shard) -> List[Tuple[int, StreamingCPA]]:
-        leakage = np.empty(shard.num_traces, dtype=np.float64)
-        for start in range(shard.start, shard.end, chunk_size):
-            end = min(start + chunk_size, shard.end)
-            leakage[start - shard.start : end - shard.start] = (
-                campaign.reduced_leakage_block(
-                    voltages[start:end], start, reduction, mask, bit
-                )
-            )
-        hypotheses = single_bit_hypothesis(
-            ciphertexts[shard.start : shard.end, target_byte],
-            bit=target_bit,
-        )
-        partials: List[Tuple[int, StreamingCPA]] = []
-        previous = shard.start
-        for segment_end in _segment_ends(shard, points):
-            engine = StreamingCPA(num_candidates=hypotheses.shape[1])
-            engine.update(
-                leakage[previous - shard.start : segment_end - shard.start],
-                hypotheses[
-                    previous - shard.start : segment_end - shard.start
-                ],
-            )
-            partials.append((segment_end, engine))
-            previous = segment_end
-        return partials
-
-    per_shard = _map_shards(work, shards, max_workers)
+    tasks = [
+        {
+            "campaign": campaign,
+            "shard": shard,
+            "voltages": voltages[shard.start : shard.end],
+            "ct_bytes": ciphertexts[shard.start : shard.end, target_byte],
+            "segment_ends": _segment_ends(shard, points),
+            "chunk_size": chunk_size,
+            "reduction": reduction,
+            "mask": mask,
+            "bit": bit,
+            "target_bit": target_bit,
+        }
+        for shard in shards
+    ]
+    per_shard = map_ordered(
+        _attack_shard_task, tasks, max_workers=max_workers,
+        executor=executor,
+    )
 
     running = StreamingCPA(num_candidates=256)
     rows: List[np.ndarray] = []
@@ -212,6 +253,164 @@ def sharded_attack(
     )
 
 
+def _physical_shard_task(
+    task: Dict[str, object]
+) -> List[Tuple[int, StreamingCPA]]:
+    """One shard of the physical (waveform-level) campaign.
+
+    Unlike :func:`_attack_shard_task`, the traces do not exist up
+    front: each chunk is *generated* here — encryption, current
+    waveform, PDN integration, sensor sampling — with its noise and
+    jitter seeds keyed on the chunk's global start index, so any
+    chunk-aligned sharding reproduces the identical campaign.
+    """
+    generator: PhysicalTraceGenerator = task["generator"]
+    sensor: BenignSensor = task["sensor"]
+    shard: Shard = task["shard"]
+    plaintexts: np.ndarray = task["plaintexts"]
+    segment_ends: List[int] = task["segment_ends"]
+    chunk_size: int = task["chunk_size"]
+    seed: int = task["seed"]
+    reference: bool = task["reference"]
+    sample_index: int = task["sample_index"]
+
+    generate = (
+        generator.generate_reference if reference else generator.generate
+    )
+    leakage = np.empty(shard.num_traces, dtype=np.float64)
+    ct_bytes = np.empty(shard.num_traces, dtype=np.uint8)
+    for start in range(shard.start, shard.end, chunk_size):
+        end = min(start + chunk_size, shard.end)
+        local = slice(start - shard.start, end - shard.start)
+        data = generate(
+            plaintexts[local], seed=derive_seed(seed, "e2e-noise", start)
+        )
+        bits = sensor.sample_bits(
+            data["voltages"][:, sample_index],
+            seed=derive_seed(seed, "e2e-jitter", start),
+            reference=reference,
+        )
+        leakage[local] = hamming_weight_series(bits, task["mask"])
+        ct_bytes[local] = data["ciphertexts"][:, task["target_byte"]]
+    hypotheses = single_bit_hypothesis(ct_bytes, bit=task["target_bit"])
+    partials: List[Tuple[int, StreamingCPA]] = []
+    previous = shard.start
+    for segment_end in segment_ends:
+        engine = StreamingCPA(num_candidates=hypotheses.shape[1])
+        engine.update(
+            leakage[previous - shard.start : segment_end - shard.start],
+            hypotheses[previous - shard.start : segment_end - shard.start],
+        )
+        partials.append((segment_end, engine))
+        previous = segment_end
+    return partials
+
+
+def sharded_physical_attack(
+    generator: PhysicalTraceGenerator,
+    sensor: BenignSensor,
+    num_traces: int,
+    mask: Optional[np.ndarray] = None,
+    target_byte: int = DEFAULT_TARGET_BYTE,
+    target_bit: int = DEFAULT_TARGET_BIT,
+    checkpoints: Optional[Sequence[int]] = None,
+    max_workers: Optional[int] = None,
+    chunk_size: int = TRACE_CHUNK,
+    executor: Optional[str] = None,
+    seed: int = 0,
+    reference: bool = False,
+) -> CPAResult:
+    """CPA campaign over *physically generated* traces.
+
+    Every trace is simulated end to end
+    (:class:`repro.core.tracegen.PhysicalTraceGenerator`): plaintext →
+    datapath activity → current waveform → PDN droop → sensor sample →
+    Hamming-weight reduction — and the CPA targets the byte's aligned
+    last-round cycle, exactly as the analytical campaign does.
+
+    Args:
+        generator: physical trace generator (holds cipher + PDN).
+        sensor: benign sensor sampling the aligned supply voltage.
+        mask: sensitive-bit mask for the Hamming-weight reduction
+            (None: all endpoint bits).
+        target_byte / target_bit / checkpoints / max_workers /
+            chunk_size / executor: as in :func:`sharded_attack`.
+        seed: campaign seed (plaintexts, ambient noise, jitter).
+        reference: run every stage through its per-trace pure-Python
+            reference path instead of the vectorized kernels.  Both
+            paths are bit-identical; this is the baseline the e2e
+            benchmark times the fast path against.
+    """
+    if num_traces < 2:
+        raise ValueError("need at least 2 traces")
+    plaintexts = random_plaintexts(
+        num_traces, seed=derive_seed(seed, "e2e-pt")
+    )
+    sample_index = int(
+        generator.last_round_sample_indices()[column_of_key_byte(target_byte)]
+    )
+    points = _normalize_checkpoints(checkpoints, num_traces)
+    shards = plan_shards(num_traces, max_workers, chunk_size)
+    tasks = [
+        {
+            "generator": generator,
+            "sensor": sensor,
+            "shard": shard,
+            "plaintexts": plaintexts[shard.start : shard.end],
+            "segment_ends": _segment_ends(shard, points),
+            "chunk_size": chunk_size,
+            "seed": seed,
+            "reference": reference,
+            "sample_index": sample_index,
+            "mask": mask,
+            "target_byte": target_byte,
+            "target_bit": target_bit,
+        }
+        for shard in shards
+    ]
+    per_shard = map_ordered(
+        _physical_shard_task, tasks, max_workers=max_workers,
+        executor=executor,
+    )
+
+    running = StreamingCPA(num_candidates=256)
+    rows: List[np.ndarray] = []
+    checkpoint_set = {int(p) for p in points}
+    for partials in per_shard:
+        for boundary, engine in partials:
+            running.merge(engine)
+            if boundary in checkpoint_set:
+                rows.append(running.correlations())
+    return CPAResult(
+        checkpoints=points,
+        correlations=np.vstack(rows),
+        correct_key=generator.cipher.last_round_key[target_byte],
+    )
+
+
+def _column_shard_task(task: Dict[str, object]) -> np.ndarray:
+    """One shard's column-resolved leakage collection, ``(num, 4)``.
+
+    Returns the block instead of writing into a shared array so the
+    payload round-trips through a process pool unchanged.
+    """
+    campaign: AttackCampaign = task["campaign"]
+    shard: Shard = task["shard"]
+    voltages: np.ndarray = task["voltages"]
+    mask: np.ndarray = task["mask"]
+    chunk_size: int = task["chunk_size"]
+
+    leakage = np.empty((shard.num_traces, 4), dtype=np.float64)
+    for column in range(4):
+        for start in range(shard.start, shard.end, chunk_size):
+            end = min(start + chunk_size, shard.end)
+            local = slice(start - shard.start, end - shard.start)
+            leakage[local, column] = campaign.column_leakage_block(
+                voltages[local, column], start, column, mask
+            )
+    return leakage
+
+
 def sharded_full_key(
     campaign: AttackCampaign,
     num_traces: int,
@@ -219,12 +418,14 @@ def sharded_full_key(
     checkpoints: Optional[List[int]] = None,
     max_workers: Optional[int] = None,
     chunk_size: int = TRACE_CHUNK,
+    executor: Optional[str] = None,
 ) -> FullKeyResult:
     """Parallel drop-in for :meth:`AttackCampaign.attack_full_key`.
 
     Column-resolved trace collection is sharded across workers (chunk
     seeds keyed on the global ``(column, start)`` grid, identical to
-    the serial collector), then the 16 per-byte CPAs run in parallel.
+    the serial collector), then the 16 per-byte CPAs run on the same
+    backend.
     """
     if num_traces < 2:
         raise ValueError("need at least 2 traces")
@@ -238,17 +439,21 @@ def sharded_full_key(
         seed=derive_seed(campaign.seed, "campaign-noise"),
     )
     shards = plan_shards(num_traces, max_workers, chunk_size)
-    leakage = np.empty((num_traces, 4), dtype=np.float64)
-
-    def work(shard: Shard) -> None:
-        for column in range(4):
-            for start in range(shard.start, shard.end, chunk_size):
-                end = min(start + chunk_size, shard.end)
-                leakage[start:end, column] = campaign.column_leakage_block(
-                    voltages[start:end, column], start, column, mask
-                )
-
-    _map_shards(work, shards, max_workers)
+    tasks = [
+        {
+            "campaign": campaign,
+            "shard": shard,
+            "voltages": voltages[shard.start : shard.end],
+            "mask": mask,
+            "chunk_size": chunk_size,
+        }
+        for shard in shards
+    ]
+    blocks = map_ordered(
+        _column_shard_task, tasks, max_workers=max_workers,
+        executor=executor,
+    )
+    leakage = np.vstack(blocks)
     return recover_last_round_key(
         leakage,
         ciphertexts,
@@ -256,4 +461,5 @@ def sharded_full_key(
         correct_key=campaign.cipher.last_round_key,
         checkpoints=checkpoints,
         max_workers=max_workers,
+        executor=executor,
     )

@@ -11,6 +11,7 @@ from repro.pdn.aggressors import (
     CurrentSchedule,
     ROAggressorSchedule,
     aes_current_waveform,
+    aes_current_waveform_batch,
 )
 from repro.pdn.model import PDNModel, PDNParameters
 
@@ -20,4 +21,5 @@ __all__ = [
     "PDNParameters",
     "ROAggressorSchedule",
     "aes_current_waveform",
+    "aes_current_waveform_batch",
 ]

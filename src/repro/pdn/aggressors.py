@@ -142,3 +142,49 @@ def aes_current_waveform(
         end = min(max(end, start + 1), num_samples)
         waveform[start:end] += static_current_a + current_per_bit_a * hd
     return waveform
+
+
+def aes_current_waveform_batch(
+    round_hd: np.ndarray,
+    num_samples: int,
+    start_sample: int,
+    samples_per_cycle: float,
+    current_per_bit_a: float = 6.25e-3,
+    static_current_a: float = 0.02,
+) -> np.ndarray:
+    """Current waveforms of a batch of AES encryptions.
+
+    Vectorized counterpart of :func:`aes_current_waveform`: each cycle
+    maps to the same ``[start, end)`` sample span for every trace (the
+    span depends only on the cycle index), so one slice-assignment per
+    cycle reproduces the per-trace loop bit for bit.
+
+    Args:
+        round_hd: int array ``(traces, cycles)`` of per-cycle state
+            Hamming distances (e.g. from
+            :meth:`repro.aes.batch.BatchedAES128.cycle_hd`).
+        num_samples / start_sample / samples_per_cycle /
+            current_per_bit_a / static_current_a: as in
+            :func:`aes_current_waveform`.
+
+    Returns:
+        float array ``(traces, num_samples)`` in amperes; row ``t`` is
+        identical to ``aes_current_waveform(round_hd[t], ...)``.
+    """
+    hd = np.asarray(round_hd, dtype=np.float64)
+    if hd.ndim != 2:
+        raise ValueError(
+            "round_hd must have shape (traces, cycles), got %r"
+            % (hd.shape,)
+        )
+    waveforms = np.zeros((hd.shape[0], num_samples))
+    for cycle in range(hd.shape[1]):
+        start = int(round(start_sample + cycle * samples_per_cycle))
+        end = int(round(start_sample + (cycle + 1) * samples_per_cycle))
+        if start >= num_samples:
+            break
+        end = min(max(end, start + 1), num_samples)
+        waveforms[:, start:end] += (
+            static_current_a + current_per_bit_a * hd[:, cycle]
+        )[:, None]
+    return waveforms

@@ -1,10 +1,19 @@
-"""Shared low-level utilities: bit manipulation and seeded randomness.
+"""Shared low-level utilities: bits, seeded randomness, executors.
 
 These helpers are deliberately dependency-light; every other subpackage
 may import from here, but :mod:`repro.util` imports nothing from the rest
 of the library.
 """
 
+from repro.util.executors import (
+    EXECUTOR_KINDS,
+    EXECUTOR_PROCESS,
+    EXECUTOR_THREAD,
+    default_workers,
+    make_executor,
+    map_ordered,
+    resolve_executor,
+)
 from repro.util.bits import (
     bits_to_int,
     bitstring,
@@ -19,9 +28,16 @@ from repro.util.bits import (
 from repro.util.rng import derive_seed, make_rng
 
 __all__ = [
+    "EXECUTOR_KINDS",
+    "EXECUTOR_PROCESS",
+    "EXECUTOR_THREAD",
     "bits_to_int",
     "bitstring",
+    "default_workers",
     "derive_seed",
+    "make_executor",
+    "map_ordered",
+    "resolve_executor",
     "hamming_distance",
     "hamming_weight",
     "hamming_weight_array",

@@ -1,0 +1,91 @@
+"""Executor selection shared by every parallel driver in the repo.
+
+The sharded campaign driver (:mod:`repro.experiments.parallel`) and the
+per-byte full-key CPAs (:mod:`repro.attacks.full_key`) both fan work
+out over identical, order-preserving maps; this module is the single
+place that decides *how* those maps run:
+
+* ``"thread"`` — :class:`concurrent.futures.ThreadPoolExecutor`.  Fine
+  for numpy-heavy tasks that release the GIL, zero serialization cost.
+* ``"process"`` — :class:`concurrent.futures.ProcessPoolExecutor`.
+  True multi-core scaling for the Python-bound stages; task functions
+  and payloads must be picklable (module-level functions, plain data).
+
+It lives in :mod:`repro.util` because the consumers import each other
+(``experiments.parallel`` imports ``attacks.full_key``); a neutral home
+keeps the executor policy in one code path, per the CLI ``--executor``
+contract.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+#: Thread-pool backend (default: no pickling, GIL-bound Python stages).
+EXECUTOR_THREAD = "thread"
+#: Process-pool backend (picklable tasks, real multi-core scaling).
+EXECUTOR_PROCESS = "process"
+#: Accepted ``--executor`` values.
+EXECUTOR_KINDS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not specify one."""
+    return min(8, os.cpu_count() or 1)
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Validate an executor kind; ``None`` means the thread default."""
+    if executor is None:
+        return EXECUTOR_THREAD
+    if executor not in EXECUTOR_KINDS:
+        raise ValueError(
+            "unknown executor %r (expected one of %s)"
+            % (executor, ", ".join(EXECUTOR_KINDS))
+        )
+    return executor
+
+
+def make_executor(
+    executor: Optional[str], max_workers: int
+) -> Executor:
+    """Construct the requested executor kind."""
+    if resolve_executor(executor) == EXECUTOR_PROCESS:
+        return ProcessPoolExecutor(max_workers=max_workers)
+    return ThreadPoolExecutor(max_workers=max_workers)
+
+
+def map_ordered(
+    fn: Callable[[_Task], _Result],
+    tasks: Sequence[_Task],
+    max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> List[_Result]:
+    """``[fn(t) for t in tasks]``, optionally on a worker pool.
+
+    Results come back in task order regardless of completion order, so
+    any reduction that folds them sequentially (e.g. merging
+    per-segment CPA accumulators) is independent of the backend and of
+    the worker count.  With one worker (or one task) the map runs
+    in-process — the serial path stays a plain loop with no pool
+    overhead and no pickling requirement.
+
+    Args:
+        fn: task function.  For the process backend it must be
+            picklable, i.e. defined at module level.
+        tasks: task payloads (picklable for the process backend).
+        max_workers: pool size (default :func:`default_workers`;
+            1 forces serial).
+        executor: ``"thread"`` (default) or ``"process"``.
+    """
+    workers = max_workers if max_workers is not None else default_workers()
+    kind = resolve_executor(executor)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with make_executor(kind, max_workers=workers) as pool:
+        return list(pool.map(fn, tasks))

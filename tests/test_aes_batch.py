@@ -1,0 +1,176 @@
+"""Batched AES-128 vs the reference cipher: byte-identical everywhere."""
+
+import numpy as np
+import pytest
+
+from repro.aes.aes128 import AES128, expand_key
+from repro.aes.batch import (
+    GMUL2_TABLE,
+    GMUL3_TABLE,
+    POPCOUNT8_TABLE,
+    BatchedAES128,
+    as_state_array,
+    encryption_cycle_hd_batch,
+)
+from repro.aes.datapath import DatapathSchedule, encryption_cycle_hd
+from repro.aes.leakage import last_round_activity, last_round_byte_hd
+from repro.util.rng import derive_seed
+
+#: FIPS-197 Appendix C.1 known-answer vector.
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+def _random_batch(rng, n):
+    return rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+
+
+def test_gf_tables_match_reference_gmul():
+    from repro.aes.aes128 import _gmul
+
+    for b in range(256):
+        assert GMUL2_TABLE[b] == _gmul(b, 2)
+        assert GMUL3_TABLE[b] == _gmul(b, 3)
+        assert POPCOUNT8_TABLE[b] == bin(b).count("1")
+
+
+def test_fips197_known_answer():
+    batched = BatchedAES128(FIPS_KEY)
+    ct = batched.encrypt(np.frombuffer(FIPS_PT, dtype=np.uint8).reshape(1, 16))
+    assert bytes(ct[0]) == FIPS_CT
+    assert batched.last_round_key == AES128(FIPS_KEY).last_round_key
+
+
+def test_fips197_appendix_b_key():
+    # FIPS-197 Appendix B: a second independent key/plaintext pair.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+    ct = BatchedAES128(key).encrypt([pt])
+    assert bytes(ct[0]) == expected
+
+
+def test_round_states_match_reference_on_random_keys():
+    rng = np.random.default_rng(11)
+    for _ in range(4):
+        key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+        cipher = AES128(key)
+        batched = BatchedAES128(key)
+        plaintexts = _random_batch(rng, 40)
+        states = batched.round_states(plaintexts)
+        assert states.shape == (40, 12, 16)
+        for t in range(plaintexts.shape[0]):
+            assert (
+                states[t].tolist()
+                == cipher.round_states(bytes(plaintexts[t]))
+            )
+
+
+def test_encrypt_matches_reference_and_from_cipher_shares_keys():
+    rng = np.random.default_rng(7)
+    key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+    cipher = AES128(key)
+    plaintexts = _random_batch(rng, 64)
+    ct_a = BatchedAES128(key).encrypt(plaintexts)
+    ct_b = BatchedAES128.from_cipher(cipher).encrypt(plaintexts)
+    assert np.array_equal(ct_a, ct_b)
+    for t in range(plaintexts.shape[0]):
+        assert bytes(ct_a[t]) == cipher.encrypt(bytes(plaintexts[t]))
+
+
+def test_cycle_hd_matches_encryption_cycle_hd():
+    rng = np.random.default_rng(3)
+    key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+    cipher = AES128(key)
+    plaintexts = _random_batch(rng, 50)
+    hd = encryption_cycle_hd_batch(cipher, plaintexts)
+    assert hd.shape == (50, 44)
+    for t in range(plaintexts.shape[0]):
+        assert hd[t].tolist() == encryption_cycle_hd(
+            cipher, bytes(plaintexts[t])
+        )
+
+
+def test_cycle_hd_honours_custom_schedule():
+    rng = np.random.default_rng(5)
+    cipher = AES128(bytes(range(16)))
+    schedule = DatapathSchedule(cycles_per_round=2)
+    plaintexts = _random_batch(rng, 8)
+    hd = encryption_cycle_hd_batch(cipher, plaintexts, schedule)
+    assert hd.shape == (8, schedule.total_cycles)
+    for t in range(8):
+        assert hd[t].tolist() == encryption_cycle_hd(
+            cipher, bytes(plaintexts[t]), schedule
+        )
+
+
+def test_last_round_cycles_equal_column_sums_of_byte_hd():
+    """The four round-10 cycles are the column sums last_round_byte_hd
+    computes from ciphertext + key alone (the CPA hypothesis side)."""
+    rng = np.random.default_rng(9)
+    key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+    batched = BatchedAES128(key)
+    plaintexts = _random_batch(rng, 100)
+    hd = batched.cycle_hd(plaintexts)
+    ct = batched.encrypt(plaintexts)
+    byte_hd = last_round_byte_hd(ct, batched.last_round_key)
+    column_sums = byte_hd.reshape(-1, 4, 4).sum(axis=2)
+    assert np.array_equal(hd[:, 40:44], column_sums)
+
+
+def test_last_round_activity_consistent_with_round_states():
+    """last_round_activity from batched ciphertexts decomposes exactly
+    into the HW/HD components of the batched round-state transition."""
+    rng = np.random.default_rng(13)
+    key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+    batched = BatchedAES128(key)
+    plaintexts = _random_batch(rng, 200)
+    states = batched.round_states(plaintexts)
+    s9 = states[:, 10]
+    ct = states[:, 11]
+    for column in range(4):
+        span = slice(4 * column, 4 * column + 4)
+        hw = POPCOUNT8_TABLE[s9[:, span]].astype(np.int64).sum(axis=1)
+        hd = (
+            POPCOUNT8_TABLE[s9[:, span] ^ ct[:, span]]
+            .astype(np.int64)
+            .sum(axis=1)
+        )
+        expected = 1.0 * hw + 0.5 * hd
+        actual = last_round_activity(
+            ct, batched.last_round_key, column=column
+        )
+        assert np.array_equal(actual, expected)
+
+
+def test_characterize_activity_identical_to_serial_loop(alu_campaign):
+    """_default_aes_activity (now batched) reproduces the original
+    per-plaintext serial loop on the exact characterize inputs."""
+    num_samples = 1200
+    activity = alu_campaign._default_aes_activity(num_samples)
+    rng = np.random.default_rng(
+        derive_seed(alu_campaign.seed, "char-aes-pt")
+    )
+    serial = []
+    needed_cycles = int(np.ceil(num_samples / 1.5)) + 44
+    while len(serial) < needed_cycles:
+        plaintext = bytes(rng.integers(0, 256, size=16, dtype=np.uint8))
+        serial.extend(encryption_cycle_hd(alu_campaign.cipher, plaintext))
+    assert activity == serial
+
+
+def test_as_state_array_accepts_bytes_and_validates():
+    blocks = as_state_array([FIPS_PT, FIPS_KEY])
+    assert blocks.shape == (2, 16)
+    assert bytes(blocks[0]) == FIPS_PT
+    with pytest.raises(ValueError):
+        as_state_array(np.zeros((3, 8), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        as_state_array(np.full((1, 16), 300))
+
+
+def test_batched_key_schedule_matches_expand_key():
+    rng = np.random.default_rng(21)
+    key = bytes(rng.integers(0, 256, 16, dtype=np.uint8))
+    assert BatchedAES128(key).round_keys.tolist() == expand_key(key)

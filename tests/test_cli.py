@@ -67,6 +67,34 @@ class TestAttack:
         assert code in (0, 1)
 
 
+class TestBench:
+    def test_e2e_suite_writes_record(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_e2e.json"
+        code = main([
+            "bench", "--suite", "e2e",
+            "--gen-traces", "100", "--traces", "400",
+            "--repeats", "1", "--workers", "1",
+            "--output", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "speedup_vs_reference" in capsys.readouterr().out
+
+
+class TestExecutorOption:
+    def test_attack_accepts_process_executor(self, capsys):
+        code = main([
+            "attack", "alu", "--traces", "4000",
+            "--workers", "2", "--executor", "process",
+        ])
+        assert "best guess" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["attack", "alu", "--executor", "fiber"])
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

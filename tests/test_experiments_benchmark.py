@@ -1,0 +1,56 @@
+"""Tests for the performance harness (reduced sizes).
+
+The benchmark's job is methodological: assert fast==reference before
+timing anything. These tests run the suites at tiny sizes and check
+the record structure and the equality gates, not the speedups — CI
+hardware variance makes absolute numbers untestable, but a benchmark
+that records a result must have passed its bit-identity asserts.
+"""
+
+import json
+
+from repro.experiments.benchmark import (
+    run_e2e_benchmark,
+    write_e2e_benchmark,
+)
+
+
+class TestE2EBenchmark:
+    def test_record_structure_and_gates(self):
+        record = run_e2e_benchmark(
+            gen_traces=100,
+            campaign_traces=400,
+            repeats=1,
+            max_workers=2,
+            seed=3,
+        )
+        stages = record["trace_generation"]
+        for stage in ("aes_activity", "pdn_integration", "end_to_end"):
+            entry = stages[stage]
+            assert entry["reference_s"] > 0
+            assert entry["fast_s"] > 0
+            assert entry["speedup"] == (
+                entry["reference_s"] / entry["fast_s"]
+            )
+        campaign = record["campaign"]
+        # The assert-before-timing gate: a record only exists if the
+        # fast campaign reproduced the reference correlations exactly.
+        assert campaign["identical_correlations"] is True
+        assert campaign["workers"] == 2
+        assert campaign["executor"] == "thread"
+
+    def test_write_benchmark_round_trips(self, tmp_path):
+        path = tmp_path / "bench.json"
+        record = write_e2e_benchmark(
+            str(path),
+            gen_traces=100,
+            campaign_traces=400,
+            repeats=1,
+            max_workers=1,
+            executor="thread",
+            seed=3,
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk["campaign"]["num_traces"] == 400
+        assert on_disk["trace_generation"]["num_traces"] == 100
+        assert record["circuit"] == on_disk["circuit"]

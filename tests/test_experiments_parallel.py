@@ -113,6 +113,29 @@ class TestShardedAttack:
         assert result.checkpoints.tolist() == [1000, 3000]
         assert result.correlations.shape[0] == 2
 
+    def test_process_executor_matches_serial(self, alu_campaign):
+        kwargs = dict(
+            reduction=REDUCTION_HW,
+            checkpoints=[2000, 4000],
+            chunk_size=1000,
+        )
+        serial = sharded_attack(alu_campaign, 4000, max_workers=1, **kwargs)
+        process = sharded_attack(
+            alu_campaign, 4000, max_workers=4, executor="process", **kwargs
+        )
+        thread = sharded_attack(
+            alu_campaign, 4000, max_workers=4, executor="thread", **kwargs
+        )
+        assert np.array_equal(serial.correlations, process.correlations)
+        assert np.array_equal(serial.correlations, thread.correlations)
+
+    def test_unknown_executor_rejected(self, alu_campaign):
+        with pytest.raises(ValueError, match="unknown executor"):
+            sharded_attack(
+                alu_campaign, 4000, max_workers=2, chunk_size=1000,
+                executor="fiber",
+            )
+
     def test_validation(self, alu_campaign):
         with pytest.raises(ValueError):
             sharded_attack(alu_campaign, 1)
@@ -158,6 +181,21 @@ class TestShardedFullKey:
             leakage, ciphertexts, max_workers=8
         )
         for a, b in zip(serial.byte_results, threaded.byte_results):
+            assert np.array_equal(a.correlations, b.correlations)
+
+    def test_process_executor_matches_serial(self, alu_campaign):
+        serial = sharded_full_key(
+            alu_campaign, 3000, max_workers=1, chunk_size=1000
+        )
+        process = sharded_full_key(
+            alu_campaign, 3000, max_workers=4, chunk_size=1000,
+            executor="process",
+        )
+        assert (
+            serial.recovered_last_round_key
+            == process.recovered_last_round_key
+        )
+        for a, b in zip(serial.byte_results, process.byte_results):
             assert np.array_equal(a.correlations, b.correlations)
 
 

@@ -1,0 +1,95 @@
+"""Tests for the shared executor-selection helper."""
+
+import os
+
+import pytest
+
+from repro.util.executors import (
+    EXECUTOR_KINDS,
+    EXECUTOR_PROCESS,
+    EXECUTOR_THREAD,
+    default_workers,
+    make_executor,
+    map_ordered,
+    resolve_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+class TestResolve:
+    def test_none_means_thread(self):
+        assert resolve_executor(None) == EXECUTOR_THREAD
+
+    @pytest.mark.parametrize("kind", EXECUTOR_KINDS)
+    def test_known_kinds_pass_through(self, kind):
+        assert resolve_executor(kind) == kind
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("greenlet")
+
+
+class TestMakeExecutor:
+    def test_kinds_construct_and_run(self):
+        for kind in (None, EXECUTOR_THREAD, EXECUTOR_PROCESS):
+            with make_executor(kind, max_workers=2) as pool:
+                assert list(pool.map(_square, [1, 2, 3])) == [1, 4, 9]
+
+
+class TestMapOrdered:
+    def test_preserves_task_order(self):
+        tasks = list(range(20))
+        expected = [t * t for t in tasks]
+        for kind in (None, EXECUTOR_THREAD, EXECUTOR_PROCESS):
+            assert map_ordered(
+                _square, tasks, max_workers=4, executor=kind
+            ) == expected
+
+    def test_single_worker_runs_inline(self):
+        # With one worker the map must run in-process: closures (which
+        # a process pool could never pickle) are fine.
+        captured = []
+        result = map_ordered(
+            lambda x: captured.append(x) or x, [1, 2, 3], max_workers=1,
+            executor=EXECUTOR_PROCESS,
+        )
+        assert result == [1, 2, 3]
+        assert captured == [1, 2, 3]
+
+    def test_single_task_runs_inline(self):
+        assert map_ordered(
+            lambda x: x + 1, [41], max_workers=8,
+            executor=EXECUTOR_PROCESS,
+        ) == [42]
+
+    def test_process_backend_uses_worker_processes(self):
+        pids = set(
+            map_ordered(
+                _pid_of, range(8), max_workers=2,
+                executor=EXECUTOR_PROCESS,
+            )
+        )
+        assert os.getpid() not in pids
+
+    def test_thread_backend_stays_in_process(self):
+        pids = set(
+            map_ordered(
+                _pid_of, range(8), max_workers=2,
+                executor=EXECUTOR_THREAD,
+            )
+        )
+        assert pids == {os.getpid()}
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            map_ordered(_square, [1, 2], max_workers=2, executor="mpi")
+
+    def test_default_workers_positive(self):
+        assert 1 <= default_workers() <= 8
