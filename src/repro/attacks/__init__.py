@@ -9,6 +9,7 @@ campaign-level quality metrics.
 
 from repro.attacks.cpa import (
     CPAResult,
+    NonFiniteValuesError,
     StreamingCPA,
     default_checkpoints,
     run_cpa,
@@ -47,6 +48,7 @@ __all__ = [
     "DEFAULT_TARGET_BYTE",
     "DPAResult",
     "FullKeyResult",
+    "NonFiniteValuesError",
     "column_of_key_byte",
     "recover_last_round_key",
     "centered_square",

@@ -15,9 +15,39 @@ memory regardless of checkpoint density.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.util.errors import ReproError
+
+
+class NonFiniteValuesError(ReproError):
+    """NaN/Inf values reached the CPA accumulator.
+
+    A single non-finite leakage or hypothesis value silently poisons
+    every correlation downstream (the running sums all become NaN), so
+    :meth:`StreamingCPA.update` rejects the block instead and names
+    the offending trace indices.
+
+    Attributes:
+        which: ``"leakage"`` or ``"hypotheses"``.
+        indices: offending trace indices, offset by the accumulator's
+            trace count at update time (i.e. global indices for a
+            single-stream consumer, segment-relative for shard
+            workers).
+    """
+
+    def __init__(self, which: str, indices: np.ndarray):
+        indices = np.asarray(indices, dtype=np.int64)
+        shown = ", ".join(str(i) for i in indices[:8])
+        if indices.size > 8:
+            shown += ", ... (%d total)" % indices.size
+        super().__init__(
+            "non-finite %s values at trace indices [%s]" % (which, shown)
+        )
+        self.which = which
+        self.indices = indices
 
 
 @dataclass
@@ -147,6 +177,16 @@ class StreamingCPA:
                 "shape mismatch: leakage %r vs hypotheses %r"
                 % (x.shape, h.shape)
             )
+        finite_x = np.isfinite(x)
+        if not finite_x.all():
+            raise NonFiniteValuesError(
+                "leakage", self.count + np.flatnonzero(~finite_x)
+            )
+        finite_h = np.isfinite(h).all(axis=1)
+        if not finite_h.all():
+            raise NonFiniteValuesError(
+                "hypotheses", self.count + np.flatnonzero(~finite_h)
+            )
         self.count += x.shape[0]
         self._sum_x += x.sum()
         self._sum_xx += (x * x).sum()
@@ -189,6 +229,43 @@ class StreamingCPA:
         clone._sum_hh = self._sum_hh.copy()
         clone._sum_xh = self._sum_xh.copy()
         return clone
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The running sums as plain arrays, for checkpoint files.
+
+        The mapping round-trips bit-exactly through
+        :meth:`from_state_arrays` (and through ``np.savez`` /
+        ``np.load``, which preserve float64 payloads exactly), so a
+        resumed campaign continues from the identical accumulator
+        state an uninterrupted run would have had.
+        """
+        return {
+            "count": np.int64(self.count),
+            "sum_x": np.float64(self._sum_x),
+            "sum_xx": np.float64(self._sum_xx),
+            "sum_h": self._sum_h.copy(),
+            "sum_hh": self._sum_hh.copy(),
+            "sum_xh": self._sum_xh.copy(),
+        }
+
+    @classmethod
+    def from_state_arrays(
+        cls, state: Dict[str, np.ndarray]
+    ) -> "StreamingCPA":
+        """Rebuild an accumulator from :meth:`state_arrays` output."""
+        sum_h = np.asarray(state["sum_h"], dtype=np.float64)
+        engine = cls(num_candidates=int(sum_h.shape[0]))
+        engine.count = int(state["count"])
+        engine._sum_x = float(state["sum_x"])
+        engine._sum_xx = float(state["sum_xx"])
+        engine._sum_h = sum_h.copy()
+        engine._sum_hh = np.asarray(
+            state["sum_hh"], dtype=np.float64
+        ).copy()
+        engine._sum_xh = np.asarray(
+            state["sum_xh"], dtype=np.float64
+        ).copy()
+        return engine
 
     def correlations(self) -> np.ndarray:
         """Pearson correlation of every candidate over all seen traces."""

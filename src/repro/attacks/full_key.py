@@ -14,7 +14,7 @@ key.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from repro.aes.aes128 import invert_key_schedule
 from repro.aes.leakage import SHIFT_ROWS_SOURCE
 from repro.attacks.cpa import CPAResult, run_cpa
 from repro.attacks.models import single_bit_hypothesis
-from repro.util.executors import map_ordered
+from repro.util.executors import CampaignHealth, RetryPolicy, map_ordered
 
 
 def column_of_key_byte(byte_index: int) -> int:
@@ -126,6 +126,8 @@ def recover_last_round_key(
     checkpoints: Optional[List[int]] = None,
     max_workers: Optional[int] = None,
     executor: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> FullKeyResult:
     """CPA over all 16 last-round key bytes.
 
@@ -144,6 +146,11 @@ def recover_last_round_key(
             loop).  Default: serial.
         executor: ``"thread"`` (default) or ``"process"`` — see
             :func:`repro.util.executors.map_ordered`.
+        policy: retry/timeout/degradation policy; with ``health``,
+            switches the per-byte CPAs onto the resilient path of
+            :func:`map_ordered` (each byte's CPA is deterministic, so
+            retries cannot change the result).
+        health: accumulates the runtime's recovery events.
 
     Returns:
         a :class:`FullKeyResult` with one CPA result per key byte.
@@ -165,11 +172,19 @@ def recover_last_round_key(
         )
         for byte_index in range(16)
     ]
+    kwargs: Dict[str, object] = {}
+    if policy is not None or health is not None:
+        kwargs = dict(
+            policy=policy,
+            health=health,
+            sites=["byte[%d]" % index for index in range(16)],
+        )
     results = map_ordered(
         _attack_byte_task,
         tasks,
         max_workers=1 if max_workers is None else max_workers,
         executor=executor,
+        **kwargs,
     )
     return FullKeyResult(
         byte_results=results,

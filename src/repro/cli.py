@@ -20,7 +20,14 @@ Commands:
 
 Parallel commands accept ``--workers N`` and ``--executor
 {thread,process}``; results are bit-identical across backends and
-worker counts.
+worker counts.  The campaign commands (``attack``, ``fullkey``) also
+take fault-tolerance flags — ``--checkpoint PATH``,
+``--checkpoint-every K``, ``--resume``, ``--retries N``,
+``--task-timeout S`` — and ``report`` supports figure-granular
+``--checkpoint``/``--resume``; a resumed campaign is bit-identical to
+an uninterrupted one.  Structured failures exit with code 2 and one
+actionable line on stderr (plus a resume hint when a checkpoint
+exists) instead of a traceback.
 """
 
 from __future__ import annotations
@@ -39,6 +46,47 @@ def _add_executor_argument(parser) -> None:
         default=None,
         help="worker-pool backend (default: thread)",
     )
+
+
+def _add_resilience_arguments(parser) -> None:
+    """Fault-tolerance knobs shared by the campaign commands."""
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a crash-safe checkpoint here as shards complete",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="K",
+        help="shards per checkpoint (default: the worker count)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint if it exists "
+        "(bit-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per shard before degrading the backend "
+        "(default: 3 when any resilience flag is set)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard deadline; a hung shard is abandoned and "
+        "retried",
+    )
+
+
+def _retry_policy(args, seed: int):
+    """A RetryPolicy when a resilience flag asks for one, else None."""
+    from repro.util.executors import RetryPolicy
+
+    if args.retries is None and args.task_timeout is None:
+        return None
+    kwargs = {"seed": seed}
+    if args.retries is not None:
+        kwargs["max_attempts"] = args.retries
+    if args.task_timeout is not None:
+        kwargs["timeout"] = args.task_timeout
+    return RetryPolicy(**kwargs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for the sharded driver (1 = serial)",
     )
     _add_executor_argument(attack)
+    _add_resilience_arguments(attack)
 
     fullkey = sub.add_parser("fullkey", help="recover all 16 key bytes")
     fullkey.add_argument("--traces", type=int, default=250_000)
@@ -78,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for collection and per-byte CPAs",
     )
     _add_executor_argument(fullkey)
+    _add_resilience_arguments(fullkey)
 
     scan = sub.add_parser("scan", help="bitstream-check a design")
     scan.add_argument(
@@ -107,6 +157,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for the sharded CPA figures",
     )
     _add_executor_argument(report)
+    report.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSON checkpoint updated after every completed figure",
+    )
+    report.add_argument(
+        "--resume", action="store_true",
+        help="skip figures already recorded in --checkpoint",
+    )
 
     bench = sub.add_parser(
         "bench", help="sampling/campaign or e2e performance snapshot"
@@ -167,14 +225,24 @@ def _cmd_attack(args) -> int:
             executor=args.executor,
         )
     )
+    from repro.util.executors import CampaignHealth
+
     campaign = setup.campaign(args.circuit)
+    health = CampaignHealth()
     result = sharded_attack(
         campaign,
         args.traces,
         reduction=args.reduction,
         max_workers=args.workers,
         executor=args.executor,
+        policy=_retry_policy(args, args.seed),
+        health=health,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
+    if health.attempts and not health.healthy:
+        print("campaign health:", health.summary())
     correct = setup.cipher.last_round_key[setup.config.target_byte]
     print(
         "best guess 0x%02X (true 0x%02X), rank %d, %s"
@@ -201,12 +269,22 @@ def _cmd_fullkey(args) -> int:
             executor=args.executor,
         )
     )
+    from repro.util.executors import CampaignHealth
+
+    health = CampaignHealth()
     result = sharded_full_key(
         setup.campaign("alu"),
         args.traces,
         max_workers=args.workers,
         executor=args.executor,
+        policy=_retry_policy(args, args.seed),
+        health=health,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
+    if health.attempts and not health.healthy:
+        print("campaign health:", health.summary())
     print(
         "correct bytes %d/16, residual enumeration 2^%.1f"
         % (result.num_correct_bytes, result.log2_remaining_enumeration())
@@ -297,6 +375,8 @@ def _cmd_report(args) -> int:
             executor=args.executor,
         ),
         include_cpa=not args.no_cpa,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     print(render_report(records))
     return 0 if all(record.ok for record in records) else 1
@@ -348,9 +428,36 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Structured campaign failures (:class:`repro.util.ReproError`:
+    shard exhaustion, corrupt trace files or checkpoints, non-finite
+    leakage) are reported as one actionable line on stderr — with a
+    resume hint when a checkpoint is in play — instead of a traceback.
+    """
+    from repro.util.errors import ReproError
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    resume_hint = ""
+    if getattr(args, "checkpoint", None):
+        resume_hint = (
+            "; completed work is checkpointed — rerun with --resume "
+            "to continue from %s" % args.checkpoint
+        )
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(
+            "error: %s%s" % (error, resume_hint),
+            file=sys.stderr,
+        )
+        return 2
+    except KeyboardInterrupt:
+        print(
+            "interrupted%s" % resume_hint,
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

@@ -23,6 +23,14 @@ from repro.experiments.cpa_experiments import (
     fig17_cpa_c6288,
     fig18_cpa_c6288_best_bit,
 )
+from repro.experiments.checkpoint import (
+    CampaignCheckpoint,
+    CampaignManifest,
+    CheckpointError,
+    atomic_write,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.experiments.parallel import (
     Shard,
     plan_shards,
@@ -43,7 +51,13 @@ from repro.experiments.setup import ExperimentSetup
 __all__ = [
     "CPA_FIGURES",
     "CPAExperimentOutcome",
+    "CampaignCheckpoint",
+    "CampaignManifest",
+    "CheckpointError",
     "DEFAULT_KEY",
+    "atomic_write",
+    "load_checkpoint",
+    "save_checkpoint",
     "ExperimentConfig",
     "ExperimentSetup",
     "PAPER_EXPECTED",

@@ -1,4 +1,4 @@
-"""Sharded, mergeable CPA campaign driver.
+"""Sharded, mergeable, fault-tolerant CPA campaign driver.
 
 A half-million-trace campaign decomposes naturally: trace generation
 (sensor sampling) and hypothesis building are embarrassingly parallel
@@ -27,12 +27,26 @@ their runtime) or, with ``executor="process"``, a process pool whose
 shard tasks are module-level functions with picklable payloads,
 buying real multi-core scaling for the Python-bound stages.  Both
 backends produce bit-identical results at any worker count.
+
+The same determinism is what makes the campaign *fault-tolerant*:
+because every shard task is a pure function of its payload, the
+runtime may retry a failed shard, rebuild a broken process pool, or
+degrade ``process -> thread -> serial``
+(:class:`repro.util.executors.RetryPolicy`) without any effect on the
+result.  Passing ``checkpoint_path`` makes progress durable: after
+every ``checkpoint_every`` completed shards the merged accumulator
+state and a configuration-fingerprinted manifest are atomically
+written (:mod:`repro.experiments.checkpoint`), and ``resume=True``
+continues a killed campaign from the last checkpoint, bit-identical
+to an uninterrupted run.  Deterministic fault injection for all of
+these paths lives in :mod:`repro.util.faults`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,7 +74,22 @@ from repro.core.attack import (
 from repro.core.endpoint_sensor import BenignSensor
 from repro.core.postprocess import hamming_weight_series
 from repro.core.tracegen import PhysicalTraceGenerator, random_plaintexts
-from repro.util.executors import default_workers, map_ordered
+from repro.experiments.checkpoint import (
+    CampaignCheckpoint,
+    CampaignManifest,
+    load_checkpoint,
+    save_checkpoint,
+    split_rows,
+    verify_manifest,
+)
+from repro.util.executors import (
+    CampaignHealth,
+    RetryPolicy,
+    TruncatedResultError,
+    default_workers,
+    map_ordered,
+)
+from repro.util.faults import FaultPlan, poison_leakage
 from repro.util.rng import derive_seed
 
 __all__ = [
@@ -83,6 +112,11 @@ class Shard:
     @property
     def num_traces(self) -> int:
         return self.end - self.start
+
+    @property
+    def site(self) -> str:
+        """Stable identity for fault keying and health reports."""
+        return "shard[%d:%d]" % (self.start, self.end)
 
 
 def plan_shards(
@@ -165,6 +199,7 @@ def _attack_shard_task(
                 task["bit"],
             )
         )
+    leakage = poison_leakage(leakage)
     hypotheses = single_bit_hypothesis(ct_bytes, bit=task["target_bit"])
     partials: List[Tuple[int, StreamingCPA]] = []
     previous = shard.start
@@ -179,6 +214,141 @@ def _attack_shard_task(
     return partials
 
 
+def _validate_partials(task: Dict[str, object], result: object) -> None:
+    """Reject truncated/corrupt shard payloads before they merge."""
+    expected = list(task["segment_ends"])
+    shard: Shard = task["shard"]
+    if not isinstance(result, (list, tuple)):
+        raise TruncatedResultError(
+            shard.site, "a list of partials", type(result).__name__
+        )
+    boundaries = [boundary for boundary, _ in result]
+    if boundaries != expected:
+        raise TruncatedResultError(
+            shard.site,
+            "segment boundaries %s" % expected,
+            "%s" % boundaries,
+        )
+
+
+def _validate_column_block(
+    task: Dict[str, object], result: object
+) -> None:
+    """Reject truncated column-leakage blocks before they stack."""
+    shard: Shard = task["shard"]
+    expected = (shard.num_traces, 4)
+    shape = getattr(result, "shape", None)
+    if shape != expected:
+        raise TruncatedResultError(
+            shard.site, "leakage block %s" % (expected,), "%s" % (shape,)
+        )
+
+
+def _run_checkpointed_cpa(
+    task_fn: Callable[[Dict[str, object]], List[Tuple[int, StreamingCPA]]],
+    tasks: List[Dict[str, object]],
+    shards: List[Shard],
+    points: np.ndarray,
+    correct_key: int,
+    manifest: CampaignManifest,
+    max_workers: Optional[int],
+    executor: Optional[str],
+    policy: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan],
+    health: Optional[CampaignHealth],
+    checkpoint_path: Optional[str],
+    checkpoint_every: Optional[int],
+    resume: bool,
+) -> CPAResult:
+    """Shared group-wise execute/merge/checkpoint loop of the two CPA
+    drivers.
+
+    Shards run in groups of ``checkpoint_every``; after each group the
+    merged running state becomes durable.  Because groups complete in
+    trace order, the completed set is always a shard-plan prefix, and
+    a resumed run replays the identical merge sequence.
+    """
+    running = StreamingCPA(num_candidates=256)
+    rows: List[np.ndarray] = []
+    completed = 0
+    if resume and checkpoint_path is not None and os.path.exists(
+        checkpoint_path
+    ):
+        stored = load_checkpoint(checkpoint_path)
+        verify_manifest(checkpoint_path, stored.manifest, manifest)
+        completed = stored.completed_shards
+        running = StreamingCPA.from_state_arrays(
+            {
+                key[len("engine_"):]: value
+                for key, value in stored.arrays.items()
+                if key.startswith("engine_")
+            }
+        )
+        rows = split_rows(stored.arrays["rows"])
+
+    robust = (
+        policy is not None
+        or fault_plan is not None
+        or health is not None
+        or checkpoint_path is not None
+    )
+    group = len(tasks)
+    if checkpoint_path is not None:
+        # Default group = worker count, so durability costs no
+        # parallelism (a group is one map_ordered call).
+        group = max(1, checkpoint_every or max_workers or default_workers())
+    checkpoint_set = {int(p) for p in points}
+    while completed < len(tasks):
+        stop = min(completed + group, len(tasks))
+        kwargs: Dict[str, object] = {}
+        if robust:
+            kwargs = dict(
+                policy=policy,
+                fault_plan=fault_plan,
+                sites=[shard.site for shard in shards[completed:stop]],
+                health=health,
+                validate=_validate_partials,
+            )
+        per_shard = map_ordered(
+            task_fn,
+            tasks[completed:stop],
+            max_workers=max_workers,
+            executor=executor,
+            **kwargs,
+        )
+        for partials in per_shard:
+            for boundary, engine in partials:
+                running.merge(engine)
+                if boundary in checkpoint_set:
+                    rows.append(running.correlations())
+        completed = stop
+        if checkpoint_path is not None:
+            arrays: Dict[str, np.ndarray] = {
+                "rows": np.vstack(rows)
+                if rows
+                else np.zeros((0, running.num_candidates))
+            }
+            arrays.update(
+                {
+                    "engine_" + key: value
+                    for key, value in running.state_arrays().items()
+                }
+            )
+            save_checkpoint(
+                checkpoint_path,
+                CampaignCheckpoint(
+                    manifest=manifest,
+                    completed_shards=completed,
+                    arrays=arrays,
+                ),
+            )
+    return CPAResult(
+        checkpoints=points,
+        correlations=np.vstack(rows),
+        correct_key=correct_key,
+    )
+
+
 def sharded_attack(
     campaign: AttackCampaign,
     num_traces: int,
@@ -190,6 +360,12 @@ def sharded_attack(
     max_workers: Optional[int] = None,
     chunk_size: int = TRACE_CHUNK,
     executor: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    health: Optional[CampaignHealth] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
 ) -> CPAResult:
     """Parallel drop-in for :meth:`AttackCampaign.attack`.
 
@@ -210,6 +386,21 @@ def sharded_attack(
             campaign's chunk grid to reproduce the serial jitter seeds.
         executor: ``"thread"`` (default) or ``"process"`` — the
             :func:`repro.util.executors.map_ordered` backend.
+        policy: retry/timeout/degradation policy; any fault-tolerance
+            argument (also ``fault_plan``, ``health``,
+            ``checkpoint_path``) switches shard execution into the
+            resilient mode of :func:`map_ordered`.
+        fault_plan: deterministic fault injection (tests only).
+        health: accumulates the runtime's recovery events.
+        checkpoint_path: write a durable checkpoint here after every
+            ``checkpoint_every`` completed shards (atomic
+            write-temp-then-rename).
+        checkpoint_every: shards per checkpoint group (default: the
+            worker count, so durability costs no parallelism).
+        resume: continue from ``checkpoint_path`` if it exists; the
+            stored manifest must fingerprint-match this configuration.
+            The resumed result is bit-identical to an uninterrupted
+            run.
     """
     if num_traces < 2:
         raise ValueError("need at least 2 traces")
@@ -233,23 +424,37 @@ def sharded_attack(
         }
         for shard in shards
     ]
-    per_shard = map_ordered(
-        _attack_shard_task, tasks, max_workers=max_workers,
-        executor=executor,
+    manifest = CampaignManifest(
+        kind="attack",
+        params={
+            "campaign_seed": campaign.seed,
+            "sensor": campaign.sensor.name,
+            "last_round_key": campaign.cipher.last_round_key.hex(),
+            "num_traces": int(num_traces),
+            "reduction": reduction,
+            "bit": None if bit is None else int(bit),
+            "target_byte": int(target_byte),
+            "target_bit": int(target_bit),
+            "chunk_size": int(chunk_size),
+        },
+        shard_plan=tuple((s.start, s.end) for s in shards),
+        checkpoints=tuple(int(p) for p in points),
     )
-
-    running = StreamingCPA(num_candidates=256)
-    rows: List[np.ndarray] = []
-    checkpoint_set = {int(p) for p in points}
-    for partials in per_shard:
-        for boundary, engine in partials:
-            running.merge(engine)
-            if boundary in checkpoint_set:
-                rows.append(running.correlations())
-    return CPAResult(
-        checkpoints=points,
-        correlations=np.vstack(rows),
-        correct_key=campaign.cipher.last_round_key[target_byte],
+    return _run_checkpointed_cpa(
+        _attack_shard_task,
+        tasks,
+        shards,
+        points,
+        campaign.cipher.last_round_key[target_byte],
+        manifest,
+        max_workers,
+        executor,
+        policy,
+        fault_plan,
+        health,
+        checkpoint_path,
+        checkpoint_every,
+        resume,
     )
 
 
@@ -292,6 +497,7 @@ def _physical_shard_task(
         )
         leakage[local] = hamming_weight_series(bits, task["mask"])
         ct_bytes[local] = data["ciphertexts"][:, task["target_byte"]]
+    leakage = poison_leakage(leakage)
     hypotheses = single_bit_hypothesis(ct_bytes, bit=task["target_bit"])
     partials: List[Tuple[int, StreamingCPA]] = []
     previous = shard.start
@@ -319,6 +525,12 @@ def sharded_physical_attack(
     executor: Optional[str] = None,
     seed: int = 0,
     reference: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    health: Optional[CampaignHealth] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
 ) -> CPAResult:
     """CPA campaign over *physically generated* traces.
 
@@ -340,6 +552,9 @@ def sharded_physical_attack(
             reference path instead of the vectorized kernels.  Both
             paths are bit-identical; this is the baseline the e2e
             benchmark times the fast path against.
+        policy / fault_plan / health / checkpoint_path /
+            checkpoint_every / resume: fault-tolerant runtime knobs,
+            as in :func:`sharded_attack`.
     """
     if num_traces < 2:
         raise ValueError("need at least 2 traces")
@@ -368,23 +583,38 @@ def sharded_physical_attack(
         }
         for shard in shards
     ]
-    per_shard = map_ordered(
-        _physical_shard_task, tasks, max_workers=max_workers,
-        executor=executor,
+    manifest = CampaignManifest(
+        kind="physical",
+        params={
+            "seed": int(seed),
+            "sensor": sensor.name,
+            "last_round_key": generator.cipher.last_round_key.hex(),
+            "num_traces": int(num_traces),
+            "mask": None if mask is None else np.asarray(mask).tolist(),
+            "target_byte": int(target_byte),
+            "target_bit": int(target_bit),
+            "chunk_size": int(chunk_size),
+            "reference": bool(reference),
+            "sample_index": sample_index,
+        },
+        shard_plan=tuple((s.start, s.end) for s in shards),
+        checkpoints=tuple(int(p) for p in points),
     )
-
-    running = StreamingCPA(num_candidates=256)
-    rows: List[np.ndarray] = []
-    checkpoint_set = {int(p) for p in points}
-    for partials in per_shard:
-        for boundary, engine in partials:
-            running.merge(engine)
-            if boundary in checkpoint_set:
-                rows.append(running.correlations())
-    return CPAResult(
-        checkpoints=points,
-        correlations=np.vstack(rows),
-        correct_key=generator.cipher.last_round_key[target_byte],
+    return _run_checkpointed_cpa(
+        _physical_shard_task,
+        tasks,
+        shards,
+        points,
+        generator.cipher.last_round_key[target_byte],
+        manifest,
+        max_workers,
+        executor,
+        policy,
+        fault_plan,
+        health,
+        checkpoint_path,
+        checkpoint_every,
+        resume,
     )
 
 
@@ -408,7 +638,7 @@ def _column_shard_task(task: Dict[str, object]) -> np.ndarray:
             leakage[local, column] = campaign.column_leakage_block(
                 voltages[local, column], start, column, mask
             )
-    return leakage
+    return poison_leakage(leakage)
 
 
 def sharded_full_key(
@@ -419,13 +649,22 @@ def sharded_full_key(
     max_workers: Optional[int] = None,
     chunk_size: int = TRACE_CHUNK,
     executor: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    health: Optional[CampaignHealth] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
 ) -> FullKeyResult:
     """Parallel drop-in for :meth:`AttackCampaign.attack_full_key`.
 
     Column-resolved trace collection is sharded across workers (chunk
     seeds keyed on the global ``(column, start)`` grid, identical to
     the serial collector), then the 16 per-byte CPAs run on the same
-    backend.
+    backend.  With ``checkpoint_path`` set, the collected leakage
+    prefix becomes durable after every ``checkpoint_every`` shards, so
+    a killed collection resumes without regenerating completed shards;
+    the per-byte CPA stage is cheap and always recomputed.
     """
     if num_traces < 2:
         raise ValueError("need at least 2 traces")
@@ -449,10 +688,78 @@ def sharded_full_key(
         }
         for shard in shards
     ]
-    blocks = map_ordered(
-        _column_shard_task, tasks, max_workers=max_workers,
-        executor=executor,
+    manifest = CampaignManifest(
+        kind="fullkey",
+        params={
+            "campaign_seed": campaign.seed,
+            "sensor": campaign.sensor.name,
+            "last_round_key": campaign.cipher.last_round_key.hex(),
+            "num_traces": int(num_traces),
+            "target_bit": int(target_bit),
+            "chunk_size": int(chunk_size),
+        },
+        shard_plan=tuple((s.start, s.end) for s in shards),
+        checkpoints=tuple(
+            int(p) for p in (checkpoints if checkpoints else ())
+        ),
     )
+
+    blocks: List[np.ndarray] = []
+    completed = 0
+    if resume and checkpoint_path is not None and os.path.exists(
+        checkpoint_path
+    ):
+        stored = load_checkpoint(checkpoint_path)
+        verify_manifest(checkpoint_path, stored.manifest, manifest)
+        completed = stored.completed_shards
+        if completed:
+            blocks.append(
+                np.asarray(
+                    stored.arrays["leakage_prefix"], dtype=np.float64
+                )
+            )
+
+    robust = (
+        policy is not None
+        or fault_plan is not None
+        or health is not None
+        or checkpoint_path is not None
+    )
+    group = len(tasks)
+    if checkpoint_path is not None:
+        # Default group = worker count, so durability costs no
+        # parallelism (a group is one map_ordered call).
+        group = max(1, checkpoint_every or max_workers or default_workers())
+    while completed < len(tasks):
+        stop = min(completed + group, len(tasks))
+        kwargs: Dict[str, object] = {}
+        if robust:
+            kwargs = dict(
+                policy=policy,
+                fault_plan=fault_plan,
+                sites=[shard.site for shard in shards[completed:stop]],
+                health=health,
+                validate=_validate_column_block,
+            )
+        blocks.extend(
+            map_ordered(
+                _column_shard_task,
+                tasks[completed:stop],
+                max_workers=max_workers,
+                executor=executor,
+                **kwargs,
+            )
+        )
+        completed = stop
+        if checkpoint_path is not None:
+            save_checkpoint(
+                checkpoint_path,
+                CampaignCheckpoint(
+                    manifest=manifest,
+                    completed_shards=completed,
+                    arrays={"leakage_prefix": np.vstack(blocks)},
+                ),
+            )
     leakage = np.vstack(blocks)
     return recover_last_round_key(
         leakage,
@@ -462,4 +769,6 @@ def sharded_full_key(
         checkpoints=checkpoints,
         max_workers=max_workers,
         executor=executor,
+        policy=policy,
+        health=health,
     )

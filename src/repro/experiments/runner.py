@@ -4,13 +4,25 @@
 budget and returns structured records; ``render_report`` turns them
 into the paper-vs-measured markdown table used in EXPERIMENTS.md and by
 the ``repro report`` CLI command.
+
+Execution is figure-granular: each figure is an independent
+``(figure_id, thunk)`` pair, so a ``checkpoint_path`` can make the
+multi-hour report crash-safe — after every completed figure the
+records-so-far are written atomically to a JSON checkpoint stamped with
+a configuration hash, and ``resume=True`` skips figures that are
+already recorded (rejecting a checkpoint produced under a different
+configuration).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.experiments.checkpoint import CheckpointError
 from repro.experiments.config import PAPER_EXPECTED, ExperimentConfig
 from repro.experiments.cpa_experiments import CPA_FIGURES
 from repro.experiments.preliminary import (
@@ -22,6 +34,10 @@ from repro.experiments.preliminary import (
 )
 from repro.experiments.report import describe_mtd
 from repro.experiments.setup import ExperimentSetup
+from repro.util.fileio import atomic_write
+
+#: Bumped whenever the report-checkpoint layout changes incompatibly.
+REPORT_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -41,119 +57,130 @@ class FigureRecord:
     ok: bool
 
 
-def _run_preliminary(setup: ExperimentSetup) -> List[FigureRecord]:
-    records: List[FigureRecord] = []
-
+def _fig03(setup: ExperimentSetup) -> FigureRecord:
     floorplan = fig03_04_floorplan(setup, "alu")
-    records.append(
-        FigureRecord(
-            "fig03",
-            PAPER_EXPECTED["fig03"],
-            "%d sensitive endpoint sites scattered over the region"
-            % floorplan["sensitive_sites"],
-            floorplan["sensitive_sites"] > 20,
-        )
-    )
-    floorplan_c = fig03_04_floorplan(setup, "c6288x2")
-    records.append(
-        FigureRecord(
-            "fig04",
-            PAPER_EXPECTED["fig04"],
-            "%d sensitive endpoint sites (2 instances)"
-            % floorplan_c["sensitive_sites"],
-            floorplan_c["sensitive_sites"] > 10,
-        )
+    return FigureRecord(
+        "fig03",
+        PAPER_EXPECTED["fig03"],
+        "%d sensitive endpoint sites scattered over the region"
+        % floorplan["sensitive_sites"],
+        floorplan["sensitive_sites"] > 20,
     )
 
+
+def _fig04(setup: ExperimentSetup) -> FigureRecord:
+    floorplan = fig03_04_floorplan(setup, "c6288x2")
+    return FigureRecord(
+        "fig04",
+        PAPER_EXPECTED["fig04"],
+        "%d sensitive endpoint sites (2 instances)"
+        % floorplan["sensitive_sites"],
+        floorplan["sensitive_sites"] > 10,
+    )
+
+
+def _fig05(setup: ExperimentSetup) -> FigureRecord:
     raw = fig05_raw_toggle(setup, "alu")
-    records.append(
-        FigureRecord(
-            "fig05",
-            PAPER_EXPECTED["fig05"],
-            "%d of 192 endpoints toggling after RO enable (%d before)"
-            % (raw["toggling_after_enable"], raw["toggling_before_enable"]),
-            raw["toggling_after_enable"]
-            > raw["toggling_before_enable"],
-        )
+    return FigureRecord(
+        "fig05",
+        PAPER_EXPECTED["fig05"],
+        "%d of 192 endpoints toggling after RO enable (%d before)"
+        % (raw["toggling_after_enable"], raw["toggling_before_enable"]),
+        raw["toggling_after_enable"] > raw["toggling_before_enable"],
     )
 
+
+def _fig06(setup: ExperimentSetup) -> FigureRecord:
     comparison = fig06_tdc_vs_benign(setup, "alu")
-    records.append(
-        FigureRecord(
-            "fig06",
-            PAPER_EXPECTED["fig06"],
-            "TDC %.0f -> %.0f droop, overshoot %.0f; sensor corr %.2f"
-            % (
-                comparison["tdc_idle"],
-                comparison["tdc_droop_min"],
-                comparison["tdc_overshoot_max"],
-                comparison["correlation"],
-            ),
-            comparison["correlation"] > 0.7,
-        )
+    return FigureRecord(
+        "fig06",
+        PAPER_EXPECTED["fig06"],
+        "TDC %.0f -> %.0f droop, overshoot %.0f; sensor corr %.2f"
+        % (
+            comparison["tdc_idle"],
+            comparison["tdc_droop_min"],
+            comparison["tdc_overshoot_max"],
+            comparison["correlation"],
+        ),
+        comparison["correlation"] > 0.7,
     )
 
-    alu_census = fig07_15_census(setup, "alu")
-    records.append(
-        FigureRecord(
-            "fig07",
-            PAPER_EXPECTED["fig07"],
-            "%(ro_sensitive)d RO / %(aes_sensitive)d AES "
-            "(%(aes_subset_of_ro)d subset) / %(unaffected)d silent"
-            % alu_census,
-            65 <= alu_census["ro_sensitive"] <= 95,
-        )
+
+def _fig07(setup: ExperimentSetup) -> FigureRecord:
+    census = fig07_15_census(setup, "alu")
+    return FigureRecord(
+        "fig07",
+        PAPER_EXPECTED["fig07"],
+        "%(ro_sensitive)d RO / %(aes_sensitive)d AES "
+        "(%(aes_subset_of_ro)d subset) / %(unaffected)d silent"
+        % census,
+        65 <= census["ro_sensitive"] <= 95,
     )
 
-    alu_variance = fig08_16_variance(setup, "alu")
-    records.append(
-        FigureRecord(
-            "fig08",
-            PAPER_EXPECTED["fig08"],
-            "best endpoints of this run: %d, %d"
-            % (alu_variance["best_bit"], alu_variance["second_bit"]),
-            True,
-        )
+
+def _fig08(setup: ExperimentSetup) -> FigureRecord:
+    variance = fig08_16_variance(setup, "alu")
+    return FigureRecord(
+        "fig08",
+        PAPER_EXPECTED["fig08"],
+        "best endpoints of this run: %d, %d"
+        % (variance["best_bit"], variance["second_bit"]),
+        True,
     )
 
-    raw_c = fig05_raw_toggle(setup, "c6288x2")
-    records.append(
-        FigureRecord(
-            "fig14",
-            PAPER_EXPECTED["fig14"],
-            "%d of 64 endpoints toggling after RO enable"
-            % raw_c["toggling_after_enable"],
-            raw_c["toggling_after_enable"] >= 35,
-        )
+
+def _fig14(setup: ExperimentSetup) -> FigureRecord:
+    raw = fig05_raw_toggle(setup, "c6288x2")
+    return FigureRecord(
+        "fig14",
+        PAPER_EXPECTED["fig14"],
+        "%d of 64 endpoints toggling after RO enable"
+        % raw["toggling_after_enable"],
+        raw["toggling_after_enable"] >= 35,
     )
 
-    c_census = fig07_15_census(setup, "c6288x2")
-    records.append(
-        FigureRecord(
-            "fig15",
-            PAPER_EXPECTED["fig15"],
-            "%(ro_sensitive)d RO / %(aes_sensitive)d AES "
-            "(%(aes_subset_of_ro)d subset) / %(unaffected)d silent"
-            % c_census,
-            40 <= c_census["ro_sensitive"] <= 58,
-        )
+
+def _fig15(setup: ExperimentSetup) -> FigureRecord:
+    census = fig07_15_census(setup, "c6288x2")
+    return FigureRecord(
+        "fig15",
+        PAPER_EXPECTED["fig15"],
+        "%(ro_sensitive)d RO / %(aes_sensitive)d AES "
+        "(%(aes_subset_of_ro)d subset) / %(unaffected)d silent"
+        % census,
+        40 <= census["ro_sensitive"] <= 58,
     )
 
-    c_variance = fig08_16_variance(setup, "c6288x2")
-    records.append(
-        FigureRecord(
-            "fig16",
-            PAPER_EXPECTED["fig16"],
-            "best endpoint of this run: %d" % c_variance["best_bit"],
-            True,
-        )
+
+def _fig16(setup: ExperimentSetup) -> FigureRecord:
+    variance = fig08_16_variance(setup, "c6288x2")
+    return FigureRecord(
+        "fig16",
+        PAPER_EXPECTED["fig16"],
+        "best endpoint of this run: %d" % variance["best_bit"],
+        True,
     )
-    return records
 
 
-def _run_cpa_figures(setup: ExperimentSetup) -> List[FigureRecord]:
-    records: List[FigureRecord] = []
-    for figure in sorted(CPA_FIGURES):
+_PRELIMINARY_FIGURES: Dict[
+    str, Callable[[ExperimentSetup], FigureRecord]
+] = {
+    "fig03": _fig03,
+    "fig04": _fig04,
+    "fig05": _fig05,
+    "fig06": _fig06,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+}
+
+
+def _cpa_figure_thunk(
+    figure: str,
+) -> Callable[[ExperimentSetup], FigureRecord]:
+    def run(setup: ExperimentSetup) -> FigureRecord:
         outcome = CPA_FIGURES[figure](setup)
         measured = "%s%s" % (
             describe_mtd(outcome.mtd),
@@ -161,32 +188,153 @@ def _run_cpa_figures(setup: ExperimentSetup) -> List[FigureRecord]:
             if outcome.sensor_bit is None
             else " (endpoint %d)" % outcome.sensor_bit,
         )
-        records.append(
-            FigureRecord(
-                figure,
-                PAPER_EXPECTED[figure],
-                measured,
-                outcome.disclosed,
+        return FigureRecord(
+            figure, PAPER_EXPECTED[figure], measured, outcome.disclosed
+        )
+
+    return run
+
+
+def figure_plan(
+    include_cpa: bool = True,
+) -> List[Tuple[str, Callable[[ExperimentSetup], FigureRecord]]]:
+    """Every figure as an independent ``(figure_id, thunk)`` pair.
+
+    The plan order is deterministic (figure id); each thunk is a pure
+    function of the (cached) :class:`ExperimentSetup`, which is what
+    makes figure-granular checkpoint/resume sound.
+    """
+    plan = dict(_PRELIMINARY_FIGURES)
+    if include_cpa:
+        for figure in CPA_FIGURES:
+            plan[figure] = _cpa_figure_thunk(figure)
+    return sorted(plan.items())
+
+
+def _report_config_hash(
+    config: ExperimentConfig, figures: List[str]
+) -> str:
+    """Fingerprint of everything that determines the report's records."""
+    payload = json.dumps(
+        {
+            "version": REPORT_CHECKPOINT_VERSION,
+            "config": {
+                "seed": config.seed,
+                "key": config.key.hex(),
+                "num_traces": config.num_traces,
+                "characterization_samples": (
+                    config.characterization_samples
+                ),
+                "target_byte": config.target_byte,
+                "target_bit": config.target_bit,
+                "overclock_mhz": config.overclock_mhz,
+            },
+            "figures": figures,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _load_report_checkpoint(
+    path: str, config_hash: str
+) -> Dict[str, FigureRecord]:
+    """Completed records from a report checkpoint, or an error."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        version = int(data["version"])
+        if version != REPORT_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                path,
+                "version %d not supported (expected %d)"
+                % (version, REPORT_CHECKPOINT_VERSION),
             )
+        stored_hash = data["config_hash"]
+        records = {
+            figure: FigureRecord(
+                figure=figure,
+                paper=str(record["paper"]),
+                measured=str(record["measured"]),
+                ok=bool(record["ok"]),
+            )
+            for figure, record in data["records"].items()
+        }
+    except CheckpointError:
+        raise
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(
+            path, "unreadable or corrupt (%s)" % exc
+        ) from exc
+    if stored_hash != config_hash:
+        raise CheckpointError(
+            path,
+            "configuration hash mismatch — refusing to resume a "
+            "different report run",
         )
     return records
+
+
+def _save_report_checkpoint(
+    path: str, config_hash: str, records: Dict[str, FigureRecord]
+) -> None:
+    payload = json.dumps(
+        {
+            "version": REPORT_CHECKPOINT_VERSION,
+            "config_hash": config_hash,
+            "records": {
+                figure: {
+                    "paper": record.paper,
+                    "measured": record.measured,
+                    "ok": record.ok,
+                }
+                for figure, record in sorted(records.items())
+            },
+        },
+        sort_keys=True,
+        indent=2,
+    )
+    atomic_write(
+        path, lambda handle: handle.write(payload.encode("utf-8"))
+    )
 
 
 def run_all_figures(
     config: Optional[ExperimentConfig] = None,
     include_cpa: bool = True,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> List[FigureRecord]:
     """Run every evaluation figure and collect report records.
 
     Args:
         config: experiment configuration (paper scale by default).
         include_cpa: skip the expensive CPA campaigns when False.
+        checkpoint_path: write a JSON checkpoint of the records here
+            (atomically) after every completed figure.
+        resume: skip figures already recorded in ``checkpoint_path``;
+            the stored configuration hash must match this run's.
     """
-    setup = ExperimentSetup(config or ExperimentConfig())
-    records = _run_preliminary(setup)
-    if include_cpa:
-        records.extend(_run_cpa_figures(setup))
-    return sorted(records, key=lambda record: record.figure)
+    config = config or ExperimentConfig()
+    setup = ExperimentSetup(config)
+    plan = figure_plan(include_cpa)
+    config_hash = _report_config_hash(
+        config, [figure for figure, _ in plan]
+    )
+    records: Dict[str, FigureRecord] = {}
+    if (
+        resume
+        and checkpoint_path is not None
+        and os.path.exists(checkpoint_path)
+    ):
+        records = _load_report_checkpoint(checkpoint_path, config_hash)
+    for figure, thunk in plan:
+        if figure in records:
+            continue
+        records[figure] = thunk(setup)
+        if checkpoint_path is not None:
+            _save_report_checkpoint(checkpoint_path, config_hash, records)
+    return [record for _, record in sorted(records.items())]
 
 
 def render_report(records: List[FigureRecord]) -> str:

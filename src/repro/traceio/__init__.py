@@ -6,6 +6,11 @@ relevant bits for the CPA" (Sec. IV).  :class:`TraceSet` mirrors that
 layout and round-trips through compressed ``.npz`` files.
 """
 
-from repro.traceio.traces import TraceSet, load_traces, save_traces
+from repro.traceio.traces import (
+    TraceIOError,
+    TraceSet,
+    load_traces,
+    save_traces,
+)
 
-__all__ = ["TraceSet", "load_traces", "save_traces"]
+__all__ = ["TraceIOError", "TraceSet", "load_traces", "save_traces"]

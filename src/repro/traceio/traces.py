@@ -1,12 +1,30 @@
-"""Trace-set container with ``.npz`` persistence."""
+"""Trace-set container with crash-safe ``.npz`` persistence."""
 
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
+
+from repro.util.errors import ReproError
+from repro.util.fileio import atomic_write
+
+
+class TraceIOError(ReproError):
+    """A trace file is missing, truncated, or not a trace set.
+
+    Raised by :func:`load_traces` instead of the raw numpy/zipfile
+    errors so campaign tooling can report one actionable line (the
+    path and what is wrong with it) rather than a traceback.
+    """
+
+    def __init__(self, path: str, reason: str):
+        super().__init__("trace file %s: %s" % (path, reason))
+        self.path = path
+        self.reason = reason
 
 
 @dataclass
@@ -60,24 +78,60 @@ class TraceSet:
 
 
 def save_traces(path: str, traces: TraceSet) -> None:
-    """Write a trace set to a compressed ``.npz`` file."""
-    np.savez_compressed(
+    """Write a trace set to a compressed ``.npz`` file, atomically.
+
+    The payload is staged in a temporary file and renamed over
+    ``path`` (:func:`repro.util.fileio.atomic_write`), so a crash
+    mid-save can never truncate a previously good trace file.  As with
+    ``np.savez_compressed``, a missing ``.npz`` suffix is appended.
+    """
+    if not path.endswith(".npz"):
+        path += ".npz"
+    atomic_write(
         path,
-        ciphertexts=traces.ciphertexts,
-        leakage=traces.leakage,
-        metadata=np.frombuffer(
-            json.dumps(traces.metadata, sort_keys=True).encode("utf-8"),
-            dtype=np.uint8,
+        lambda handle: np.savez_compressed(
+            handle,
+            ciphertexts=traces.ciphertexts,
+            leakage=traces.leakage,
+            metadata=np.frombuffer(
+                json.dumps(
+                    traces.metadata, sort_keys=True
+                ).encode("utf-8"),
+                dtype=np.uint8,
+            ),
         ),
     )
 
 
 def load_traces(path: str) -> TraceSet:
-    """Read a trace set written by :func:`save_traces`."""
-    with np.load(path) as data:
-        metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
-        return TraceSet(
-            ciphertexts=data["ciphertexts"],
-            leakage=data["leakage"],
-            metadata=metadata,
-        )
+    """Read a trace set written by :func:`save_traces`.
+
+    Raises:
+        TraceIOError: the file is missing, truncated/corrupt, or is a
+            valid ``.npz`` that does not contain a trace set.
+    """
+    try:
+        with np.load(path) as data:
+            metadata = json.loads(bytes(data["metadata"]).decode("utf-8"))
+            return TraceSet(
+                ciphertexts=data["ciphertexts"],
+                leakage=data["leakage"],
+                metadata=metadata,
+            )
+    except FileNotFoundError as exc:
+        raise TraceIOError(path, "no such file") from exc
+    except KeyError as exc:
+        raise TraceIOError(
+            path, "not a trace set (%s)" % exc.args[0]
+        ) from exc
+    except (
+        zipfile.BadZipFile,
+        ValueError,
+        EOFError,
+        OSError,
+        json.JSONDecodeError,
+        UnicodeDecodeError,
+    ) as exc:
+        raise TraceIOError(
+            path, "unreadable or corrupt (%s)" % exc
+        ) from exc

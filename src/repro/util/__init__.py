@@ -5,14 +5,25 @@ may import from here, but :mod:`repro.util` imports nothing from the rest
 of the library.
 """
 
+from repro.util.errors import ReproError
 from repro.util.executors import (
     EXECUTOR_KINDS,
     EXECUTOR_PROCESS,
     EXECUTOR_THREAD,
+    CampaignHealth,
+    RetryPolicy,
+    ShardError,
+    TruncatedResultError,
     default_workers,
     make_executor,
     map_ordered,
     resolve_executor,
+)
+from repro.util.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
 )
 from repro.util.bits import (
     bits_to_int,
@@ -25,12 +36,23 @@ from repro.util.bits import (
     popcount64_array,
     rotate_left,
 )
+from repro.util.fileio import atomic_write
 from repro.util.rng import derive_seed, make_rng
 
 __all__ = [
     "EXECUTOR_KINDS",
     "EXECUTOR_PROCESS",
     "EXECUTOR_THREAD",
+    "FAULT_KINDS",
+    "CampaignHealth",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ReproError",
+    "RetryPolicy",
+    "ShardError",
+    "TruncatedResultError",
+    "atomic_write",
     "bits_to_int",
     "bitstring",
     "default_workers",

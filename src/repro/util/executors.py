@@ -1,4 +1,4 @@
-"""Executor selection shared by every parallel driver in the repo.
+"""Executor selection and the fault-tolerant ordered map.
 
 The sharded campaign driver (:mod:`repro.experiments.parallel`) and the
 per-byte full-key CPAs (:mod:`repro.attacks.full_key`) both fan work
@@ -11,6 +11,20 @@ place that decides *how* those maps run:
   True multi-core scaling for the Python-bound stages; task functions
   and payloads must be picklable (module-level functions, plain data).
 
+On top of backend selection, :func:`map_ordered` optionally runs each
+task under a :class:`RetryPolicy`: per-task deadlines, bounded retries
+with exponential backoff and deterministic jitter, automatic executor
+rebuild after pool breakage (``BrokenProcessPool`` from an OOM-killed
+worker), and graceful degradation ``process -> thread -> serial`` when
+a backend is persistently unhealthy.  Failures that survive the whole
+ladder surface as a structured :class:`ShardError`; everything the
+runtime did to keep the campaign alive is recorded in a
+:class:`CampaignHealth` report.  Because campaign task functions are
+pure functions of their payloads (all randomness is keyed on global
+trace indices), a retried task reproduces its result bit for bit, so
+none of this machinery can change a campaign's output — only whether
+it survives.
+
 It lives in :mod:`repro.util` because the consumers import each other
 (``experiments.parallel`` imports ``attacks.full_key``); a neutral home
 keeps the executor policy in one code path, per the CLI ``--executor``
@@ -20,8 +34,28 @@ contract.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.util.errors import ReproError
+from repro.util.faults import FaultPlan, fault_scope
+from repro.util.rng import derive_seed
 
 #: Thread-pool backend (default: no pickling, GIL-bound Python stages).
 EXECUTOR_THREAD = "thread"
@@ -29,9 +63,14 @@ EXECUTOR_THREAD = "thread"
 EXECUTOR_PROCESS = "process"
 #: Accepted ``--executor`` values.
 EXECUTOR_KINDS = (EXECUTOR_THREAD, EXECUTOR_PROCESS)
+#: In-process execution — the last rung of the degradation ladder (not
+#: a user-selectable ``--executor`` value).
+BACKEND_SERIAL = "serial"
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
+
+_UNSET = object()
 
 
 def default_workers() -> int:
@@ -60,11 +99,256 @@ def make_executor(
     return ThreadPoolExecutor(max_workers=max_workers)
 
 
+# ----------------------------------------------------------------------
+# Retry policy and structured failure reporting
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`map_ordered` treats task failures.
+
+    Attributes:
+        max_attempts: attempts per task *per backend* before the task
+            is declared stuck on that backend (>= 1; 1 disables
+            retries).
+        timeout: per-task deadline in seconds, measured from
+            submission (None: no deadline).  A task past its deadline
+            is abandoned and retried; serial execution cannot enforce
+            deadlines (there is no second thread to abandon from).
+        backoff_base / backoff_factor / backoff_max: exponential
+            backoff between retry rounds, in seconds:
+            ``min(backoff_max, backoff_base * backoff_factor**(k-1))``
+            before round ``k``.
+        jitter: relative jitter on the backoff delay, drawn
+            deterministically from ``seed`` and the round identity so
+            reruns sleep identically.
+        degrade: when a backend stays unhealthy after the per-backend
+            retry budget, fall through the ladder
+            ``process -> thread -> serial`` instead of failing.
+        seed: seed for the deterministic jitter draws.
+    """
+
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    degrade: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def backoff_delay(self, backend: str, round_number: int) -> float:
+        """Deterministic backoff before retry round ``round_number``."""
+        if round_number < 1:
+            return 0.0
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (round_number - 1),
+        )
+        unit = (
+            derive_seed(self.seed, "backoff", backend, round_number)
+            % 2**32
+        ) / 2.0**32
+        return delay * (1.0 + self.jitter * unit)
+
+
+class ShardError(ReproError):
+    """A task exhausted its retry budget on the last available backend.
+
+    Attributes:
+        site: stable task identity (e.g. ``"shard[0:4000]"``).
+        attempts: total submissions of the task across all backends.
+        backend: the backend the final attempt ran on.
+        cause: the exception that ended the final attempt.
+    """
+
+    def __init__(
+        self, site: str, attempts: int, backend: str, cause: BaseException
+    ):
+        super().__init__(
+            "task %s failed after %d attempt(s), last on the %s "
+            "backend: %s" % (site, attempts, backend, cause)
+        )
+        self.site = site
+        self.attempts = attempts
+        self.backend = backend
+        self.cause = cause
+        self.__cause__ = cause
+
+
+class TruncatedResultError(ReproError):
+    """A worker returned a payload inconsistent with its task."""
+
+    def __init__(self, site: str, expected: object, got: object):
+        super().__init__(
+            "task %s returned a truncated/corrupt payload "
+            "(expected %s, got %s)" % (site, expected, got)
+        )
+        self.site = site
+
+
+@dataclass
+class AttemptRecord:
+    """One task submission as seen by the driver."""
+
+    site: str
+    backend: str
+    attempt: int
+    status: str  # "ok" | "error" | "timeout" | "pool-broken"
+    seconds: float
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignHealth:
+    """What the runtime did to keep a campaign alive.
+
+    Accumulates across every :func:`map_ordered` call it is passed to,
+    so one report can cover a whole checkpointed, multi-group campaign.
+    """
+
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    degradations: List[Tuple[str, str]] = field(default_factory=list)
+    pool_rebuilds: int = 0
+    wall_time: float = 0.0
+
+    def record(
+        self,
+        site: str,
+        backend: str,
+        attempt: int,
+        status: str,
+        seconds: float,
+        error: Optional[str] = None,
+    ) -> None:
+        self.attempts.append(
+            AttemptRecord(site, backend, attempt, status, seconds, error)
+        )
+
+    @property
+    def retries(self) -> int:
+        """Failed submissions (every one triggered a retry or rung)."""
+        return sum(1 for a in self.attempts if a.status != "ok")
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for a in self.attempts if a.status == "timeout")
+
+    @property
+    def healthy(self) -> bool:
+        """True when no attempt failed and nothing degraded."""
+        return not self.retries and not self.degradations
+
+    def shard_wall_times(self) -> Dict[str, float]:
+        """Total seconds spent per site, failed attempts included."""
+        times: Dict[str, float] = {}
+        for a in self.attempts:
+            times[a.site] = times.get(a.site, 0.0) + a.seconds
+        return times
+
+    def summary(self) -> str:
+        parts = [
+            "%d attempt(s) over %d task(s): %d ok, %d failed"
+            % (
+                len(self.attempts),
+                len({a.site for a in self.attempts}),
+                sum(1 for a in self.attempts if a.status == "ok"),
+                self.retries,
+            )
+        ]
+        if self.timeouts:
+            parts.append("%d timeout(s)" % self.timeouts)
+        if self.pool_rebuilds:
+            parts.append("%d pool rebuild(s)" % self.pool_rebuilds)
+        for source, target in self.degradations:
+            parts.append("degraded %s->%s" % (source, target))
+        parts.append("%.2fs wall" % self.wall_time)
+        return "; ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (for logs and bench records)."""
+        return {
+            "attempts": [
+                {
+                    "site": a.site,
+                    "backend": a.backend,
+                    "attempt": a.attempt,
+                    "status": a.status,
+                    "seconds": a.seconds,
+                    "error": a.error,
+                }
+                for a in self.attempts
+            ],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degradations": [list(d) for d in self.degradations],
+            "wall_time": self.wall_time,
+        }
+
+
+# ----------------------------------------------------------------------
+# The ordered map
+# ----------------------------------------------------------------------
+
+
+def _execute_task(
+    fn: Callable[[_Task], _Result],
+    task: _Task,
+    site: str,
+    attempt: int,
+    plan: Optional[FaultPlan],
+    backend: str,
+) -> _Result:
+    """One task invocation, with the fault plan threaded through.
+
+    Module-level (and every argument picklable when the task is) so
+    the process backend ships the *wrapped* call to its workers — the
+    plan must fire inside the worker for crash faults to genuinely
+    break the pool.
+    """
+    if plan is None:
+        return fn(task)
+    with fault_scope(plan, site, attempt, backend):
+        plan.fire(site, attempt, backend)
+        result = fn(task)
+        return plan.corrupt_payload(site, attempt, backend, result)
+
+
+def _degradation_ladder(
+    kind: str, workers: int, num_tasks: int, policy: RetryPolicy
+) -> List[str]:
+    if workers <= 1 or num_tasks <= 1:
+        return [BACKEND_SERIAL]
+    if not policy.degrade:
+        return [kind]
+    if kind == EXECUTOR_PROCESS:
+        return [EXECUTOR_PROCESS, EXECUTOR_THREAD, BACKEND_SERIAL]
+    return [EXECUTOR_THREAD, BACKEND_SERIAL]
+
+
 def map_ordered(
     fn: Callable[[_Task], _Result],
     tasks: Sequence[_Task],
     max_workers: Optional[int] = None,
     executor: Optional[str] = None,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    sites: Optional[Sequence[str]] = None,
+    health: Optional[CampaignHealth] = None,
+    validate: Optional[Callable[[_Task, _Result], None]] = None,
 ) -> List[_Result]:
     """``[fn(t) for t in tasks]``, optionally on a worker pool.
 
@@ -75,6 +359,10 @@ def map_ordered(
     in-process — the serial path stays a plain loop with no pool
     overhead and no pickling requirement.
 
+    Passing any of the keyword-only arguments switches the map into
+    its fault-tolerant mode (see the module docstring); without them
+    the legacy zero-overhead path runs unchanged.
+
     Args:
         fn: task function.  For the process backend it must be
             picklable, i.e. defined at module level.
@@ -82,10 +370,258 @@ def map_ordered(
         max_workers: pool size (default :func:`default_workers`;
             1 forces serial).
         executor: ``"thread"`` (default) or ``"process"``.
+        policy: retry/timeout/degradation policy
+            (default :class:`RetryPolicy` when any fault-tolerant
+            argument is supplied).
+        fault_plan: deterministic fault-injection schedule
+            (:class:`repro.util.faults.FaultPlan`), threaded into every
+            task invocation.
+        sites: stable per-task identity strings used for fault keying,
+            health reporting, and :class:`ShardError` messages
+            (default ``"task[i]"``).
+        health: a :class:`CampaignHealth` to accumulate runtime events
+            into (shareable across calls).
+        validate: ``validate(task, result)`` called in the driver
+            after each successful attempt; raising (e.g.
+            :class:`TruncatedResultError`) marks the attempt failed
+            and triggers the retry path.
+
+    Raises:
+        ShardError: a task kept failing through the whole retry budget
+            and degradation ladder.
     """
     workers = max_workers if max_workers is not None else default_workers()
     kind = resolve_executor(executor)
-    if workers <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    with make_executor(kind, max_workers=workers) as pool:
-        return list(pool.map(fn, tasks))
+    resilient = not (
+        policy is None
+        and fault_plan is None
+        and health is None
+        and validate is None
+    )
+    if not resilient:
+        if workers <= 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        with make_executor(kind, max_workers=workers) as pool:
+            return list(pool.map(fn, tasks))
+    return _resilient_map(
+        fn,
+        tasks,
+        workers,
+        kind,
+        policy or RetryPolicy(),
+        fault_plan,
+        sites,
+        health if health is not None else CampaignHealth(),
+        validate,
+    )
+
+
+def _resilient_map(
+    fn: Callable[[_Task], _Result],
+    tasks: Sequence[_Task],
+    workers: int,
+    kind: str,
+    policy: RetryPolicy,
+    plan: Optional[FaultPlan],
+    sites: Optional[Sequence[str]],
+    health: CampaignHealth,
+    validate: Optional[Callable[[_Task, _Result], None]],
+) -> List[_Result]:
+    names = (
+        list(sites)
+        if sites is not None
+        else ["task[%d]" % i for i in range(len(tasks))]
+    )
+    if len(names) != len(tasks):
+        raise ValueError(
+            "got %d sites for %d tasks" % (len(names), len(tasks))
+        )
+    results: List[object] = [_UNSET] * len(tasks)
+    submissions = [0] * len(tasks)
+    last_error: List[Optional[BaseException]] = [None] * len(tasks)
+    ladder = _degradation_ladder(kind, workers, len(tasks), policy)
+    started = time.monotonic()
+    try:
+        for rung, backend in enumerate(ladder):
+            pending = [
+                i for i in range(len(tasks)) if results[i] is _UNSET
+            ]
+            if not pending:
+                break
+            final = rung == len(ladder) - 1
+            if backend == BACKEND_SERIAL:
+                _serial_rung(
+                    fn, tasks, pending, names, policy, plan,
+                    results, submissions, last_error, health,
+                    validate,
+                )
+            else:
+                leftover = _pool_rung(
+                    fn, tasks, pending, names, workers, backend,
+                    policy, plan, results, submissions, last_error,
+                    health, validate, final,
+                )
+                if leftover and not final:
+                    health.degradations.append(
+                        (backend, ladder[rung + 1])
+                    )
+    finally:
+        health.wall_time += time.monotonic() - started
+    return results  # type: ignore[return-value]
+
+
+def _pool_rung(
+    fn, tasks, pending, names, workers, backend, policy, plan,
+    results, submissions, last_error, health, validate, final,
+) -> List[int]:
+    """Run ``pending`` tasks on one pool backend.
+
+    Returns the indices still unfinished after the per-backend retry
+    budget (empty on success); raises :class:`ShardError` instead when
+    this is the final rung.
+    """
+    failures = {index: 0 for index in pending}
+    pool = make_executor(backend, workers)
+    round_number = 0
+    try:
+        while pending:
+            if round_number > 0:
+                time.sleep(policy.backoff_delay(backend, round_number))
+            futures = {}
+            submitted_at = {}
+            for index in pending:
+                attempt = submissions[index]
+                submissions[index] += 1
+                futures[index] = pool.submit(
+                    _execute_task, fn, tasks[index], names[index],
+                    attempt, plan, backend,
+                )
+                submitted_at[index] = time.monotonic()
+            broken = False
+            retry: List[int] = []
+            for index in pending:
+                attempt = submissions[index] - 1
+                begun = submitted_at[index]
+                try:
+                    if policy.timeout is not None:
+                        remaining = (
+                            begun + policy.timeout - time.monotonic()
+                        )
+                        result = futures[index].result(
+                            timeout=max(0.0, remaining)
+                        )
+                    else:
+                        result = futures[index].result()
+                    if validate is not None:
+                        validate(tasks[index], result)
+                    results[index] = result
+                    health.record(
+                        names[index], backend, attempt, "ok",
+                        time.monotonic() - begun,
+                    )
+                except FuturesTimeout:
+                    futures[index].cancel()
+                    failures[index] += 1
+                    retry.append(index)
+                    last_error[index] = TimeoutError(
+                        "task %s exceeded its %.3fs deadline"
+                        % (names[index], policy.timeout)
+                    )
+                    health.record(
+                        names[index], backend, attempt, "timeout",
+                        time.monotonic() - begun,
+                        error=str(last_error[index]),
+                    )
+                except BrokenExecutor as exc:
+                    # The pool died under this task (worker crash /
+                    # OOM kill); every sibling future fails the same
+                    # way, so all of them retry on a rebuilt pool.
+                    broken = True
+                    failures[index] += 1
+                    retry.append(index)
+                    last_error[index] = exc
+                    health.record(
+                        names[index], backend, attempt, "pool-broken",
+                        time.monotonic() - begun, error=repr(exc),
+                    )
+                except Exception as exc:
+                    failures[index] += 1
+                    retry.append(index)
+                    last_error[index] = exc
+                    health.record(
+                        names[index], backend, attempt, "error",
+                        time.monotonic() - begun, error=repr(exc),
+                    )
+            if broken:
+                pool.shutdown(wait=False)
+                pool = make_executor(backend, workers)
+                health.pool_rebuilds += 1
+            exhausted = [
+                index
+                for index in retry
+                if failures[index] >= policy.max_attempts
+            ]
+            if exhausted:
+                if final:
+                    index = exhausted[0]
+                    raise ShardError(
+                        names[index], submissions[index], backend,
+                        last_error[index],
+                    )
+                # Backend persistently unhealthy: hand everything
+                # still unfinished to the next rung of the ladder.
+                return retry
+            pending = retry
+            round_number += 1
+        return []
+    finally:
+        # wait=False: a hung worker must not block the driver; thread
+        # workers finish their sleep in the background, process
+        # workers are reaped by the executor's atexit machinery.
+        pool.shutdown(wait=False)
+
+
+def _serial_rung(
+    fn, tasks, pending, names, policy, plan,
+    results, submissions, last_error, health, validate,
+) -> None:
+    """In-process execution — the ladder's last resort.
+
+    No deadline enforcement is possible here; hangs run to completion.
+    Raises :class:`ShardError` when a task exhausts the retry budget
+    (serial is always the final rung).
+    """
+    for index in pending:
+        failures = 0
+        while True:
+            attempt = submissions[index]
+            submissions[index] += 1
+            begun = time.monotonic()
+            try:
+                result = _execute_task(
+                    fn, tasks[index], names[index], attempt, plan,
+                    BACKEND_SERIAL,
+                )
+                if validate is not None:
+                    validate(tasks[index], result)
+                results[index] = result
+                health.record(
+                    names[index], BACKEND_SERIAL, attempt, "ok",
+                    time.monotonic() - begun,
+                )
+                break
+            except Exception as exc:
+                failures += 1
+                last_error[index] = exc
+                health.record(
+                    names[index], BACKEND_SERIAL, attempt, "error",
+                    time.monotonic() - begun, error=repr(exc),
+                )
+                if failures >= policy.max_attempts:
+                    raise ShardError(
+                        names[index], submissions[index],
+                        BACKEND_SERIAL, exc,
+                    )
+                time.sleep(
+                    policy.backoff_delay(BACKEND_SERIAL, failures)
+                )

@@ -1,0 +1,306 @@
+"""Deterministic fault injection for the campaign runtime.
+
+Large sharded campaigns fail in practice — workers raise, worker
+processes get OOM-killed (surfacing as ``BrokenProcessPool``), tasks
+hang, and corrupt numerics or truncated payloads sneak into results.
+Related work treats faults in multi-tenant FPGA fabrics as a
+first-class concern (FLARE, arXiv:2502.15578; "Hacking the Fabric",
+arXiv:2410.16497); this module makes the *runtime's own* failure modes
+injectable so every recovery path in
+:func:`repro.util.executors.map_ordered` and the shard drivers is
+testable without flaky sleeps or real OOM kills.
+
+A :class:`FaultPlan` is a picklable, seeded schedule of
+:class:`FaultSpec` entries keyed on *site identity* (a stable string
+such as ``"shard[0:4000]"``) and *attempt number* (how many times that
+site has been submitted).  The same plan therefore fires the same
+faults wherever the task runs — serial, thread pool, or a process-pool
+worker on the other side of a pickle — which is what makes recovery
+tests deterministic.
+
+Failure modes (:data:`FAULT_KINDS`):
+
+* ``"exception"`` — the task raises :class:`InjectedFault`.
+* ``"crash"`` — the worker *process* dies via ``os._exit``; the parent
+  observes ``BrokenProcessPool``.  Only fires in a process-pool worker
+  (a thread or serial "crash" would kill the whole interpreter), which
+  also models reality: pool breakage is a process-backend failure, so
+  degrading to the thread backend genuinely clears it.
+* ``"hang"`` — the task sleeps ``hang_seconds`` before proceeding,
+  exercising the per-task deadline in ``map_ordered``.
+* ``"nan"`` — :func:`poison_leakage` corrupts a deterministic subset
+  of leakage values to NaN/Inf inside the shard task, exercising the
+  finite-ness guard of
+  :class:`repro.attacks.cpa.StreamingCPA`.
+* ``"truncate"`` — the worker's result payload loses its last element
+  on the way back, exercising result validation in the driver.
+
+Faults that act *inside* the task body (``nan``) are delivered through
+a thread-local context installed by :func:`fault_scope`, so task
+functions stay oblivious to the plan unless they opt in via
+:func:`poison_leakage`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "FAULT_CRASH",
+    "FAULT_EXCEPTION",
+    "FAULT_HANG",
+    "FAULT_KINDS",
+    "FAULT_NAN",
+    "FAULT_TRUNCATE",
+    "SCOPE_ANY",
+    "SCOPE_POOL",
+    "SCOPE_PROCESS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_scope",
+    "poison_leakage",
+]
+
+#: Task raises :class:`InjectedFault`.
+FAULT_EXCEPTION = "exception"
+#: Worker process exits hard (``BrokenProcessPool`` in the parent).
+FAULT_CRASH = "crash"
+#: Task sleeps past the per-task deadline.
+FAULT_HANG = "hang"
+#: Leakage values are corrupted to NaN/Inf inside the task.
+FAULT_NAN = "nan"
+#: The result payload comes back missing its last element.
+FAULT_TRUNCATE = "truncate"
+#: All injectable failure modes.
+FAULT_KINDS = (
+    FAULT_EXCEPTION,
+    FAULT_CRASH,
+    FAULT_HANG,
+    FAULT_NAN,
+    FAULT_TRUNCATE,
+)
+
+#: Fire on every backend, including serial in-process execution.
+SCOPE_ANY = "any"
+#: Fire only when the task runs on a worker pool (thread or process).
+SCOPE_POOL = "pool"
+#: Fire only inside a process-pool worker (foreign PID).
+SCOPE_PROCESS = "process"
+#: Accepted ``FaultSpec.scope`` values.
+FAULT_SCOPES = (SCOPE_ANY, SCOPE_POOL, SCOPE_PROCESS)
+
+#: Exit status used by injected worker crashes (distinctive in logs).
+CRASH_EXIT_CODE = 42
+
+
+class InjectedFault(RuntimeError):
+    """The synthetic exception raised by ``"exception"`` faults.
+
+    Deliberately *not* a :class:`repro.util.errors.ReproError`: an
+    injected fault models an arbitrary task failure, and the retry
+    machinery must recover from it the same way it would from any
+    unexpected exception.
+    """
+
+    def __init__(self, site: str, attempt: int):
+        super().__init__(
+            "injected fault at site %r (attempt %d)" % (site, attempt)
+        )
+        self.site = site
+        self.attempt = attempt
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled failure mode.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        site: site key the fault targets, or ``"*"`` for every site.
+        attempts: fire while ``attempt < attempts`` (attempts count
+            task *submissions*, starting at 0); pass a large value for
+            a persistent fault that only degradation can clear.
+        scope: where the fault may fire (:data:`FAULT_SCOPES`).
+            Defaults to ``"process"`` for crashes, ``"any"`` otherwise.
+        rate: probability the fault fires at an eligible
+            ``(site, attempt)``; the coin is seeded from the plan seed
+            and the key, so it is deterministic per identity.  1.0
+            (default) always fires.
+        hang_seconds: sleep duration for ``"hang"`` faults.
+        fraction: fraction of leakage values poisoned by ``"nan"``.
+    """
+
+    kind: str
+    site: str = "*"
+    attempts: int = 1
+    scope: Optional[str] = None
+    rate: float = 1.0
+    hang_seconds: float = 0.25
+    fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind %r (expected one of %s)"
+                % (self.kind, ", ".join(FAULT_KINDS))
+            )
+        if self.scope is not None and self.scope not in FAULT_SCOPES:
+            raise ValueError(
+                "unknown fault scope %r (expected one of %s)"
+                % (self.scope, ", ".join(FAULT_SCOPES))
+            )
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+
+    @property
+    def effective_scope(self) -> str:
+        if self.scope is not None:
+            return self.scope
+        return SCOPE_PROCESS if self.kind == FAULT_CRASH else SCOPE_ANY
+
+    def matches_site(self, site: str) -> bool:
+        return self.site == "*" or self.site == site
+
+
+class FaultPlan:
+    """A seeded, picklable schedule of faults keyed on site identity.
+
+    The plan records the PID it was built in, so ``scope="process"``
+    faults can tell a process-pool worker (foreign PID) from the
+    driver process even after a pickle round-trip.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.origin_pid = os.getpid()
+
+    def __repr__(self) -> str:
+        return "FaultPlan(%d specs, seed=%d)" % (len(self.specs), self.seed)
+
+    # -- matching ------------------------------------------------------
+
+    def _scope_allows(self, spec: FaultSpec, backend: str) -> bool:
+        scope = spec.effective_scope
+        if scope == SCOPE_ANY:
+            return True
+        if scope == SCOPE_POOL:
+            return backend != "serial"
+        # SCOPE_PROCESS: a genuine worker process of a process pool.
+        return backend == "process" and os.getpid() != self.origin_pid
+
+    def _coin(self, spec: FaultSpec, site: str, attempt: int) -> bool:
+        if spec.rate >= 1.0:
+            return True
+        draw = derive_seed(self.seed, spec.kind, site, attempt)
+        return (draw % (2**32)) / 2.0**32 < spec.rate
+
+    def match(
+        self, kind: str, site: str, attempt: int, backend: str
+    ) -> Optional[FaultSpec]:
+        """First spec of ``kind`` scheduled for ``(site, attempt)``."""
+        for spec in self.specs:
+            if (
+                spec.kind == kind
+                and spec.matches_site(site)
+                and attempt < spec.attempts
+                and self._scope_allows(spec, backend)
+                and self._coin(spec, site, attempt)
+            ):
+                return spec
+        return None
+
+    # -- delivery ------------------------------------------------------
+
+    def fire(self, site: str, attempt: int, backend: str) -> None:
+        """Deliver pre-task faults (crash, hang, exception), in that
+        severity order, for one task invocation."""
+        if self.match(FAULT_CRASH, site, attempt, backend) is not None:
+            # Simulated OOM kill: bypass all cleanup, exactly like the
+            # kernel's OOM killer would.  Scope checks above guarantee
+            # this only ever runs inside a process-pool worker.
+            os._exit(CRASH_EXIT_CODE)
+        hang = self.match(FAULT_HANG, site, attempt, backend)
+        if hang is not None:
+            time.sleep(hang.hang_seconds)
+        if self.match(FAULT_EXCEPTION, site, attempt, backend) is not None:
+            raise InjectedFault(site, attempt)
+
+    def corrupt_payload(
+        self, site: str, attempt: int, backend: str, result: object
+    ) -> object:
+        """Apply ``"truncate"`` faults to a task's result payload."""
+        spec = self.match(FAULT_TRUNCATE, site, attempt, backend)
+        if spec is None:
+            return result
+        if isinstance(result, (list, tuple, np.ndarray)) and len(result):
+            return result[:-1]
+        return result
+
+    def poison(
+        self, site: str, attempt: int, backend: str, values: np.ndarray
+    ) -> np.ndarray:
+        """Apply ``"nan"`` faults to a block of leakage values."""
+        spec = self.match(FAULT_NAN, site, attempt, backend)
+        if spec is None:
+            return values
+        poisoned = np.array(values, dtype=np.float64, copy=True)
+        count = max(1, int(poisoned.size * spec.fraction))
+        rng = np.random.default_rng(
+            derive_seed(self.seed, "nan-sites", site, attempt)
+        )
+        index = rng.choice(poisoned.size, size=count, replace=False)
+        flat = poisoned.reshape(-1)
+        flat[index] = np.nan
+        flat[index[: count // 2]] = np.inf
+        return poisoned
+
+
+# -- in-task fault context ---------------------------------------------
+#
+# Pre-task faults are delivered by the executor wrapper; faults that
+# act on *data inside the task* need the task body to consult the plan
+# without threading (plan, site, attempt) through every signature.  The
+# wrapper installs a thread-local context; the helpers below read it.
+
+_ACTIVE = threading.local()
+
+
+@contextmanager
+def fault_scope(
+    plan: Optional["FaultPlan"], site: str, attempt: int, backend: str
+) -> Iterator[None]:
+    """Install the fault context for one task invocation."""
+    previous = getattr(_ACTIVE, "context", None)
+    _ACTIVE.context = (
+        None if plan is None else (plan, site, attempt, backend)
+    )
+    try:
+        yield
+    finally:
+        _ACTIVE.context = previous
+
+
+def poison_leakage(values: np.ndarray) -> np.ndarray:
+    """Corrupt ``values`` per the active ``"nan"`` fault, if any.
+
+    Shard task functions route freshly generated leakage through this
+    hook; with no active fault context it is the identity.
+    """
+    context = getattr(_ACTIVE, "context", None)
+    if context is None:
+        return values
+    plan, site, attempt, backend = context
+    return plan.poison(site, attempt, backend, values)

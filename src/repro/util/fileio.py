@@ -1,0 +1,42 @@
+"""Atomic file persistence.
+
+Campaign artifacts (trace sets, checkpoints, report state) are written
+via write-temp-then-rename so a crash mid-write can never leave a
+truncated file where a good one used to be: ``os.replace`` is atomic
+on POSIX and Windows, so the destination either keeps its previous
+content or receives the complete new content.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, IO
+
+__all__ = ["atomic_write"]
+
+
+def atomic_write(path: str, writer: Callable[[IO[bytes]], None]) -> None:
+    """Write a file via temp-in-same-directory + fsync + ``os.replace``.
+
+    The temporary file is created in the destination directory (same
+    filesystem, so the final rename is atomic), handed to ``writer``,
+    flushed and fsynced, then renamed over ``path``.  On any failure
+    the temporary file is removed and the destination is untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

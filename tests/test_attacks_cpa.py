@@ -194,3 +194,90 @@ class TestCheckpointRegressions:
             correct_key=correct,
         )
         assert result.checkpoints.tolist() == [1000, 3000]
+
+
+class TestFiniteGuard:
+    """NaN/Inf must be rejected at the accumulator, naming the traces."""
+
+    def _blocks(self, n=20):
+        rng = np.random.default_rng(0)
+        leakage = rng.integers(0, 8, n).astype(np.float64)
+        hypotheses = rng.integers(0, 2, (n, 4)).astype(np.float64)
+        return leakage, hypotheses
+
+    def test_nan_leakage_rejected_with_indices(self):
+        from repro.attacks import NonFiniteValuesError
+
+        leakage, hypotheses = self._blocks()
+        leakage[3] = np.nan
+        leakage[17] = np.inf
+        engine = StreamingCPA(num_candidates=4)
+        with pytest.raises(NonFiniteValuesError) as excinfo:
+            engine.update(leakage, hypotheses)
+        error = excinfo.value
+        assert error.which == "leakage"
+        assert error.indices.tolist() == [3, 17]
+        assert "3" in str(error) and "17" in str(error)
+        # The rejected block must not have touched the state.
+        assert engine.count == 0
+
+    def test_indices_offset_by_prior_traces(self):
+        from repro.attacks import NonFiniteValuesError
+
+        leakage, hypotheses = self._blocks()
+        engine = StreamingCPA(num_candidates=4)
+        engine.update(leakage, hypotheses)
+        bad = leakage.copy()
+        bad[5] = np.nan
+        with pytest.raises(NonFiniteValuesError) as excinfo:
+            engine.update(bad, hypotheses)
+        assert excinfo.value.indices.tolist() == [25]
+
+    def test_nan_hypotheses_rejected(self):
+        from repro.attacks import NonFiniteValuesError
+
+        leakage, hypotheses = self._blocks()
+        hypotheses[7, 2] = np.inf
+        with pytest.raises(NonFiniteValuesError) as excinfo:
+            StreamingCPA(num_candidates=4).update(leakage, hypotheses)
+        assert excinfo.value.which == "hypotheses"
+        assert excinfo.value.indices.tolist() == [7]
+
+    def test_error_message_caps_listed_indices(self):
+        from repro.attacks import NonFiniteValuesError
+
+        leakage, hypotheses = self._blocks()
+        leakage[:] = np.nan
+        with pytest.raises(NonFiniteValuesError) as excinfo:
+            StreamingCPA(num_candidates=4).update(leakage, hypotheses)
+        assert "(20 total)" in str(excinfo.value)
+
+
+class TestStateRoundtrip:
+    def test_state_arrays_roundtrip_bit_exact(self):
+        rng = np.random.default_rng(1)
+        leakage = rng.integers(0, 64, 500).astype(np.float64)
+        hypotheses = rng.integers(0, 2, (500, 16)).astype(np.float64)
+        engine = StreamingCPA(num_candidates=16)
+        engine.update(leakage, hypotheses)
+        rebuilt = StreamingCPA.from_state_arrays(engine.state_arrays())
+        assert rebuilt.count == engine.count
+        assert rebuilt.num_candidates == 16
+        assert np.array_equal(
+            rebuilt.correlations(), engine.correlations()
+        )
+        # Continuing both must stay identical (state is complete).
+        engine.update(leakage, hypotheses)
+        rebuilt.update(leakage, hypotheses)
+        assert np.array_equal(
+            rebuilt.correlations(), engine.correlations()
+        )
+
+    def test_state_arrays_are_copies(self):
+        engine = StreamingCPA(num_candidates=4)
+        engine.update(
+            np.ones(4), np.ones((4, 4))
+        )
+        state = engine.state_arrays()
+        state["sum_h"][:] = -99.0
+        assert (engine._sum_h != -99.0).all()

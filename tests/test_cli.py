@@ -103,3 +103,68 @@ class TestParser:
     def test_unknown_circuit_rejected(self):
         with pytest.raises(SystemExit):
             main(["census", "cpu"])
+
+
+class TestResilienceFlags:
+    def test_attack_writes_checkpoint_and_resumes(self, tmp_path, capsys):
+        path = str(tmp_path / "attack.npz")
+        first = main([
+            "attack", "alu", "--traces", "4000", "--workers", "2",
+            "--checkpoint", path,
+        ])
+        assert first in (0, 1)
+        assert (tmp_path / "attack.npz").exists()
+        capsys.readouterr()
+        again = main([
+            "attack", "alu", "--traces", "4000", "--workers", "2",
+            "--checkpoint", path, "--resume",
+        ])
+        assert again == first
+        assert "best guess" in capsys.readouterr().out
+
+    def test_retry_flags_accepted(self, capsys):
+        code = main([
+            "attack", "alu", "--traces", "4000", "--workers", "2",
+            "--retries", "2", "--task-timeout", "60",
+        ])
+        assert code in (0, 1)
+        assert "best guess" in capsys.readouterr().out
+
+
+class TestErrorBoundary:
+    def test_checkpoint_mismatch_exits_2_with_one_line(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "attack.npz")
+        assert main([
+            "attack", "alu", "--traces", "4000", "--workers", "2",
+            "--checkpoint", path,
+        ]) in (0, 1)
+        capsys.readouterr()
+        code = main([
+            "attack", "alu", "--traces", "5000", "--workers", "2",
+            "--checkpoint", path, "--resume",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "num_traces" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1, "one actionable line, no traceback"
+
+    def test_error_includes_resume_hint_when_checkpointing(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "attack.npz")
+        assert main([
+            "attack", "alu", "--traces", "4000", "--workers", "2",
+            "--checkpoint", path,
+        ]) in (0, 1)
+        capsys.readouterr()
+        main([
+            "attack", "alu", "--traces", "5000", "--workers", "2",
+            "--checkpoint", path, "--resume",
+        ])
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        assert path in err

@@ -262,3 +262,256 @@ class TestStreamingMerge:
         assert not np.array_equal(
             snapshot._sum_h, original._sum_h
         )
+
+
+@pytest.mark.timeout(300)
+class TestFaultTolerantCampaign:
+    """Injected faults either recover bit-identically or fail structured."""
+
+    CS = 1000  # small chunk grid so several shards exist
+
+    def _baseline(self, alu_campaign):
+        return sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS,
+        )
+
+    def test_worker_crash_recovers_bit_identically(self, alu_campaign):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import FAULT_CRASH, FaultPlan, FaultSpec
+
+        baseline = self._baseline(alu_campaign)
+        shards = plan_shards(4000, 4, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_CRASH, site=shards[1].site, attempts=1)],
+            seed=5,
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS, executor="process",
+            policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        assert health.pool_rebuilds >= 1
+
+    def test_persistent_crash_degrades_with_identical_output(
+        self, alu_campaign
+    ):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import FAULT_CRASH, FaultPlan, FaultSpec
+
+        baseline = self._baseline(alu_campaign)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_CRASH, attempts=10**6)], seed=5
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS, executor="process",
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        assert ("process", "thread") in health.degradations
+
+    def test_nan_poisoning_caught_and_retried(self, alu_campaign):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import FAULT_NAN, FaultPlan, FaultSpec
+
+        baseline = self._baseline(alu_campaign)
+        shards = plan_shards(4000, 4, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_NAN, site=shards[2].site, attempts=1)],
+            seed=2,
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS,
+            policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        failed = [a for a in health.attempts if a.status == "error"]
+        assert any("NonFinite" in (a.error or "") for a in failed)
+
+    def test_truncated_partials_caught_and_retried(self, alu_campaign):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import FAULT_TRUNCATE, FaultPlan, FaultSpec
+
+        baseline = self._baseline(alu_campaign)
+        shards = plan_shards(4000, 4, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRUNCATE, site=shards[3].site, attempts=1)],
+            seed=2,
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS,
+            policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        failed = [a for a in health.attempts if a.status == "error"]
+        assert any("Truncated" in (a.error or "") for a in failed)
+
+    def test_exhaustion_surfaces_shard_error(self, alu_campaign):
+        from repro.util.executors import RetryPolicy, ShardError
+        from repro.util.faults import FAULT_EXCEPTION, FaultPlan, FaultSpec
+
+        shards = plan_shards(4000, 4, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site=shards[0].site,
+                       attempts=10**6)],
+        )
+        with pytest.raises(ShardError) as excinfo:
+            sharded_attack(
+                alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+                policy=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, degrade=False,
+                ),
+                fault_plan=plan,
+            )
+        assert excinfo.value.site == shards[0].site
+
+
+@pytest.mark.timeout(300)
+class TestCheckpointResume:
+    """A killed campaign resumed from its checkpoint is bit-identical."""
+
+    CS = 1000
+
+    def _interrupt_then_resume(self, alu_campaign, tmp_path, executor):
+        from repro.util.executors import RetryPolicy, ShardError
+        from repro.util.faults import FAULT_EXCEPTION, FaultPlan, FaultSpec
+        from repro.experiments.checkpoint import load_checkpoint
+
+        baseline = sharded_attack(
+            alu_campaign, 4000, checkpoints=[1500, 2500, 4000],
+            max_workers=4, chunk_size=self.CS, executor=executor,
+        )
+        path = str(tmp_path / ("resume-%s.npz" % executor))
+        shards = plan_shards(4000, 4, self.CS)
+        # A persistent exception on the third shard kills the driver
+        # after the first checkpoint group is durable.
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site=shards[2].site,
+                       attempts=10**6)],
+        )
+        with pytest.raises(ShardError):
+            sharded_attack(
+                alu_campaign, 4000, checkpoints=[1500, 2500, 4000],
+                max_workers=4, chunk_size=self.CS, executor=executor,
+                checkpoint_path=path, checkpoint_every=1,
+                policy=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, degrade=False,
+                ),
+                fault_plan=plan,
+            )
+        stored = load_checkpoint(path)
+        assert 0 < stored.completed_shards < len(shards)
+        resumed = sharded_attack(
+            alu_campaign, 4000, checkpoints=[1500, 2500, 4000],
+            max_workers=4, chunk_size=self.CS, executor=executor,
+            checkpoint_path=path, checkpoint_every=1, resume=True,
+        )
+        assert np.array_equal(
+            resumed.correlations, baseline.correlations
+        )
+        assert np.array_equal(resumed.checkpoints, baseline.checkpoints)
+        assert resumed.correct_key == baseline.correct_key
+
+    def test_kill_then_resume_thread_backend(self, alu_campaign, tmp_path):
+        self._interrupt_then_resume(alu_campaign, tmp_path, "thread")
+
+    def test_kill_then_resume_process_backend(
+        self, alu_campaign, tmp_path
+    ):
+        self._interrupt_then_resume(alu_campaign, tmp_path, "process")
+
+    def test_uninterrupted_checkpointed_run_identical(
+        self, alu_campaign, tmp_path
+    ):
+        baseline = sharded_attack(
+            alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+        )
+        path = str(tmp_path / "full.npz")
+        result = sharded_attack(
+            alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+            checkpoint_path=path, checkpoint_every=2,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        # Resuming a finished campaign recomputes nothing and still
+        # returns the full result.
+        again = sharded_attack(
+            alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+            checkpoint_path=path, resume=True,
+        )
+        assert np.array_equal(again.correlations, baseline.correlations)
+
+    def test_resume_rejects_mismatched_config(
+        self, alu_campaign, tmp_path
+    ):
+        from repro.experiments.checkpoint import CheckpointError
+
+        path = str(tmp_path / "mismatch.npz")
+        sharded_attack(
+            alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+            checkpoint_path=path,
+        )
+        with pytest.raises(CheckpointError, match="num_traces"):
+            sharded_attack(
+                alu_campaign, 5000, max_workers=4, chunk_size=self.CS,
+                checkpoint_path=path, resume=True,
+            )
+
+    def test_resume_with_absent_checkpoint_is_fresh_start(
+        self, alu_campaign, tmp_path
+    ):
+        baseline = sharded_attack(
+            alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+        )
+        path = str(tmp_path / "never-written.npz")
+        result = sharded_attack(
+            alu_campaign, 4000, max_workers=4, chunk_size=self.CS,
+            checkpoint_path=path, resume=True,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+
+    def test_fullkey_kill_then_resume(self, alu_campaign, tmp_path):
+        from repro.util.executors import RetryPolicy, ShardError
+        from repro.util.faults import FAULT_EXCEPTION, FaultPlan, FaultSpec
+        from repro.experiments.checkpoint import load_checkpoint
+
+        baseline = sharded_full_key(
+            alu_campaign, 3000, max_workers=3, chunk_size=self.CS,
+        )
+        path = str(tmp_path / "fullkey.npz")
+        shards = plan_shards(3000, 3, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site=shards[2].site,
+                       attempts=10**6)],
+        )
+        with pytest.raises(ShardError):
+            sharded_full_key(
+                alu_campaign, 3000, max_workers=3, chunk_size=self.CS,
+                checkpoint_path=path, checkpoint_every=1,
+                policy=RetryPolicy(
+                    max_attempts=2, backoff_base=0.0, degrade=False,
+                ),
+                fault_plan=plan,
+            )
+        assert 0 < load_checkpoint(path).completed_shards < len(shards)
+        resumed = sharded_full_key(
+            alu_campaign, 3000, max_workers=3, chunk_size=self.CS,
+            checkpoint_path=path, checkpoint_every=1, resume=True,
+        )
+        assert (
+            resumed.recovered_last_round_key
+            == baseline.recovered_last_round_key
+        )
+        for a, b in zip(baseline.byte_results, resumed.byte_results):
+            assert np.array_equal(a.correlations, b.correlations)

@@ -48,3 +48,77 @@ class TestRenderReport:
         assert "| yes |" in text
         assert "| NO |" in text
         assert "1 of 2 figures" in text
+
+
+class TestFigurePlan:
+    def test_plan_matches_run_order(self):
+        from repro.experiments.runner import figure_plan
+
+        plan = figure_plan(include_cpa=False)
+        assert [figure for figure, _ in plan] == sorted(
+            figure for figure, _ in plan
+        )
+        assert all(callable(thunk) for _, thunk in plan)
+
+    def test_cpa_figures_gated(self):
+        from repro.experiments.runner import figure_plan
+
+        fast = {figure for figure, _ in figure_plan(include_cpa=False)}
+        full = {figure for figure, _ in figure_plan(include_cpa=True)}
+        assert fast < full
+        assert {"fig09", "fig10"} <= full - fast
+
+
+class TestReportCheckpoint:
+    @pytest.fixture(scope="class")
+    def checkpointed(self, tmp_path_factory):
+        path = str(
+            tmp_path_factory.mktemp("report") / "report-checkpoint.json"
+        )
+        config = ExperimentConfig(num_traces=5000)
+        records = run_all_figures(
+            config, include_cpa=False, checkpoint_path=path
+        )
+        return config, path, records
+
+    def test_checkpoint_records_every_figure(self, checkpointed):
+        import json
+
+        _, path, records = checkpointed
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert set(payload["records"]) == {
+            record.figure for record in records
+        }
+
+    def test_resume_skips_recorded_figures(self, checkpointed):
+        import json
+
+        config, path, records = checkpointed
+        # Drop one figure from the checkpoint; a resumed run must
+        # recompute exactly that figure and reproduce the rest.
+        with open(path) as handle:
+            payload = json.load(handle)
+        del payload["records"]["fig07"]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        resumed = run_all_figures(
+            config, include_cpa=False, checkpoint_path=path, resume=True
+        )
+        assert [
+            (r.figure, r.paper, r.measured, r.ok) for r in resumed
+        ] == [
+            (r.figure, r.paper, r.measured, r.ok) for r in records
+        ]
+
+    def test_resume_rejects_config_change(self, checkpointed):
+        from repro.experiments.checkpoint import CheckpointError
+
+        _, path, _ = checkpointed
+        with pytest.raises(CheckpointError, match="config"):
+            run_all_figures(
+                ExperimentConfig(num_traces=6000),
+                include_cpa=False,
+                checkpoint_path=path,
+                resume=True,
+            )

@@ -67,3 +67,87 @@ class TestPersistence:
         path = str(tmp_path / "meta.npz")
         save_traces(path, traces)
         assert load_traces(path).metadata == traces.metadata
+
+
+class TestCorruptionHandling:
+    def test_missing_file(self, tmp_path):
+        from repro.traceio import TraceIOError
+
+        path = str(tmp_path / "absent.npz")
+        with pytest.raises(TraceIOError, match="no such file"):
+            load_traces(path)
+
+    def test_corrupt_file(self, tmp_path):
+        from repro.traceio import TraceIOError
+
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a zip archive")
+        with pytest.raises(TraceIOError, match="unreadable or corrupt"):
+            load_traces(path)
+
+    def test_truncated_file(self, tmp_path):
+        from repro.traceio import TraceIOError
+
+        path = str(tmp_path / "run.npz")
+        save_traces(path, make_traces())
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        cut = str(tmp_path / "cut.npz")
+        with open(cut, "wb") as handle:
+            handle.write(payload[: len(payload) // 3])
+        with pytest.raises(TraceIOError):
+            load_traces(cut)
+
+    def test_valid_npz_that_is_no_trace_set(self, tmp_path):
+        from repro.traceio import TraceIOError
+
+        path = str(tmp_path / "other.npz")
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(TraceIOError, match="not a trace set"):
+            load_traces(path)
+
+    def test_error_carries_path_and_reason(self, tmp_path):
+        from repro.traceio import TraceIOError
+
+        path = str(tmp_path / "absent.npz")
+        with pytest.raises(TraceIOError) as excinfo:
+            load_traces(path)
+        assert excinfo.value.path == path
+        assert excinfo.value.reason == "no such file"
+
+    def test_traceioerror_is_reproerror(self):
+        from repro.traceio import TraceIOError
+        from repro.util.errors import ReproError
+
+        assert issubclass(TraceIOError, ReproError)
+
+
+class TestAtomicSave:
+    def test_save_appends_npz_suffix(self, tmp_path):
+        base = str(tmp_path / "campaign")
+        save_traces(base, make_traces(4))
+        assert (tmp_path / "campaign.npz").exists()
+        loaded = load_traces(base + ".npz")
+        assert loaded.num_traces == 4
+
+    def test_failed_save_leaves_previous_file(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "run.npz")
+        save_traces(path, make_traces(8))
+
+        class Unserializable:
+            pass
+
+        bad = make_traces(8)
+        bad.metadata = {"oops": Unserializable()}
+        with pytest.raises(TypeError):
+            save_traces(path, bad)
+        # The earlier good file survives and no temp litter remains.
+        assert load_traces(path).num_traces == 8
+        assert [
+            name
+            for name in os.listdir(tmp_path)
+            if not name.endswith(".npz")
+        ] == []

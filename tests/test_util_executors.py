@@ -1,4 +1,4 @@
-"""Tests for the shared executor-selection helper."""
+"""Tests for the executor selection and the fault-tolerant map."""
 
 import os
 
@@ -8,11 +8,28 @@ from repro.util.executors import (
     EXECUTOR_KINDS,
     EXECUTOR_PROCESS,
     EXECUTOR_THREAD,
+    CampaignHealth,
+    RetryPolicy,
+    ShardError,
+    TruncatedResultError,
     default_workers,
     make_executor,
     map_ordered,
     resolve_executor,
 )
+from repro.util.faults import (
+    FAULT_CRASH,
+    FAULT_EXCEPTION,
+    FAULT_HANG,
+    FAULT_TRUNCATE,
+    SCOPE_POOL,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+#: A retry policy with no real sleeping, for fast deterministic tests.
+FAST = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
 
 
 def _square(x):
@@ -93,3 +110,215 @@ class TestMapOrdered:
 
     def test_default_workers_positive(self):
         assert 1 <= default_workers() <= 8
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.3,
+            jitter=0.0,
+        )
+        delays = [
+            policy.backoff_delay("thread", k) for k in range(5)
+        ]
+        assert delays[0] == 0.0
+        assert delays[1] == pytest.approx(0.1)
+        assert delays[2] == pytest.approx(0.2)
+        assert delays[3] == pytest.approx(0.3)
+        assert delays[4] == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.5, seed=11)
+        again = RetryPolicy(jitter=0.5, seed=11)
+        assert policy.backoff_delay("thread", 2) == again.backoff_delay(
+            "thread", 2
+        )
+        base = RetryPolicy(jitter=0.0, seed=11).backoff_delay("thread", 2)
+        assert base <= policy.backoff_delay("thread", 2) <= base * 1.5
+
+
+@pytest.mark.timeout(120)
+class TestResilientMap:
+    """Each fault mode either recovers or fails structured."""
+
+    def test_transient_exception_recovers_serial(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site="task[1]", attempts=1)]
+        )
+        health = CampaignHealth()
+        result = map_ordered(
+            _square, [1, 2, 3], max_workers=1,
+            policy=FAST, fault_plan=plan, health=health,
+        )
+        assert result == [1, 4, 9]
+        assert health.retries == 1
+        assert not health.healthy
+
+    def test_transient_exception_recovers_thread_pool(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site="task[2]", attempts=2)]
+        )
+        health = CampaignHealth()
+        result = map_ordered(
+            _square, list(range(6)), max_workers=3,
+            executor=EXECUTOR_THREAD,
+            policy=FAST, fault_plan=plan, health=health,
+        )
+        assert result == [x * x for x in range(6)]
+        assert health.retries == 2
+
+    def test_exhaustion_raises_structured_shard_error(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site="task[0]", attempts=10**6)]
+        )
+        with pytest.raises(ShardError) as excinfo:
+            map_ordered(
+                _square, [1, 2], max_workers=1,
+                policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+                fault_plan=plan,
+            )
+        error = excinfo.value
+        assert error.site == "task[0]"
+        assert error.attempts == 2
+        assert error.backend == "serial"
+        assert isinstance(error.cause, InjectedFault)
+        assert isinstance(error.__cause__, InjectedFault)
+
+    def test_worker_crash_recovers_with_pool_rebuild(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_CRASH, site="task[1]", attempts=1)]
+        )
+        health = CampaignHealth()
+        result = map_ordered(
+            _square, [1, 2, 3, 4], max_workers=2,
+            executor=EXECUTOR_PROCESS,
+            policy=FAST, fault_plan=plan, health=health,
+        )
+        assert result == [1, 4, 9, 16]
+        assert health.pool_rebuilds >= 1
+        assert any(
+            a.status == "pool-broken" for a in health.attempts
+        )
+
+    def test_persistent_breakage_degrades_to_thread(self):
+        # The crash fires on every process-pool attempt, so the process
+        # rung can never finish; the ladder must hand the work to the
+        # thread backend (where process-scoped crashes cannot fire) and
+        # produce identical output.
+        plan = FaultPlan(
+            [FaultSpec(FAULT_CRASH, site="task[0]", attempts=10**6)]
+        )
+        health = CampaignHealth()
+        result = map_ordered(
+            _square, [5, 6, 7, 8], max_workers=2,
+            executor=EXECUTOR_PROCESS,
+            policy=FAST, fault_plan=plan, health=health,
+        )
+        assert result == [25, 36, 49, 64]
+        assert ("process", "thread") in health.degradations
+
+    def test_pool_fault_degrades_thread_to_serial(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FAULT_EXCEPTION, site="task[1]",
+                    scope=SCOPE_POOL, attempts=10**6,
+                )
+            ]
+        )
+        health = CampaignHealth()
+        result = map_ordered(
+            _square, [1, 2, 3, 4], max_workers=2,
+            executor=EXECUTOR_THREAD,
+            policy=FAST, fault_plan=plan, health=health,
+        )
+        assert result == [1, 4, 9, 16]
+        assert ("thread", "serial") in health.degradations
+
+    def test_hang_hits_timeout_path_and_recovers(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    FAULT_HANG, site="task[0]", attempts=1,
+                    hang_seconds=5.0,
+                )
+            ]
+        )
+        health = CampaignHealth()
+        result = map_ordered(
+            _square, [1, 2], max_workers=2, executor=EXECUTOR_THREAD,
+            policy=RetryPolicy(
+                max_attempts=3, timeout=0.2, backoff_base=0.0,
+            ),
+            fault_plan=plan, health=health,
+        )
+        assert result == [1, 4]
+        assert health.timeouts >= 1
+
+    def test_truncated_payload_caught_by_validator(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_TRUNCATE, site="task[0]", attempts=1)]
+        )
+
+        def validate(task, result):
+            if len(result) != len(task):
+                raise TruncatedResultError(
+                    "task", len(task), len(result)
+                )
+
+        health = CampaignHealth()
+        result = map_ordered(
+            list, [(1, 2), (3, 4)], max_workers=1,
+            policy=FAST, fault_plan=plan, health=health,
+            validate=validate,
+        )
+        assert result == [[1, 2], [3, 4]]
+        assert health.retries == 1
+
+    def test_custom_sites_name_errors_and_health(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site="shard[0:4]", attempts=10**6)]
+        )
+        with pytest.raises(ShardError, match=r"shard\[0:4\]"):
+            map_ordered(
+                _square, [1, 2], max_workers=1,
+                policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+                fault_plan=plan, sites=["shard[0:4]", "shard[4:8]"],
+            )
+
+    def test_sites_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="sites"):
+            map_ordered(
+                _square, [1, 2, 3], max_workers=1,
+                policy=FAST, sites=["only-one"],
+            )
+
+    def test_health_accumulates_across_calls(self):
+        health = CampaignHealth()
+        map_ordered(_square, [1, 2], max_workers=1, health=health)
+        map_ordered(_square, [3], max_workers=1, health=health)
+        assert len(health.attempts) == 3
+        assert health.healthy
+        assert health.wall_time > 0.0
+        payload = health.as_dict()
+        assert payload["retries"] == 0
+        assert len(payload["attempts"]) == 3
+        assert "3 attempt(s)" in health.summary()
+
+    def test_resilient_results_match_legacy(self):
+        tasks = list(range(10))
+        legacy = map_ordered(_square, tasks, max_workers=4)
+        resilient = map_ordered(
+            _square, tasks, max_workers=4, policy=FAST,
+        )
+        assert legacy == resilient
