@@ -16,11 +16,23 @@ Commands:
   measures sensor sampling + the sharded campaign driver and writes
   ``BENCH_sampling.json``; ``--suite e2e`` measures the batched
   end-to-end trace-generation pipeline (AES datapath + PDN IIR +
-  process sharding) and writes ``BENCH_e2e.json``.
+  process sharding) and writes ``BENCH_e2e.json``.  Both records embed
+  host metadata (python/numpy/scipy versions, CPU count, platform,
+  executor backend) so snapshots from different machines compare
+  honestly.
+* ``serve`` — run the campaign job service: an asyncio scheduler with
+  a bounded priority queue, request batching, in-flight dedupe, and a
+  content-addressed result cache, spoken over JSON lines on TCP.
+* ``submit`` — send one job (``tracegen``/``attack``/``fullkey``/
+  ``report``) to a running service, stream its progress events, and
+  print the result summary (bit-identical to the direct command).
+* ``jobs`` — list a running service's jobs, or ``--metrics`` for the
+  live counters/gauges/latency histograms.
 
 Parallel commands accept ``--workers N`` and ``--executor
 {thread,process}``; results are bit-identical across backends and
-worker counts.  The campaign commands (``attack``, ``fullkey``) also
+worker counts.  Invalid values (``--workers 0``, an unknown executor
+name) exit with code 2 and one actionable line, not a traceback.  The campaign commands (``attack``, ``fullkey``) also
 take fault-tolerance flags — ``--checkpoint PATH``,
 ``--checkpoint-every K``, ``--resume``, ``--retries N``,
 ``--task-timeout S`` — and ``report`` supports figure-granular
@@ -40,12 +52,39 @@ import numpy as np
 
 
 def _add_executor_argument(parser) -> None:
+    # No argparse choices= here: executor names are validated in
+    # _validate_parallel_args so a typo gets the same one-line exit-2
+    # treatment as every other structured failure.
     parser.add_argument(
         "--executor",
-        choices=["thread", "process"],
         default=None,
+        metavar="{thread,process}",
         help="worker-pool backend (default: thread)",
     )
+
+
+def _validate_parallel_args(args) -> None:
+    """Reject bad --workers/--executor values with a ReproError.
+
+    Argparse would answer with a usage dump and exit code 2 of its
+    own; routing through :class:`ReproError` instead gives the same
+    one-actionable-line contract as every campaign failure.
+    """
+    from repro.util.errors import ReproError
+    from repro.util.executors import EXECUTOR_KINDS
+
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise ReproError(
+            "--workers must be >= 1 (got %d); use --workers 1 for a "
+            "serial run" % workers
+        )
+    executor = getattr(args, "executor", None)
+    if executor is not None and executor not in EXECUTOR_KINDS:
+        raise ReproError(
+            "unknown --executor %r (expected one of %s)"
+            % (executor, ", ".join(EXECUTOR_KINDS))
+        )
 
 
 def _add_resilience_arguments(parser) -> None:
@@ -73,20 +112,6 @@ def _add_resilience_arguments(parser) -> None:
         help="per-shard deadline; a hung shard is abandoned and "
         "retried",
     )
-
-
-def _retry_policy(args, seed: int):
-    """A RetryPolicy when a resilience flag asks for one, else None."""
-    from repro.util.executors import RetryPolicy
-
-    if args.retries is None and args.task_timeout is None:
-        return None
-    kwargs = {"seed": seed}
-    if args.retries is not None:
-        kwargs["max_attempts"] = args.retries
-    if args.task_timeout is not None:
-        kwargs["timeout"] = args.task_timeout
-    return RetryPolicy(**kwargs)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -191,6 +216,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where to write the JSON record (default: "
         "BENCH_<suite>.json)",
     )
+
+    def _add_endpoint_arguments(p) -> None:
+        p.add_argument(
+            "--host", default="127.0.0.1",
+            help="service address (default: 127.0.0.1)",
+        )
+        p.add_argument(
+            "--port", type=int, default=7341,
+            help="service port (default: 7341)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign job service"
+    )
+    _add_endpoint_arguments(serve)
+    serve.add_argument(
+        "--max-concurrency", type=int, default=2, metavar="N",
+        help="jobs executing at once (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="bounded queue capacity; beyond it submissions are "
+        "rejected (default: 64)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.05, metavar="SECONDS",
+        help="how long a trace-generation batch collects compatible "
+        "requests (default: 0.05; 0 disables coalescing)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the content-addressed result cache here",
+    )
+    serve.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="campaign checkpoint directory (jobs resume after a "
+        "crash)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running service"
+    )
+    submit.add_argument(
+        "kind", choices=["tracegen", "attack", "fullkey", "report"]
+    )
+    _add_endpoint_arguments(submit)
+    submit.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="job parameter (repeatable), e.g. --param traces=5000 "
+        "--param circuit=alu",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=10,
+        help="smaller runs sooner (default: 10)",
+    )
+    submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress streamed progress events",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running service's jobs"
+    )
+    _add_endpoint_arguments(jobs)
+    jobs.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics snapshot instead of the job table",
+    )
     return parser
 
 
@@ -208,34 +301,37 @@ def _cmd_census(args) -> int:
     return 0
 
 
+def _campaign_params(args, **extra) -> dict:
+    """Service-schema parameter dict for a campaign command.
+
+    The CLI executes through the same runners the campaign service
+    uses (:mod:`repro.service.runners`), so a direct run and a
+    service-submitted job are the same code path — bit-identity by
+    construction rather than by parallel maintenance.
+    """
+    params = {
+        "traces": args.traces,
+        "seed": args.seed,
+        "workers": args.workers,
+        "executor": args.executor,
+    }
+    if hasattr(args, "retries"):
+        params["retries"] = args.retries
+        params["task_timeout"] = args.task_timeout
+    params.update(extra)
+    return params
+
+
 def _cmd_attack(args) -> int:
-    from repro.experiments import (
-        ExperimentConfig,
-        ExperimentSetup,
-        describe_mtd,
-    )
-
-    from repro.experiments import sharded_attack
-
-    setup = ExperimentSetup(
-        ExperimentConfig(
-            seed=args.seed,
-            num_traces=args.traces,
-            max_workers=args.workers,
-            executor=args.executor,
-        )
-    )
+    from repro.experiments import ExperimentConfig, describe_mtd
+    from repro.service.runners import cached_setup, run_attack
     from repro.util.executors import CampaignHealth
 
-    campaign = setup.campaign(args.circuit)
     health = CampaignHealth()
-    result = sharded_attack(
-        campaign,
-        args.traces,
-        reduction=args.reduction,
-        max_workers=args.workers,
-        executor=args.executor,
-        policy=_retry_policy(args, args.seed),
+    result = run_attack(
+        _campaign_params(
+            args, circuit=args.circuit, reduction=args.reduction
+        ),
         health=health,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
@@ -243,6 +339,14 @@ def _cmd_attack(args) -> int:
     )
     if health.attempts and not health.healthy:
         print("campaign health:", health.summary())
+    setup = cached_setup(
+        ExperimentConfig(
+            seed=args.seed,
+            num_traces=args.traces,
+            max_workers=args.workers,
+            executor=args.executor,
+        )
+    )
     correct = setup.cipher.last_round_key[setup.config.target_byte]
     print(
         "best guess 0x%02X (true 0x%02X), rank %d, %s"
@@ -257,27 +361,12 @@ def _cmd_attack(args) -> int:
 
 
 def _cmd_fullkey(args) -> int:
-    from repro.experiments import ExperimentConfig, ExperimentSetup
-
-    from repro.experiments import sharded_full_key
-
-    setup = ExperimentSetup(
-        ExperimentConfig(
-            seed=args.seed,
-            num_traces=args.traces,
-            max_workers=args.workers,
-            executor=args.executor,
-        )
-    )
+    from repro.service.runners import run_fullkey
     from repro.util.executors import CampaignHealth
 
     health = CampaignHealth()
-    result = sharded_full_key(
-        setup.campaign("alu"),
-        args.traces,
-        max_workers=args.workers,
-        executor=args.executor,
-        policy=_retry_policy(args, args.seed),
+    result = run_fullkey(
+        _campaign_params(args),
         health=health,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
@@ -364,17 +453,17 @@ def _cmd_covert(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.experiments import ExperimentConfig
-    from repro.experiments.runner import render_report, run_all_figures
+    from repro.experiments.runner import render_report
+    from repro.service.runners import run_report
 
-    records = run_all_figures(
-        ExperimentConfig(
-            seed=args.seed,
-            num_traces=args.traces,
-            max_workers=args.workers,
-            executor=args.executor,
-        ),
-        include_cpa=not args.no_cpa,
+    records = run_report(
+        {
+            "traces": args.traces,
+            "seed": args.seed,
+            "cpa": not args.no_cpa,
+            "workers": args.workers,
+            "executor": args.executor,
+        },
         checkpoint_path=args.checkpoint,
         resume=args.resume,
     )
@@ -414,6 +503,160 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.scheduler import (
+        CampaignScheduler,
+        SchedulerConfig,
+    )
+    from repro.service.server import serve_forever
+
+    scheduler = CampaignScheduler(
+        SchedulerConfig(
+            max_concurrency=args.max_concurrency,
+            queue_size=args.queue_size,
+            batch_window_s=args.batch_window,
+            cache_dir=args.cache_dir,
+            spool_dir=args.spool_dir,
+        )
+    )
+    asyncio.run(serve_forever(scheduler, args.host, args.port))
+    return 0
+
+
+def _parse_job_params(pairs) -> dict:
+    """``NAME=VALUE`` pairs into a parameter dict (values via JSON)."""
+    import json
+
+    from repro.util.errors import ReproError
+
+    params = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                "bad --param %r (expected NAME=VALUE)" % pair
+            )
+        try:
+            params[name] = json.loads(raw)
+        except ValueError:
+            params[name] = raw  # bare strings: circuit=alu
+    return params
+
+
+def _summarize_job_result(payload) -> None:
+    """Print the same summary line the direct command would."""
+    from repro.experiments import describe_mtd
+    from repro.experiments.runner import render_report
+    from repro.service.codec import from_payload
+
+    result = from_payload(payload)
+    kind = payload.get("type")
+    if kind == "tracegen":
+        print(
+            "traces: %d x %d samples"
+            % result["voltages"].shape
+        )
+    elif kind == "cpa":
+        print(
+            "best guess 0x%02X, rank %d, %s"
+            % (
+                result.best_guess,
+                result.key_ranks()[-1],
+                describe_mtd(result.measurements_to_disclosure()),
+            )
+        )
+    elif kind == "fullkey":
+        print(
+            "correct bytes %d/16, residual enumeration 2^%.1f"
+            % (
+                result.num_correct_bytes,
+                result.log2_remaining_enumeration(),
+            )
+        )
+        if result.full_key_recovered:
+            print("master key:", result.recovered_master_key.hex())
+    elif kind == "report":
+        print(render_report(result))
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import submit_job
+
+    def _print_event(event) -> None:
+        if args.quiet:
+            return
+        detail = ", ".join(
+            "%s=%s" % (key, value)
+            for key, value in sorted(event.items())
+            if key not in ("event", "job_id", "time")
+            and value is not None
+        )
+        print(
+            "[%s] %s%s"
+            % (
+                event.get("job_id"),
+                event.get("event"),
+                " (%s)" % detail if detail else "",
+            )
+        )
+
+    job = submit_job(
+        args.host,
+        args.port,
+        args.kind,
+        _parse_job_params(args.param),
+        priority=args.priority,
+        on_event=_print_event,
+    )
+    status = job.get("status")
+    if status != "done":
+        print(
+            "job %s %s: %s"
+            % (job.get("job_id"), status, job.get("error")),
+            file=sys.stderr,
+        )
+        return 1
+    source = job.get("cache") or "computed"
+    print(
+        "job %s done (source: %s, batch of %d)"
+        % (job.get("job_id"), source, job.get("batch_size", 1))
+    )
+    if job.get("result"):
+        _summarize_job_result(job["result"])
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from repro.service.client import fetch_metrics, list_jobs
+
+    if args.metrics:
+        print(json.dumps(fetch_metrics(args.host, args.port), indent=2))
+        return 0
+    jobs = list_jobs(args.host, args.port)
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(
+        "%-11s %-9s %-9s %-9s %6s" % ("JOB", "KIND", "STATUS", "SOURCE", "BATCH")
+    )
+    for job in jobs:
+        print(
+            "%-11s %-9s %-9s %-9s %6d"
+            % (
+                job["job_id"],
+                job["spec"]["kind"],
+                job["status"],
+                job.get("cache") or "computed",
+                job.get("batch_size", 1),
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "census": _cmd_census,
     "attack": _cmd_attack,
@@ -424,6 +667,9 @@ _COMMANDS = {
     "covert": _cmd_covert,
     "report": _cmd_report,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 
@@ -445,6 +691,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "to continue from %s" % args.checkpoint
         )
     try:
+        _validate_parallel_args(args)
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(

@@ -161,6 +161,25 @@ class PhysicalTraceGenerator:
             dict with ``"ciphertexts"`` (N, 16) uint8 and
             ``"voltages"`` (N, num_samples) float.
         """
+        data = self.generate_deterministic(plaintexts)
+        data["voltages"] = self.add_ambient_noise(data["voltages"], seed)
+        return data
+
+    def generate_deterministic(
+        self, plaintexts: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """The noise-free part of :meth:`generate`.
+
+        Every stage here (batched AES, waveform building, PDN
+        integration) is elementwise or per-row, so row ``i`` of the
+        output depends only on ``plaintexts[i]``: concatenating the
+        plaintexts of several requests, running one deterministic pass,
+        and slicing the rows back out is bit-identical to running each
+        request separately.  The service batching window
+        (:mod:`repro.service.scheduler`) relies on exactly this
+        property to coalesce compatible trace-generation jobs into a
+        single batched-AES call.
+        """
         blocks = as_state_array(plaintexts)
         states = BatchedAES128.from_cipher(self.cipher).round_states(blocks)
         currents = aes_current_waveform_batch(
@@ -179,8 +198,29 @@ class PhysicalTraceGenerator:
         droop = self.pdn.integrate_batch(currents)
         return {
             "ciphertexts": states[:, 11],
-            "voltages": self._finish(blocks.shape[0], currents, droop, seed),
+            "voltages": (
+                self.pdn.params.nominal_voltage
+                - droop
+                - self.local_resistance_ohm * currents
+            ),
         }
+
+    def add_ambient_noise(
+        self, voltages: np.ndarray, seed: int
+    ) -> np.ndarray:
+        """Add the seeded ambient supply noise block to clean voltages.
+
+        The noise block's shape and generator stream depend only on
+        ``seed`` and ``voltages.shape``, so applying it to a slice of a
+        larger deterministic batch equals applying it to the same
+        traces generated alone.
+        """
+        if self.noise_sigma_v <= 0:
+            return voltages
+        rng = make_rng(seed, "tracegen-noise")
+        return voltages + rng.normal(
+            0.0, self.noise_sigma_v, size=voltages.shape
+        )
 
     # ------------------------------------------------------------------
     # Per-trace reference path
@@ -244,9 +284,4 @@ class PhysicalTraceGenerator:
             - droop
             - self.local_resistance_ohm * currents
         )
-        if self.noise_sigma_v > 0:
-            rng = make_rng(seed, "tracegen-noise")
-            voltages = voltages + rng.normal(
-                0.0, self.noise_sigma_v, size=(num_traces, self.num_samples)
-            )
-        return voltages
+        return self.add_ambient_noise(voltages, seed)

@@ -59,6 +59,33 @@ from repro.util.rng import derive_seed, make_rng
 from repro.aes.aes128 import AES128
 
 
+def host_metadata(executor: Optional[str] = None) -> Dict[str, object]:
+    """Host provenance embedded in every benchmark record.
+
+    Performance snapshots are only comparable between runs when the
+    platform that produced them is known; this block pins the
+    interpreter, the numeric stack, the machine, and the executor
+    backend the run used.  ``scipy`` is optional in the runtime (the
+    PDN integrator falls back to a pure-numpy path), so its version is
+    recorded as ``None`` when absent rather than failing the bench.
+    """
+    try:
+        import scipy  # noqa: PLC0415 — optional dependency probe
+
+        scipy_version: Optional[str] = scipy.__version__
+    except ImportError:
+        scipy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executor": executor if executor is not None else "thread",
+    }
+
+
 def _best_of(repeats: int, fn: Callable[[], object]) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -186,6 +213,7 @@ def run_sampling_benchmark(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "host": host_metadata(),
         "sampling": sampling,
         "campaign": {
             "num_traces": campaign_traces,
@@ -414,6 +442,7 @@ def run_e2e_benchmark(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "host": host_metadata(backend),
         "trace_generation": {
             "num_traces": gen_traces,
             "num_samples": generator.num_samples,

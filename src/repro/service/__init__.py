@@ -1,0 +1,60 @@
+"""Campaign service layer: async job scheduling for the repro stack.
+
+``repro.service`` turns the one-shot campaign CLI into a long-running
+service: jobs (trace generation, CPA attacks, full-key recovery, report
+figures) are submitted over a stdlib JSON-lines protocol, scheduled on
+a bounded priority queue with explicit backpressure, coalesced into
+batched trace-generation passes where compatible, deduplicated against
+identical in-flight work, and served from a content-addressed result
+cache on repeats — with live counters, gauges, and latency histograms
+throughout.  Every result is bit-identical to the corresponding direct
+CLI run; the scheduler executes through the same runners and the same
+fault-tolerant sharded drivers the CLI uses.
+
+Module map:
+
+* :mod:`~repro.service.jobs` — specs, states, bounded priority queue;
+* :mod:`~repro.service.scheduler` — batching windows, dedupe, workers;
+* :mod:`~repro.service.cache` — content-addressed result cache;
+* :mod:`~repro.service.codec` — lossless array-over-JSON payloads;
+* :mod:`~repro.service.runners` — shared CLI/service execution paths;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  JSON-lines protocol endpoints;
+* :mod:`~repro.service.metrics` — the live metrics registry.
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.codec import decode, encode, from_payload, to_payload
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobError,
+    JobQueue,
+    JobSpec,
+    JobState,
+    QueueFullError,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import (
+    CampaignScheduler,
+    SchedulerClosedError,
+    SchedulerConfig,
+)
+
+__all__ = [
+    "CacheStats",
+    "CampaignScheduler",
+    "JOB_KINDS",
+    "JobError",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "MetricsRegistry",
+    "QueueFullError",
+    "ResultCache",
+    "SchedulerClosedError",
+    "SchedulerConfig",
+    "decode",
+    "encode",
+    "from_payload",
+    "to_payload",
+]

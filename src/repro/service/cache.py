@@ -1,0 +1,145 @@
+"""Content-addressed result cache for the campaign service.
+
+A countermeasure evaluation sweeps the same campaigns over and over —
+same seed, same trace budget, same circuit — and every campaign is a
+pure function of its content parameters (the whole runtime is built on
+that determinism).  So results are cached by *content address*: the
+SHA-256 config hash of the job's result-determining parameters
+(:meth:`repro.service.jobs.JobSpec.cache_key`, the same hashing the
+crash-safe checkpoints use to fence off mismatched resumes).
+
+Two layers, mirroring the calibration cache
+(:mod:`repro.core.calibration_cache`):
+
+* **in-memory** — decoded payload dicts keyed by hash, always on;
+* **on-disk** — one ``<key>.json`` per entry under ``directory``
+  (written atomically via :func:`repro.util.fileio.atomic_write`),
+  only when a directory is configured, so entries survive server
+  restarts.  Payloads carry arrays base64-exactly
+  (:mod:`repro.service.codec`), so a disk hit is bit-identical to the
+  original computation.
+
+Hits, misses and stores are counted in :class:`CacheStats` and mirrored
+into the service metrics registry by the scheduler.  A corrupt disk
+entry is treated as a miss (and deleted), never as an error: the cache
+must only ever make the service faster, not less correct.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.util.fileio import atomic_write
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: Bump when the payload layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+
+class ResultCache:
+    """Hash-keyed payload store with optional on-disk persistence."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = Path(directory) if directory else None
+        self.stats = CacheStats()
+        self._memory: Dict[str, Dict[str, object]] = {}
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / ("%s.json" % key)
+
+    def get(self, key: str) -> Tuple[Optional[Dict[str, object]], str]:
+        """Look up a payload; returns ``(payload, layer)``.
+
+        ``layer`` is ``"memory"``, ``"disk"``, or ``"miss"`` — the
+        scheduler records it on the job state so clients can see where
+        their result came from.
+        """
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.stats.memory_hits += 1
+            return hit, "memory"
+        path = self._path(key)
+        if path is not None and path.is_file():
+            loaded = self._load_disk(path, key)
+            if loaded is not None:
+                self.stats.disk_hits += 1
+                self._memory[key] = loaded
+                return loaded, "disk"
+        self.stats.misses += 1
+        return None, "miss"
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Store a payload in memory and (when configured) on disk."""
+        self._memory[key] = payload
+        self.stats.stores += 1
+        path = self._path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "key": key,
+                "payload": payload,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        atomic_write(str(path), lambda handle: handle.write(body))
+
+    def _load_disk(
+        self, path: Path, key: str
+    ) -> Optional[Dict[str, object]]:
+        """Read one disk entry; corrupt or mismatched files are purged."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (
+                int(data["version"]) != CACHE_FORMAT_VERSION
+                or data["key"] != key
+            ):
+                raise ValueError("stale or mismatched entry")
+            payload = data["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+            return payload
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt_entries += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def __len__(self) -> int:
+        return len(self._memory)

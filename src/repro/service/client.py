@@ -1,0 +1,279 @@
+"""Client for the campaign service's JSON-lines protocol.
+
+:class:`ServiceClient` is the async side — one TCP connection, one
+request/response (or request/event-stream) at a time — used by the
+tests and by anything already living on an event loop.  The module
+functions at the bottom (:func:`submit_job`, :func:`list_jobs`,
+:func:`fetch_metrics`, :func:`shutdown_server`) are synchronous
+wrappers over ``asyncio.run`` for the CLI verbs (``repro submit`` /
+``repro jobs``), which are ordinary blocking commands.
+
+Results come back as codec payloads; pass them through
+:func:`repro.service.codec.from_payload` to get the natural result
+objects (bit-identical to a direct run — the arrays ride base64, not
+decimal text).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.service.server import DEFAULT_HOST, STREAM_LIMIT
+from repro.util.errors import ReproError
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRejection",
+    "fetch_metrics",
+    "list_jobs",
+    "shutdown_server",
+    "submit_job",
+]
+
+
+class ServiceError(ReproError):
+    """The service answered with ``ok: false`` (or not at all)."""
+
+
+class ServiceRejection(ServiceError):
+    """The bounded queue shed this submission (backpressure).
+
+    Distinguished from :class:`ServiceError` so callers can retry
+    later: the request was well-formed, the service was full.
+    """
+
+    def __init__(self, message: str, depth: int, limit: int):
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+
+
+class ServiceClient:
+    """One JSON-lines connection to a :class:`CampaignServer`."""
+
+    def __init__(self, host: str = DEFAULT_HOST, port: int = 0):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc: object) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=STREAM_LIMIT
+            )
+        except OSError as exc:
+            raise ServiceError(
+                "cannot reach repro service at %s:%d (%s) — is "
+                "`repro serve` running?" % (self.host, self.port, exc)
+            ) from exc
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    # Protocol primitives
+    # ------------------------------------------------------------------
+    async def _send(self, request: Dict[str, object]) -> None:
+        assert self._writer is not None, "client is not connected"
+        self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await self._writer.drain()
+
+    async def _recv(self) -> Dict[str, object]:
+        assert self._reader is not None, "client is not connected"
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ServiceError("malformed response from service")
+        return response
+
+    @staticmethod
+    def _checked(response: Dict[str, object]) -> Dict[str, object]:
+        if response.get("ok"):
+            return response
+        if response.get("rejected"):
+            raise ServiceRejection(
+                str(response.get("error")),
+                int(response.get("depth", 0)),  # type: ignore[arg-type]
+                int(response.get("limit", 0)),  # type: ignore[arg-type]
+            )
+        raise ServiceError(str(response.get("error", "unknown error")))
+
+    async def request(
+        self, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        """One non-streaming round trip, checked."""
+        await self._send(request)
+        return self._checked(await self._recv())
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> bool:
+        return bool((await self.request({"op": "ping"})).get("pong"))
+
+    async def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, object]] = None,
+        priority: int = 10,
+        include_result: bool = True,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> Dict[str, object]:
+        """Submit one job and follow it to completion.
+
+        Streams progress events (``on_event`` sees each one) until the
+        terminal line, then returns the final job view — including the
+        result payload unless ``include_result`` is off.  Raises
+        :class:`ServiceRejection` on queue-full backpressure.
+        """
+        await self._send(
+            {
+                "op": "submit",
+                "kind": kind,
+                "params": params or {},
+                "priority": priority,
+                "stream": True,
+                "include_result": include_result,
+            }
+        )
+        while True:
+            response = self._checked(await self._recv())
+            if response.get("done"):
+                return response["job"]  # type: ignore[return-value]
+            event = response.get("event")
+            if event is not None and on_event is not None:
+                on_event(event)  # type: ignore[arg-type]
+
+    async def submit_nowait(
+        self,
+        kind: str,
+        params: Optional[Dict[str, object]] = None,
+        priority: int = 10,
+    ) -> str:
+        """Fire-and-forget submission; returns the job id."""
+        response = await self.request(
+            {
+                "op": "submit",
+                "kind": kind,
+                "params": params or {},
+                "priority": priority,
+                "stream": False,
+            }
+        )
+        return str(response["job_id"])
+
+    async def job(
+        self,
+        job_id: str,
+        wait: bool = False,
+        include_result: bool = False,
+    ) -> Dict[str, object]:
+        response = await self.request(
+            {
+                "op": "job",
+                "job_id": job_id,
+                "wait": wait,
+                "include_result": include_result,
+            }
+        )
+        return response["job"]  # type: ignore[return-value]
+
+    async def jobs(self) -> List[Dict[str, object]]:
+        response = await self.request({"op": "jobs"})
+        return response["jobs"]  # type: ignore[return-value]
+
+    async def metrics(self) -> Dict[str, object]:
+        response = await self.request({"op": "metrics"})
+        return {
+            "metrics": response["metrics"],
+            "cache": response["cache"],
+        }
+
+    async def cancel(self, job_id: str) -> bool:
+        response = await self.request(
+            {"op": "cancel", "job_id": job_id}
+        )
+        return bool(response.get("cancelled"))
+
+    async def shutdown(self) -> None:
+        """Ask the server to drain and exit (server closes the line)."""
+        await self._send({"op": "shutdown"})
+        self._checked(await self._recv())
+
+
+# ----------------------------------------------------------------------
+# Synchronous wrappers for the CLI
+# ----------------------------------------------------------------------
+
+
+def submit_job(
+    host: str,
+    port: int,
+    kind: str,
+    params: Optional[Dict[str, object]] = None,
+    priority: int = 10,
+    include_result: bool = True,
+    on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Blocking submit-and-wait used by ``repro submit``."""
+
+    async def _run() -> Dict[str, object]:
+        async with ServiceClient(host, port) as client:
+            return await client.submit(
+                kind,
+                params,
+                priority=priority,
+                include_result=include_result,
+                on_event=on_event,
+            )
+
+    return asyncio.run(_run())
+
+
+def list_jobs(host: str, port: int) -> List[Dict[str, object]]:
+    """Blocking job listing used by ``repro jobs``."""
+
+    async def _run() -> List[Dict[str, object]]:
+        async with ServiceClient(host, port) as client:
+            return await client.jobs()
+
+    return asyncio.run(_run())
+
+
+def fetch_metrics(host: str, port: int) -> Dict[str, object]:
+    """Blocking metrics snapshot used by ``repro jobs --metrics``."""
+
+    async def _run() -> Dict[str, object]:
+        async with ServiceClient(host, port) as client:
+            return await client.metrics()
+
+    return asyncio.run(_run())
+
+
+def shutdown_server(host: str, port: int) -> None:
+    """Blocking graceful-shutdown request."""
+
+    async def _run() -> None:
+        async with ServiceClient(host, port) as client:
+            await client.shutdown()
+
+    return asyncio.run(_run())

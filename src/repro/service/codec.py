@@ -1,0 +1,214 @@
+"""Lossless JSON encoding of campaign results for wire and disk.
+
+Service results must be *bit-identical* to direct CLI runs, so the
+protocol cannot round numbers through decimal text: float64
+correlations survive a JSON float only approximately.  Arrays are
+therefore carried as base64 of their raw little-endian bytes plus dtype
+and shape — exact, stdlib-only, and self-describing:
+
+``{"__ndarray__": "<base64>", "dtype": "<f8", "shape": [5, 256]}``
+
+:func:`encode` / :func:`decode` walk nested dict/list payloads and
+translate every array (or tagged blob) in place; everything else must
+already be JSON-native.  On top of that, the ``to_payload`` /
+``from_payload`` pair maps the concrete result objects the runners
+produce (:class:`~repro.attacks.cpa.CPAResult`,
+:class:`~repro.attacks.full_key.FullKeyResult`, trace dicts, figure
+records) to tagged payload dicts and back, so the server, the cache,
+and the client all speak one format.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.attacks.cpa import CPAResult
+from repro.attacks.full_key import FullKeyResult
+from repro.experiments.runner import FigureRecord
+from repro.util.errors import ReproError
+
+__all__ = [
+    "CodecError",
+    "decode",
+    "decode_array",
+    "encode",
+    "encode_array",
+    "from_payload",
+    "to_payload",
+]
+
+_ARRAY_TAG = "__ndarray__"
+_BYTES_TAG = "__bytes__"
+
+
+class CodecError(ReproError):
+    """A payload cannot be encoded or decoded."""
+
+
+def encode_array(array: np.ndarray) -> Dict[str, object]:
+    """One array as a JSON-safe tagged dict (exact bytes)."""
+    array = np.ascontiguousarray(array)
+    # A canonical little-endian byte order keeps payloads portable.
+    dtype = array.dtype.newbyteorder("<")
+    return {
+        _ARRAY_TAG: base64.b64encode(
+            array.astype(dtype, copy=False).tobytes()
+        ).decode("ascii"),
+        "dtype": dtype.str,
+        "shape": list(array.shape),
+    }
+
+
+def decode_array(data: Dict[str, object]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        raw = base64.b64decode(str(data[_ARRAY_TAG]))
+        array = np.frombuffer(raw, dtype=np.dtype(str(data["dtype"])))
+        return array.reshape([int(n) for n in data["shape"]]).copy()
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CodecError("corrupt array payload (%s)" % exc) from exc
+
+
+def encode(value: object) -> object:
+    """Recursively translate arrays/bytes into tagged JSON values."""
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): encode(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise CodecError(
+        "cannot encode %s into a service payload" % type(value).__name__
+    )
+
+
+def decode(value: object) -> object:
+    """Inverse of :func:`encode`."""
+    if isinstance(value, dict):
+        if _ARRAY_TAG in value:
+            return decode_array(value)
+        if _BYTES_TAG in value:
+            return base64.b64decode(str(value[_BYTES_TAG]))
+        return {key: decode(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Result-object mapping
+# ----------------------------------------------------------------------
+
+
+def to_payload(kind: str, result: object) -> Dict[str, object]:
+    """Map a runner's result object to a tagged, encodable payload."""
+    if kind == "tracegen":
+        data: Dict[str, np.ndarray] = result  # type: ignore[assignment]
+        return {
+            "type": "tracegen",
+            "ciphertexts": encode_array(data["ciphertexts"]),
+            "voltages": encode_array(data["voltages"]),
+        }
+    if kind == "attack":
+        cpa: CPAResult = result  # type: ignore[assignment]
+        return {
+            "type": "cpa",
+            "checkpoints": encode_array(cpa.checkpoints),
+            "correlations": encode_array(cpa.correlations),
+            "correct_key": (
+                None if cpa.correct_key is None else int(cpa.correct_key)
+            ),
+        }
+    if kind == "fullkey":
+        full: FullKeyResult = result  # type: ignore[assignment]
+        return {
+            "type": "fullkey",
+            "bytes": [
+                {
+                    "checkpoints": encode_array(byte.checkpoints),
+                    "correlations": encode_array(byte.correlations),
+                    "correct_key": (
+                        None
+                        if byte.correct_key is None
+                        else int(byte.correct_key)
+                    ),
+                }
+                for byte in full.byte_results
+            ],
+            "true_last_round_key": (
+                None
+                if full.true_last_round_key is None
+                else encode(bytes(full.true_last_round_key))
+            ),
+        }
+    if kind == "report":
+        records: List[FigureRecord] = result  # type: ignore[assignment]
+        return {
+            "type": "report",
+            "records": [
+                {
+                    "figure": record.figure,
+                    "paper": record.paper,
+                    "measured": record.measured,
+                    "ok": record.ok,
+                }
+                for record in records
+            ],
+        }
+    raise CodecError("no payload mapping for job kind %r" % kind)
+
+
+def from_payload(payload: Dict[str, object]) -> object:
+    """Rebuild the natural result object from a tagged payload."""
+    kind = payload.get("type")
+    if kind == "tracegen":
+        return {
+            "ciphertexts": decode_array(payload["ciphertexts"]),
+            "voltages": decode_array(payload["voltages"]),
+        }
+    if kind == "cpa":
+        correct: Optional[int] = payload.get("correct_key")
+        return CPAResult(
+            checkpoints=decode_array(payload["checkpoints"]),
+            correlations=decode_array(payload["correlations"]),
+            correct_key=None if correct is None else int(correct),
+        )
+    if kind == "fullkey":
+        true_key = payload.get("true_last_round_key")
+        return FullKeyResult(
+            byte_results=[
+                CPAResult(
+                    checkpoints=decode_array(byte["checkpoints"]),
+                    correlations=decode_array(byte["correlations"]),
+                    correct_key=(
+                        None
+                        if byte["correct_key"] is None
+                        else int(byte["correct_key"])
+                    ),
+                )
+                for byte in payload["bytes"]
+            ],
+            true_last_round_key=(
+                None if true_key is None else bytes(decode(true_key))
+            ),
+        )
+    if kind == "report":
+        return [
+            FigureRecord(
+                figure=str(record["figure"]),
+                paper=str(record["paper"]),
+                measured=str(record["measured"]),
+                ok=bool(record["ok"]),
+            )
+            for record in payload["records"]
+        ]
+    raise CodecError("unknown payload type %r" % kind)

@@ -1,0 +1,241 @@
+"""Live service metrics: counters, gauges, latency histograms.
+
+The campaign service (:mod:`repro.service.scheduler` /
+:mod:`repro.service.server`) is a long-running process multiplexing
+many jobs; whether it is healthy — queues draining, cache absorbing
+duplicates, batching actually coalescing — is invisible without
+numbers.  This module is a dependency-free metrics registry in the
+style of a Prometheus client, scoped to what the service needs:
+
+* :class:`Counter` — monotonically increasing event counts
+  (``jobs_submitted``, ``cache_hits``, ``batches``...);
+* :class:`Gauge` — instantaneous levels (``queue_depth``,
+  ``jobs_running``), with ``set``/``inc``/``dec`` and a high-water
+  mark;
+* :class:`Histogram` — latency distributions over fixed
+  logarithmic buckets (queue wait, run time, end-to-end time), keeping
+  per-bucket counts plus sum/min/max so percentile-ish summaries don't
+  require storing samples.
+
+All mutation is guarded by one registry lock: job execution happens on
+worker threads (``asyncio.to_thread``) while the scheduler mutates from
+the event loop, and a metrics race must never corrupt a campaign.
+
+:meth:`MetricsRegistry.snapshot` is the JSON view served by the
+``metrics`` endpoint; :meth:`MetricsRegistry.summary` is the human
+end-of-run report the server prints on graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Log-spaced latency buckets (seconds): 1 ms .. ~5 min, then +Inf.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+    300.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """An instantaneous level with a high-water mark."""
+
+    name: str
+    value: float = 0.0
+    high_water: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.high_water = max(self.high_water, value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "high_water": self.high_water,
+        }
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket distribution of observed values (seconds).
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the
+    final implicit bucket is ``+Inf``.  Sum/count/min/max ride along so
+    a mean and range are always available without stored samples.
+    """
+
+    name: str
+    bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.bounds or list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted, non-empty")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = (
+            value if self.minimum is None else min(self.minimum, value)
+        )
+        self.maximum = (
+            value if self.maximum is None else max(self.maximum, value)
+        )
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(
+                name, Histogram(name, bounds)
+            )
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        counter = self.counter(name)
+        with self._lock:
+            counter.inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histogram(name)
+        with self._lock:
+            histogram.observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        gauge = self.gauge(name)
+        with self._lock:
+            gauge.set(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view of every metric (the endpoint body)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: counter.as_dict()
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.as_dict()
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in sorted(
+                        self._histograms.items()
+                    )
+                },
+            }
+
+    def summary(self) -> str:
+        """Human end-of-run report (printed at graceful shutdown)."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        counters = snap["counters"]
+        if counters:
+            lines.append(
+                "counters: "
+                + ", ".join(
+                    "%s=%d" % (name, data["value"])
+                    for name, data in counters.items()
+                )
+            )
+        for name, data in snap["gauges"].items():
+            lines.append(
+                "gauge %s: %.0f (high water %.0f)"
+                % (name, data["value"], data["high_water"])
+            )
+        for name, data in snap["histograms"].items():
+            if not data["count"]:
+                continue
+            lines.append(
+                "latency %s: n=%d mean=%.3fs min=%.3fs max=%.3fs"
+                % (
+                    name,
+                    data["count"],
+                    data["mean"],
+                    data["min"],
+                    data["max"],
+                )
+            )
+        return "\n".join(lines) if lines else "no metrics recorded"

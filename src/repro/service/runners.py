@@ -1,0 +1,240 @@
+"""Shared job execution paths for the CLI and the campaign service.
+
+Bit-identity between a service-run campaign and a direct CLI run is an
+acceptance criterion, and the cheapest way to *guarantee* it is to make
+both call the same function: the CLI commands (:mod:`repro.cli`) and
+the scheduler's thread workers (:mod:`repro.service.scheduler`) both
+execute through the runners here, which in turn route through the
+fault-tolerant sharded drivers (:func:`sharded_attack` /
+:func:`sharded_full_key` / :func:`run_all_figures`) — so service jobs
+inherit retries, backend degradation, and checkpoint/resume for free.
+
+Trace-generation jobs additionally support *coalescing*:
+:func:`run_tracegen_batch` runs one deterministic pass (batched AES →
+current waveform → PDN droop) over the concatenated plaintexts of many
+requests and then applies each request's own seeded ambient-noise
+block to its slice.  Because every deterministic stage is per-row and
+the noise block depends only on ``(seed, shape)``, each fanned-out
+result is bit-identical to :func:`run_tracegen` on that request alone
+— this is what lets the scheduler's batching window merge compatible
+requests into a single batched-AES call without changing any output.
+
+All runners are plain synchronous functions of validated parameter
+dicts (see :func:`repro.service.jobs.normalize_params`), safe to run on
+``asyncio.to_thread`` workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aes.aes128 import AES128
+from repro.attacks.cpa import CPAResult
+from repro.attacks.full_key import FullKeyResult
+from repro.core.tracegen import PhysicalTraceGenerator, random_plaintexts
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import sharded_attack, sharded_full_key
+from repro.experiments.runner import FigureRecord, run_all_figures
+from repro.experiments.setup import ExperimentSetup
+from repro.util.executors import CampaignHealth, RetryPolicy
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "cached_setup",
+    "retry_policy",
+    "run_attack",
+    "run_fullkey",
+    "run_report",
+    "run_tracegen",
+    "run_tracegen_batch",
+    "tracegen_compat_key",
+]
+
+#: Experiment setups are expensive (placement + gate-level calibration)
+#: and immutable in normal use; the service reuses one per
+#: configuration, exactly like the CLI process would within one run.
+_SETUPS: Dict[ExperimentConfig, ExperimentSetup] = {}
+
+
+def cached_setup(config: ExperimentConfig) -> ExperimentSetup:
+    """One shared :class:`ExperimentSetup` per configuration."""
+    if config not in _SETUPS:
+        _SETUPS[config] = ExperimentSetup(config)
+    return _SETUPS[config]
+
+
+def retry_policy(
+    retries: Optional[int],
+    task_timeout: Optional[float],
+    seed: int,
+) -> Optional[RetryPolicy]:
+    """A RetryPolicy when either resilience knob is set, else None."""
+    if retries is None and task_timeout is None:
+        return None
+    kwargs: Dict[str, object] = {"seed": seed}
+    if retries is not None:
+        kwargs["max_attempts"] = retries
+    if task_timeout is not None:
+        kwargs["timeout"] = task_timeout
+    return RetryPolicy(**kwargs)  # type: ignore[arg-type]
+
+
+def _experiment_config(params: Dict[str, object]) -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=int(params["seed"]),  # type: ignore[arg-type]
+        num_traces=int(params["traces"]),  # type: ignore[arg-type]
+        max_workers=params.get("workers"),  # type: ignore[arg-type]
+        executor=params.get("executor"),  # type: ignore[arg-type]
+    )
+
+
+def run_attack(
+    params: Dict[str, object],
+    health: Optional[CampaignHealth] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
+) -> CPAResult:
+    """The ``repro attack`` campaign as a parameter-dict runner."""
+    config = _experiment_config(params)
+    setup = cached_setup(config)
+    campaign = setup.campaign(str(params["circuit"]))
+    return sharded_attack(
+        campaign,
+        int(params["traces"]),  # type: ignore[arg-type]
+        reduction=str(params["reduction"]),
+        max_workers=params.get("workers"),  # type: ignore[arg-type]
+        executor=params.get("executor"),  # type: ignore[arg-type]
+        policy=retry_policy(
+            params.get("retries"),  # type: ignore[arg-type]
+            params.get("task_timeout"),  # type: ignore[arg-type]
+            config.seed,
+        ),
+        health=health,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+
+
+def run_fullkey(
+    params: Dict[str, object],
+    health: Optional[CampaignHealth] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
+) -> FullKeyResult:
+    """The ``repro fullkey`` campaign as a parameter-dict runner."""
+    config = _experiment_config(params)
+    setup = cached_setup(config)
+    return sharded_full_key(
+        setup.campaign("alu"),
+        int(params["traces"]),  # type: ignore[arg-type]
+        max_workers=params.get("workers"),  # type: ignore[arg-type]
+        executor=params.get("executor"),  # type: ignore[arg-type]
+        policy=retry_policy(
+            params.get("retries"),  # type: ignore[arg-type]
+            params.get("task_timeout"),  # type: ignore[arg-type]
+            config.seed,
+        ),
+        health=health,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+
+
+def run_report(
+    params: Dict[str, object],
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+) -> List[FigureRecord]:
+    """The ``repro report`` figure sweep as a parameter-dict runner."""
+    return run_all_figures(
+        _experiment_config(params),
+        include_cpa=bool(params.get("cpa", False)),
+        checkpoint_path=checkpoint_path,
+        resume=resume,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace generation (the batchable kind)
+# ----------------------------------------------------------------------
+
+
+def _generator(key_hex: str) -> PhysicalTraceGenerator:
+    return PhysicalTraceGenerator(AES128(bytes.fromhex(key_hex)))
+
+
+def tracegen_compat_key(params: Dict[str, object]) -> str:
+    """Batching-compatibility class of a tracegen request.
+
+    Requests are coalescible when they share the deterministic pipeline
+    — i.e. the cipher key and the (service-fixed) generator physics.
+    Seeds and trace counts may differ freely: noise is applied per
+    request after the shared deterministic pass.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"tracegen-v1:")
+    digest.update(str(params["key_hex"]).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def _tracegen_plaintexts(params: Dict[str, object]) -> np.ndarray:
+    return random_plaintexts(
+        int(params["traces"]),  # type: ignore[arg-type]
+        seed=derive_seed(int(params["seed"]), "service-pt"),  # type: ignore[arg-type]
+    )
+
+
+def run_tracegen(params: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """One trace-generation request, alone (the direct path)."""
+    generator = _generator(str(params["key_hex"]))
+    return generator.generate(
+        _tracegen_plaintexts(params),
+        seed=derive_seed(int(params["seed"]), "service-noise"),  # type: ignore[arg-type]
+    )
+
+
+def run_tracegen_batch(
+    batch: Sequence[Dict[str, object]]
+) -> List[Dict[str, np.ndarray]]:
+    """Coalesced trace generation: one deterministic pass, fanned out.
+
+    All requests must share one :func:`tracegen_compat_key`.  Returns
+    one result per request, each bit-identical to
+    ``run_tracegen(request)`` (asserted in the test suite): the
+    deterministic stages are per-row, and each request's ambient-noise
+    block is drawn from its own seed over its own slice shape.
+    """
+    if not batch:
+        return []
+    keys = {tracegen_compat_key(params) for params in batch}
+    if len(keys) != 1:
+        raise ValueError(
+            "tracegen batch mixes %d compatibility classes" % len(keys)
+        )
+    generator = _generator(str(batch[0]["key_hex"]))
+    plaintexts = [_tracegen_plaintexts(params) for params in batch]
+    merged = generator.generate_deterministic(np.vstack(plaintexts))
+    results: List[Dict[str, np.ndarray]] = []
+    offset = 0
+    for params, blocks in zip(batch, plaintexts):
+        stop = offset + blocks.shape[0]
+        results.append(
+            {
+                "ciphertexts": merged["ciphertexts"][offset:stop].copy(),
+                "voltages": generator.add_ambient_noise(
+                    merged["voltages"][offset:stop],
+                    derive_seed(
+                        int(params["seed"]), "service-noise"  # type: ignore[arg-type]
+                    ),
+                ),
+            }
+        )
+        offset = stop
+    return results

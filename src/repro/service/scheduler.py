@@ -1,0 +1,494 @@
+"""Async job scheduler: batching window, dedupe, cache, drain.
+
+The heart of the campaign service.  A :class:`CampaignScheduler` owns
+
+* a bounded priority :class:`~repro.service.jobs.JobQueue` (explicit
+  backpressure at the admission edge),
+* a pool of ``max_concurrency`` asyncio workers that execute jobs on
+  threads (``asyncio.to_thread``) so the event loop stays responsive
+  while campaigns crunch,
+* a :class:`~repro.service.cache.ResultCache` consulted at submit time
+  (content-addressed on the job's config hash),
+* an in-flight index that *dedupes* identical jobs submitted while the
+  first is still running — followers attach to the primary and share
+  its result the moment it lands,
+* per-compatibility-class **batching windows** for trace-generation
+  jobs: the first request opens a window; requests arriving within
+  ``batch_window_s`` (and fitting the batch bounds) coalesce into one
+  :func:`~repro.service.runners.run_tracegen_batch` call — a single
+  batched-AES/PDN pass — whose per-request results are bit-identical
+  to running each request alone,
+* a :class:`~repro.service.metrics.MetricsRegistry` tracking queue
+  depth, latencies, cache traffic, and batching efficiency.
+
+Attack/full-key/report jobs execute through the PR 3 resilient
+runtime: every campaign gets a :class:`CampaignHealth` (switching
+:func:`map_ordered` into its retry/degrade mode), and when a
+``spool_dir`` is configured each campaign checkpoints under its cache
+key and resumes automatically if an identical job previously died
+mid-run.
+
+Lifecycle: :meth:`start` spawns the workers, :meth:`drain` stops
+admissions and waits for every accepted job to reach a terminal state
+(the graceful-shutdown path the server triggers on SIGTERM), and
+:meth:`stop` tears the workers down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.service.cache import ResultCache
+from repro.service.codec import to_payload
+from repro.service.jobs import (
+    JobQueue,
+    JobSpec,
+    JobState,
+    QueueFullError,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.runners import (
+    run_attack,
+    run_fullkey,
+    run_report,
+    run_tracegen_batch,
+    tracegen_compat_key,
+)
+from repro.util.errors import ReproError
+from repro.util.executors import CampaignHealth
+
+__all__ = [
+    "CampaignScheduler",
+    "SchedulerClosedError",
+    "SchedulerConfig",
+]
+
+
+class SchedulerClosedError(ReproError):
+    """A submission arrived while the service is draining."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "service is draining — no new jobs are accepted"
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of one scheduler instance.
+
+    Attributes:
+        max_concurrency: jobs (or batches) executing at once.
+        queue_size: bounded queue capacity; submissions beyond it are
+            rejected with :class:`~repro.service.jobs.QueueFullError`.
+        batch_window_s: how long a trace-generation batch stays open
+            for more compatible requests after its first job arrives.
+        max_batch_jobs / max_batch_traces: bounds on one coalesced
+            batch (a full window closes early).
+        cache_dir: on-disk result cache directory (None: memory only).
+        spool_dir: campaign checkpoint directory; when set,
+            attack/full-key jobs checkpoint under their cache key and
+            resume automatically after a crash.
+    """
+
+    max_concurrency: int = 2
+    queue_size: int = 64
+    batch_window_s: float = 0.05
+    max_batch_jobs: int = 16
+    max_batch_traces: int = 1_000_000
+    cache_dir: Optional[str] = None
+    spool_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if self.max_batch_jobs < 1 or self.max_batch_traces < 1:
+            raise ValueError("batch bounds must be >= 1")
+
+
+@dataclass
+class _TraceGenBatch:
+    """One open batching window of compatible tracegen jobs."""
+
+    key: str
+    opened_at: float
+    jobs: List[JobState] = field(default_factory=list)
+    closed: bool = False
+
+    @property
+    def total_traces(self) -> int:
+        return sum(int(job.spec.params["traces"]) for job in self.jobs)
+
+
+class CampaignScheduler:
+    """Multiplexes campaign jobs over a bounded async worker pool."""
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.config = config or SchedulerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = cache or ResultCache(self.config.cache_dir)
+        self.queue = JobQueue(self.config.queue_size)
+        self.jobs: Dict[str, JobState] = {}
+        self._ids = itertools.count(1)
+        self._accepting = True
+        self._workers: List[asyncio.Task] = []
+        self._inflight: Dict[str, JobState] = {}
+        self._followers: Dict[str, List[JobState]] = {}
+        self._open_batches: Dict[str, _TraceGenBatch] = {}
+        self._queued_jobs = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._worker(), name="job-worker-%d" % i)
+            for i in range(self.config.max_concurrency)
+        ]
+
+    async def drain(self) -> None:
+        """Stop admissions; wait until every accepted job terminates."""
+        self._accepting = False
+        await self._idle.wait()
+
+    async def stop(self) -> None:
+        """Drain, then tear down the worker pool."""
+        await self.drain()
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobState:
+        """Admit one job: cache-check, dedupe, batch or enqueue.
+
+        Raises:
+            SchedulerClosedError: the service is draining.
+            QueueFullError: the bounded queue is at capacity
+                (explicit backpressure; nothing was admitted).
+        """
+        if not self._accepting:
+            raise SchedulerClosedError()
+        state = JobState("job-%06d" % next(self._ids), spec)
+        key = spec.cache_key
+        self.metrics.inc("jobs_submitted")
+
+        payload, layer = self.cache.get(key)
+        if payload is not None:
+            self.jobs[state.job_id] = state
+            state.cache = layer
+            state.add_event("queued", cache_key=key)
+            self.metrics.inc("cache_hits")
+            self._complete(state, payload)
+            return state
+        self.metrics.inc("cache_misses")
+
+        primary = self._inflight.get(key)
+        if primary is not None and not primary.terminal:
+            self.jobs[state.job_id] = state
+            state.cache = "inflight"
+            state.add_event(
+                "queued", cache_key=key, deduped_against=primary.job_id
+            )
+            self._followers.setdefault(primary.job_id, []).append(state)
+            self.metrics.inc("jobs_deduped")
+            self._busy()
+            return state
+
+        try:
+            if spec.kind == "tracegen" and self.config.batch_window_s > 0:
+                self._submit_tracegen(state)
+            else:
+                self.queue.put(spec.priority, state)
+        except QueueFullError:
+            self.metrics.inc("jobs_rejected")
+            raise
+        self.jobs[state.job_id] = state
+        self._inflight[key] = state
+        self._queued_jobs += 1
+        self._busy()
+        self._gauge_depth()
+        state.add_event("queued", cache_key=key)
+        return state
+
+    def _submit_tracegen(self, state: JobState) -> None:
+        """Join the open batching window for this class, or open one."""
+        compat = tracegen_compat_key(state.spec.params)
+        batch = self._open_batches.get(compat)
+        traces = int(state.spec.params["traces"])  # type: ignore[arg-type]
+        if (
+            batch is not None
+            and not batch.closed
+            and len(batch.jobs) < self.config.max_batch_jobs
+            and batch.total_traces + traces <= self.config.max_batch_traces
+        ):
+            batch.jobs.append(state)
+            return
+        batch = _TraceGenBatch(
+            compat, asyncio.get_running_loop().time(), [state]
+        )
+        # Enqueue the *window*, not the job: the worker that pops it
+        # waits out the remaining window time, then executes whatever
+        # jobs joined.  May raise QueueFullError — nothing registered.
+        self.queue.put(state.spec.priority, batch)
+        self._open_batches[compat] = batch
+
+    # ------------------------------------------------------------------
+    # Introspection / control
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[JobState]:
+        return self.jobs.get(job_id)
+
+    def list_jobs(self) -> List[JobState]:
+        return [self.jobs[job_id] for job_id in sorted(self.jobs)]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running/terminal jobs are too late.
+
+        Cancelling a primary also cancels its deduped followers (their
+        result will never be computed).
+        """
+        state = self.jobs.get(job_id)
+        if state is None or state.status != "queued":
+            return False
+        self._cancel_state(state, "cancelled by request")
+        for follower in self._followers.pop(job_id, []):
+            if not follower.terminal:
+                self._cancel_state(
+                    follower, "primary %s cancelled" % job_id
+                )
+        self._inflight.pop(state.spec.cache_key, None)
+        return True
+
+    def _cancel_state(self, state: JobState, reason: str) -> None:
+        state.status = "cancelled"
+        state.error = reason
+        state.finished_at = time.time()
+        state.add_event("cancelled", reason=reason)
+        self.metrics.inc("jobs_cancelled")
+        self._note_done()
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            item = await self.queue.get()
+            self._gauge_depth()
+            self.metrics.gauge("jobs_running").inc()
+            try:
+                if isinstance(item, _TraceGenBatch):
+                    await self._run_batch(item)
+                else:
+                    await self._run_job(item)
+            finally:
+                self.metrics.gauge("jobs_running").dec()
+                self._gauge_depth()
+
+    async def _run_batch(self, batch: _TraceGenBatch) -> None:
+        loop = asyncio.get_running_loop()
+        remaining = (
+            batch.opened_at + self.config.batch_window_s - loop.time()
+        )
+        if remaining > 0:
+            await asyncio.sleep(remaining)
+        batch.closed = True
+        if self._open_batches.get(batch.key) is batch:
+            del self._open_batches[batch.key]
+        members = [job for job in batch.jobs if job.status == "queued"]
+        if not members:
+            return
+        for state in members:
+            self._mark_started(state, batch_size=len(members))
+            state.batch_size = len(members)
+        self.metrics.inc("batches")
+        self.metrics.inc("batched_jobs", len(members))
+        if len(members) > 1:
+            self.metrics.inc("coalesced_jobs", len(members))
+        try:
+            results = await asyncio.to_thread(
+                run_tracegen_batch,
+                [state.spec.params for state in members],
+            )
+        except Exception as exc:  # noqa: BLE001 — fail the whole batch
+            for state in members:
+                self._fail(state, exc)
+            return
+        for state, result in zip(members, results):
+            payload = to_payload("tracegen", result)
+            self.cache.put(state.spec.cache_key, payload)
+            self._complete(state, payload)
+
+    async def _run_job(self, state: JobState) -> None:
+        if state.status != "queued":
+            return  # cancelled while waiting
+        self._mark_started(state)
+        kind = state.spec.kind
+        health = CampaignHealth()
+        checkpoint = self._checkpoint_path(state)
+        resume = checkpoint is not None and os.path.exists(checkpoint)
+        try:
+            if kind == "attack":
+                result = await asyncio.to_thread(
+                    run_attack,
+                    state.spec.params,
+                    health,
+                    checkpoint,
+                    None,
+                    resume,
+                )
+            elif kind == "fullkey":
+                result = await asyncio.to_thread(
+                    run_fullkey,
+                    state.spec.params,
+                    health,
+                    checkpoint,
+                    None,
+                    resume,
+                )
+            elif kind == "report":
+                result = await asyncio.to_thread(
+                    run_report, state.spec.params, checkpoint, resume
+                )
+            else:  # tracegen with a zero-width window
+                results = await asyncio.to_thread(
+                    run_tracegen_batch, [state.spec.params]
+                )
+                result = results[0]
+        except Exception as exc:  # noqa: BLE001 — report, don't crash
+            if health.attempts:
+                state.health = health.as_dict()
+            self._fail(state, exc)
+            return
+        if health.attempts:
+            state.health = health.as_dict()
+        if checkpoint is not None and os.path.exists(checkpoint):
+            # The durable state served its purpose; keep the spool lean.
+            try:
+                os.unlink(checkpoint)
+            except OSError:
+                pass
+        payload = to_payload(kind, result)
+        self.cache.put(state.spec.cache_key, payload)
+        self._complete(state, payload)
+
+    def _checkpoint_path(self, state: JobState) -> Optional[str]:
+        if self.config.spool_dir is None:
+            return None
+        if state.spec.kind not in ("attack", "fullkey", "report"):
+            return None
+        os.makedirs(self.config.spool_dir, exist_ok=True)
+        suffix = ".json" if state.spec.kind == "report" else ".npz"
+        return os.path.join(
+            self.config.spool_dir, state.spec.cache_key + suffix
+        )
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def _mark_started(self, state: JobState, **extra: object) -> None:
+        state.status = "running"
+        state.started_at = time.time()
+        self._queued_jobs = max(0, self._queued_jobs - 1)
+        self.metrics.observe(
+            "queue_wait_s", state.started_at - state.submitted_at
+        )
+        state.add_event("started", **extra)
+
+    def _complete(
+        self, state: JobState, payload: Dict[str, object]
+    ) -> None:
+        state.result = payload
+        state.status = "done"
+        state.finished_at = time.time()
+        if state.started_at is not None:
+            self.metrics.observe(
+                "run_s", state.finished_at - state.started_at
+            )
+        self.metrics.observe(
+            "total_s", state.finished_at - state.submitted_at
+        )
+        self.metrics.inc("jobs_completed")
+        state.add_event(
+            "done", cache=state.cache, batch_size=state.batch_size
+        )
+        self._resolve_followers(state, payload)
+        self._inflight.pop(state.spec.cache_key, None)
+        self._note_done()
+
+    def _fail(self, state: JobState, error: BaseException) -> None:
+        state.status = "failed"
+        state.error = str(error)
+        state.finished_at = time.time()
+        self.metrics.inc("jobs_failed")
+        state.add_event("failed", error=state.error)
+        for follower in self._followers.pop(state.job_id, []):
+            if not follower.terminal:
+                self._fail(
+                    follower,
+                    RuntimeError(
+                        "primary %s failed: %s"
+                        % (state.job_id, state.error)
+                    ),
+                )
+        self._inflight.pop(state.spec.cache_key, None)
+        self._note_done()
+
+    def _resolve_followers(
+        self, state: JobState, payload: Dict[str, object]
+    ) -> None:
+        for follower in self._followers.pop(state.job_id, []):
+            if follower.terminal:
+                continue
+            follower.result = payload
+            follower.batch_size = state.batch_size
+            follower.status = "done"
+            follower.finished_at = time.time()
+            self.metrics.inc("jobs_completed")
+            self.metrics.observe(
+                "total_s", follower.finished_at - follower.submitted_at
+            )
+            follower.add_event(
+                "done", cache="inflight", batch_size=state.batch_size
+            )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _gauge_depth(self) -> None:
+        self.metrics.set_gauge("queue_depth", self._queued_jobs)
+
+    def _busy(self) -> None:
+        self._idle.clear()
+
+    def _note_done(self) -> None:
+        if all(state.terminal for state in self.jobs.values()):
+            self._idle.set()

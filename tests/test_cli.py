@@ -90,9 +90,69 @@ class TestExecutorOption:
         assert "best guess" in capsys.readouterr().out
         assert code in (0, 1)
 
-    def test_invalid_executor_rejected(self):
+    def test_invalid_executor_one_line_exit_2(self, capsys):
+        code = main(["attack", "alu", "--executor", "fiber"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "fiber" in err
+        assert "thread" in err and "process" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1, "one actionable line, no traceback"
+
+
+class TestWorkersValidation:
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_nonpositive_workers_one_line_exit_2(self, capsys, value):
+        code = main(["attack", "alu", "--workers", value])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "--workers" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1
+
+    def test_fullkey_validates_too(self, capsys):
+        code = main(["fullkey", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bench_validates_executor(self, capsys):
+        code = main(["bench", "--executor", "fork"])
+        assert code == 2
+        assert "fork" in capsys.readouterr().err
+
+
+class TestServiceVerbs:
+    def test_submit_without_server_one_line_exit_2(self, capsys):
+        # Port 1 is never listening; the client should fail with an
+        # actionable connection error, not a traceback.
+        code = main([
+            "submit", "tracegen", "--host", "127.0.0.1", "--port", "1",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "repro serve" in err
+        assert "Traceback" not in err
+
+    def test_jobs_without_server_one_line_exit_2(self, capsys):
+        code = main([
+            "jobs", "--host", "127.0.0.1", "--port", "1",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+
+    def test_bad_param_syntax_rejected(self, capsys):
+        code = main(["submit", "tracegen", "--param", "traces"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "NAME=VALUE" in err
+
+    def test_unknown_job_kind_rejected_by_parser(self):
         with pytest.raises(SystemExit):
-            main(["attack", "alu", "--executor", "fiber"])
+            main(["submit", "frobnicate"])
 
 
 class TestParser:

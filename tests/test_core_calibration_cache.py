@@ -177,3 +177,123 @@ class TestSensorIntegration:
             other.instances[0].calibration
             is not base.instances[0].calibration
         )
+
+
+class TestInvalidation:
+    """A changed configuration must MISS — never return stale data."""
+
+    def test_changed_measure_stimulus_invalidates(
+        self, adder_case, count_gate_level
+    ):
+        annotation, reset, measure, endpoints = adder_case
+        stale = cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        other_measure = adder_input_assignment(170, 0, 8)
+        fresh = cached_calibrate_endpoints(
+            annotation, reset, other_measure, endpoints, 2000.0
+        )
+        assert len(count_gate_level) == 2, "second config must recompute"
+        assert fresh is not stale
+
+    def test_changed_reset_stimulus_invalidates(
+        self, adder_case, count_gate_level
+    ):
+        annotation, reset, measure, endpoints = adder_case
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        other_reset = adder_input_assignment(1, 0, 8)
+        cached_calibrate_endpoints(
+            annotation, other_reset, measure, endpoints, 2000.0
+        )
+        assert len(count_gate_level) == 2
+
+    def test_changed_endpoint_list_invalidates(
+        self, adder_case, count_gate_level
+    ):
+        annotation, reset, measure, endpoints = adder_case
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        subset = endpoints[:4]
+        narrowed = cached_calibrate_endpoints(
+            annotation, reset, measure, subset, 2000.0
+        )
+        assert len(count_gate_level) == 2
+        assert narrowed.num_bits == 4, "must not return the stale 8-bit entry"
+
+    def test_endpoint_order_is_significant(
+        self, adder_case, count_gate_level
+    ):
+        # Bit order defines the sensor read-out word; a reordered list
+        # is a different calibration, not a cache hit.
+        annotation, reset, measure, endpoints = adder_case
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        cached_calibrate_endpoints(
+            annotation, reset, measure, list(reversed(endpoints)), 2000.0
+        )
+        assert len(count_gate_level) == 2
+
+    def test_changed_context_invalidates(
+        self, adder_case, count_gate_level
+    ):
+        annotation, reset, measure, endpoints = adder_case
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0,
+            context=("adder", 1),
+        )
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0,
+            context=("adder", 2),
+        )
+        assert len(count_gate_level) == 2
+
+    def test_single_gate_delay_perturbation_invalidates(
+        self, adder_case, count_gate_level
+    ):
+        import dataclasses
+
+        annotation, reset, measure, endpoints = adder_case
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        perturbed_delays = dict(annotation.gate_delay_ps)
+        some_net = sorted(perturbed_delays)[0]
+        perturbed_delays[some_net] += 0.5
+        perturbed = dataclasses.replace(
+            annotation, gate_delay_ps=perturbed_delays
+        )
+        cached_calibrate_endpoints(
+            perturbed, reset, measure, endpoints, 2000.0
+        )
+        assert len(count_gate_level) == 2, (
+            "the delay-table digest must catch a 0.5 ps change"
+        )
+
+    def test_disk_layer_does_not_serve_stale_config(
+        self, adder_case, count_gate_level, monkeypatch, tmp_path
+    ):
+        # Persist one config, then ask for a *different* config with an
+        # empty in-process layer: the disk layer must not answer.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        annotation, reset, measure, endpoints = adder_case
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        clear_calibration_cache()
+        changed = cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2500.0
+        )
+        assert len(count_gate_level) == 2
+        assert calibration_stats().disk_hits == 0
+        assert changed.sample_period_ps == 2500.0
+        # The original config still round-trips from disk.
+        clear_calibration_cache()
+        cached_calibrate_endpoints(
+            annotation, reset, measure, endpoints, 2000.0
+        )
+        assert len(count_gate_level) == 2
+        assert calibration_stats().disk_hits == 1

@@ -185,3 +185,76 @@ class TestShardedPhysicalAttack:
             sharded_physical_attack(
                 generator, alu_sensor, 100, executor="fiber"
             )
+
+
+class TestDeterministicNoiseSplit:
+    """generate() == generate_deterministic() + add_ambient_noise().
+
+    This split is what lets the campaign service coalesce compatible
+    trace-generation requests into one batched pass and still return
+    bit-identical per-request results.
+    """
+
+    def test_split_recomposes_generate_exactly(self, generator):
+        plaintexts = random_plaintexts(40, seed=11)
+        whole = generator.generate(plaintexts, seed=3)
+        deterministic = generator.generate_deterministic(plaintexts)
+        voltages = generator.add_ambient_noise(
+            deterministic["voltages"], seed=3
+        )
+        assert np.array_equal(
+            whole["ciphertexts"], deterministic["ciphertexts"]
+        )
+        assert np.array_equal(whole["voltages"], voltages)
+
+    def test_deterministic_pass_is_row_independent(self, generator):
+        """Concatenating requests then slicing == separate runs."""
+        first = random_plaintexts(30, seed=1)
+        second = random_plaintexts(50, seed=2)
+        merged = generator.generate_deterministic(
+            np.vstack([first, second])
+        )
+        alone_first = generator.generate_deterministic(first)
+        alone_second = generator.generate_deterministic(second)
+        assert np.array_equal(
+            merged["voltages"][:30], alone_first["voltages"]
+        )
+        assert np.array_equal(
+            merged["voltages"][30:], alone_second["voltages"]
+        )
+        assert np.array_equal(
+            merged["ciphertexts"][:30], alone_first["ciphertexts"]
+        )
+        assert np.array_equal(
+            merged["ciphertexts"][30:], alone_second["ciphertexts"]
+        )
+
+    def test_noise_draw_depends_only_on_seed_and_shape(self, generator):
+        # The same seed over the same shape must add the same noise
+        # block — what lets a coalesced batch apply each request's
+        # noise to its slice and still match the standalone run.
+        shape = (20, generator.num_samples)
+        zero_a = generator.add_ambient_noise(np.zeros(shape), seed=9)
+        zero_b = generator.add_ambient_noise(np.zeros(shape), seed=9)
+        assert np.array_equal(zero_a, zero_b)
+        assert not np.array_equal(
+            zero_a, generator.add_ambient_noise(np.zeros(shape), seed=10)
+        )
+
+    def test_noise_is_pure_in_its_inputs(self, generator):
+        base = generator.generate_deterministic(
+            random_plaintexts(20, seed=5)
+        )["voltages"]
+        assert np.array_equal(
+            generator.add_ambient_noise(base, seed=9),
+            generator.add_ambient_noise(base.copy(), seed=9),
+        )
+
+    def test_zero_sigma_noise_is_identity(self, cipher):
+        quiet = PhysicalTraceGenerator(cipher, noise_sigma_v=0.0)
+        plaintexts = random_plaintexts(10, seed=1)
+        data = quiet.generate_deterministic(plaintexts)
+        assert np.array_equal(
+            quiet.add_ambient_noise(data["voltages"], seed=4),
+            data["voltages"],
+        )

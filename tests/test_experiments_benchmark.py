@@ -54,3 +54,70 @@ class TestE2EBenchmark:
         assert on_disk["campaign"]["num_traces"] == 400
         assert on_disk["trace_generation"]["num_traces"] == 100
         assert record["circuit"] == on_disk["circuit"]
+
+
+class TestHostMetadata:
+    def test_block_contents(self):
+        import os
+        import platform
+
+        import numpy as np
+
+        from repro.experiments.benchmark import host_metadata
+
+        host = host_metadata("process")
+        assert host["python"] == platform.python_version()
+        assert host["numpy"] == np.__version__
+        assert host["cpu_count"] == os.cpu_count()
+        assert host["executor"] == "process"
+        assert host["platform"]
+        assert host["machine"]
+        # scipy is optional: a version string when importable, else None.
+        try:
+            import scipy
+
+            assert host["scipy"] == scipy.__version__
+        except ImportError:
+            assert host["scipy"] is None
+
+    def test_default_executor_recorded(self):
+        from repro.experiments.benchmark import host_metadata
+
+        assert host_metadata()["executor"] == "thread"
+
+    def test_e2e_record_embeds_host_block(self):
+        record = run_e2e_benchmark(
+            gen_traces=50,
+            campaign_traces=400,
+            repeats=1,
+            max_workers=1,
+            seed=3,
+        )
+        host = record["host"]
+        for key in (
+            "python",
+            "numpy",
+            "scipy",
+            "platform",
+            "machine",
+            "cpu_count",
+            "executor",
+        ):
+            assert key in host, key
+        assert host["executor"] == "thread"
+        # The record must stay JSON-serializable with the block added.
+        json.dumps(record)
+
+    def test_sampling_record_embeds_host_block(self):
+        from repro.experiments.benchmark import run_sampling_benchmark
+
+        record = run_sampling_benchmark(
+            num_cycles=500,
+            campaign_traces=400,
+            repeats=1,
+            max_workers=1,
+            seed=3,
+        )
+        assert record["host"]["python"]
+        assert record["host"]["cpu_count"] == record["cpu_count"]
+        json.dumps(record)

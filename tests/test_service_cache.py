@@ -1,0 +1,83 @@
+"""Tests for the content-addressed service result cache."""
+
+import json
+
+from repro.service.cache import ResultCache
+
+
+def _payload(n: int) -> dict:
+    return {"type": "tracegen", "value": n}
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        payload, layer = cache.get("k1")
+        assert payload is None and layer == "miss"
+        cache.put("k1", _payload(1))
+        payload, layer = cache.get("k1")
+        assert payload == _payload(1) and layer == "memory"
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.stores == 1
+
+    def test_no_directory_means_no_files(self, tmp_path):
+        cache = ResultCache()
+        cache.put("k1", _payload(1))
+        assert not list(tmp_path.iterdir())
+
+
+class TestDiskLayer:
+    def test_survives_a_new_instance(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        first.put("deadbeef", _payload(7))
+        assert (tmp_path / "deadbeef.json").is_file()
+
+        second = ResultCache(str(tmp_path))
+        payload, layer = second.get("deadbeef")
+        assert payload == _payload(7)
+        assert layer == "disk"
+        # Promoted to memory: the next hit is a memory hit.
+        _, layer = second.get("deadbeef")
+        assert layer == "memory"
+
+    def test_corrupt_entry_is_a_miss_and_purged(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = tmp_path / "cafe.json"
+        path.write_text("{ not json")
+        payload, layer = cache.get("cafe")
+        assert payload is None and layer == "miss"
+        assert cache.stats.corrupt_entries == 1
+        assert not path.exists(), "corrupt entries are deleted"
+
+    def test_key_mismatch_is_treated_as_corrupt(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("aaaa", _payload(1))
+        (tmp_path / "bbbb.json").write_text(
+            (tmp_path / "aaaa.json").read_text()
+        )
+        fresh = ResultCache(str(tmp_path))
+        payload, layer = fresh.get("bbbb")
+        assert payload is None and layer == "miss"
+        assert fresh.stats.corrupt_entries == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        (tmp_path / "old.json").write_text(
+            json.dumps(
+                {"version": 999, "key": "old", "payload": _payload(1)}
+            )
+        )
+        payload, layer = cache.get("old")
+        assert payload is None and layer == "miss"
+
+    def test_stats_as_dict(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k", _payload(1))
+        cache.get("k")
+        cache.get("missing")
+        stats = cache.stats.as_dict()
+        assert stats["stores"] == 1
+        assert stats["memory_hits"] == 1
+        assert stats["misses"] == 1
+        assert cache.stats.hits == 1

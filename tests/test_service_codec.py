@@ -1,0 +1,136 @@
+"""Tests for the lossless JSON codec of service payloads."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import CPAResult
+from repro.attacks.full_key import FullKeyResult
+from repro.experiments.runner import FigureRecord
+from repro.service.codec import (
+    CodecError,
+    decode,
+    decode_array,
+    encode,
+    encode_array,
+    from_payload,
+    to_payload,
+)
+
+
+class TestArrayRoundTrip:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.linspace(0.0, 1.0, 101),  # float64 with awkward decimals
+            np.arange(24, dtype=np.int64).reshape(2, 3, 4),
+            np.array([], dtype=np.float64),
+            np.random.default_rng(1).normal(size=(7, 5)),
+            np.array([[True, False], [False, True]]),
+            np.arange(6, dtype=np.uint8).reshape(3, 2),
+        ],
+    )
+    def test_bit_exact_through_json(self, array):
+        wire = json.loads(json.dumps(encode_array(array)))
+        back = decode_array(wire)
+        assert back.dtype == array.dtype.newbyteorder("<")
+        assert back.shape == array.shape
+        assert np.array_equal(back, array)
+
+    def test_float64_precision_is_exact_not_approximate(self):
+        # The value JSON decimal text famously mangles.
+        array = np.array([0.1 + 0.2, 1e-300, np.pi])
+        back = decode_array(json.loads(json.dumps(encode_array(array))))
+        assert back.tobytes() == array.tobytes()
+
+    def test_non_contiguous_input(self):
+        array = np.arange(20).reshape(4, 5)[:, ::2]
+        assert np.array_equal(decode_array(encode_array(array)), array)
+
+    def test_corrupt_payload_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            decode_array({"__ndarray__": "!!!", "dtype": "<f8", "shape": [1]})
+
+
+class TestRecursiveEncode:
+    def test_nested_structures(self):
+        value = {
+            "a": np.arange(3),
+            "b": [np.float64(1.5), {"c": b"\x00\xff"}],
+            "d": None,
+            "e": "text",
+        }
+        back = decode(json.loads(json.dumps(encode(value))))
+        assert np.array_equal(back["a"], np.arange(3))
+        assert back["b"][0] == 1.5
+        assert back["b"][1]["c"] == b"\x00\xff"
+        assert back["d"] is None and back["e"] == "text"
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+
+class TestResultPayloads:
+    def _cpa(self, seed: int) -> CPAResult:
+        rng = np.random.default_rng(seed)
+        return CPAResult(
+            checkpoints=np.array([100, 200, 300]),
+            correlations=rng.normal(size=(3, 256)),
+            correct_key=0x2B,
+        )
+
+    def test_cpa_round_trip(self):
+        result = self._cpa(1)
+        back = from_payload(json.loads(json.dumps(to_payload("attack", result))))
+        assert isinstance(back, CPAResult)
+        assert np.array_equal(back.checkpoints, result.checkpoints)
+        assert np.array_equal(back.correlations, result.correlations)
+        assert back.correct_key == result.correct_key
+        assert back.best_guess == result.best_guess
+
+    def test_fullkey_round_trip(self):
+        result = FullKeyResult(
+            byte_results=[self._cpa(i) for i in range(16)],
+            true_last_round_key=bytes(range(16)),
+        )
+        back = from_payload(
+            json.loads(json.dumps(to_payload("fullkey", result)))
+        )
+        assert isinstance(back, FullKeyResult)
+        assert back.true_last_round_key == bytes(range(16))
+        assert len(back.byte_results) == 16
+        for mine, theirs in zip(back.byte_results, result.byte_results):
+            assert np.array_equal(mine.correlations, theirs.correlations)
+        assert back.num_correct_bytes == result.num_correct_bytes
+
+    def test_tracegen_round_trip(self):
+        rng = np.random.default_rng(3)
+        data = {
+            "ciphertexts": rng.integers(
+                0, 256, size=(10, 16), dtype=np.uint8
+            ),
+            "voltages": rng.normal(1.0, 0.01, size=(10, 40)),
+        }
+        back = from_payload(
+            json.loads(json.dumps(to_payload("tracegen", data)))
+        )
+        assert np.array_equal(back["ciphertexts"], data["ciphertexts"])
+        assert np.array_equal(back["voltages"], data["voltages"])
+
+    def test_report_round_trip(self):
+        records = [
+            FigureRecord("fig07", "32 bits", "31 bits", True),
+            FigureRecord("fig12", "150k", "shy", False),
+        ]
+        back = from_payload(
+            json.loads(json.dumps(to_payload("report", records)))
+        )
+        assert back == records
+
+    def test_unknown_kind_rejected_both_ways(self):
+        with pytest.raises(CodecError):
+            to_payload("dance", {})
+        with pytest.raises(CodecError):
+            from_payload({"type": "dance"})

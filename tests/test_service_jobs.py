@@ -1,0 +1,171 @@
+"""Tests for the service job model: specs, normalization, queues."""
+
+import asyncio
+
+import pytest
+
+from repro.service.jobs import (
+    JOB_KINDS,
+    JobError,
+    JobQueue,
+    JobSpec,
+    JobState,
+    QueueFullError,
+    normalize_params,
+)
+
+
+class TestNormalizeParams:
+    def test_defaults_filled_for_every_kind(self):
+        for kind in JOB_KINDS:
+            params = normalize_params(kind)
+            assert "seed" in params and "traces" in params
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JobError, match="unknown job kind"):
+            normalize_params("make-coffee")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(JobError, match="bogus"):
+            normalize_params("tracegen", {"bogus": 1})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(JobError, match="traces"):
+            normalize_params("tracegen", {"traces": "many"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(JobError, match="seed"):
+            normalize_params("tracegen", {"seed": True})
+
+    def test_domain_checks(self):
+        with pytest.raises(JobError, match="circuit"):
+            normalize_params("attack", {"circuit": "cpu"})
+        with pytest.raises(JobError, match="reduction"):
+            normalize_params("attack", {"reduction": "cubic"})
+        with pytest.raises(JobError, match="executor"):
+            normalize_params("attack", {"executor": "fiber"})
+        with pytest.raises(JobError, match="workers"):
+            normalize_params("attack", {"workers": 0})
+        with pytest.raises(JobError, match="key_hex"):
+            normalize_params("tracegen", {"key_hex": "zz"})
+
+    def test_int_promoted_to_float(self):
+        params = normalize_params("attack", {"task_timeout": 30})
+        assert params["task_timeout"] == 30.0
+        assert isinstance(params["task_timeout"], float)
+
+    def test_equal_requests_normalize_identically(self):
+        a = normalize_params("attack", {"traces": 1000})
+        b = normalize_params("attack", {"traces": 1000, "seed": 1})
+        assert a == b
+        assert list(a) == list(b), "stable field order"
+
+
+class TestCacheKey:
+    def test_execution_knobs_do_not_change_the_key(self):
+        plain = JobSpec.create("attack", {"traces": 1000})
+        tuned = JobSpec.create(
+            "attack",
+            {
+                "traces": 1000,
+                "workers": 8,
+                "executor": "process",
+                "retries": 5,
+                "task_timeout": 3.0,
+            },
+            priority=1,
+        )
+        assert plain.cache_key == tuned.cache_key
+
+    def test_content_params_change_the_key(self):
+        base = JobSpec.create("attack", {"traces": 1000})
+        assert (
+            base.cache_key
+            != JobSpec.create("attack", {"traces": 1001}).cache_key
+        )
+        assert (
+            base.cache_key
+            != JobSpec.create("attack", {"seed": 2, "traces": 1000}).cache_key
+        )
+        assert (
+            base.cache_key
+            != JobSpec.create(
+                "attack", {"circuit": "c6288", "traces": 1000}
+            ).cache_key
+        )
+
+    def test_kinds_never_collide(self):
+        attack = JobSpec.create("attack", {"traces": 1000, "seed": 1})
+        fullkey = JobSpec.create("fullkey", {"traces": 1000, "seed": 1})
+        assert attack.cache_key != fullkey.cache_key
+
+    def test_priority_not_part_of_identity(self):
+        a = JobSpec.create("tracegen", priority=1)
+        b = JobSpec.create("tracegen", priority=99)
+        assert a.cache_key == b.cache_key
+
+
+class TestJobQueue:
+    def test_priority_order_with_fifo_ties(self):
+        async def run():
+            queue = JobQueue(maxsize=8)
+            queue.put(5, "mid")
+            queue.put(1, "first-urgent")
+            queue.put(1, "second-urgent")
+            queue.put(9, "low")
+            return [await queue.get() for _ in range(4)]
+
+        order = asyncio.run(run())
+        assert order == ["first-urgent", "second-urgent", "mid", "low"]
+
+    def test_backpressure_rejects_at_capacity(self):
+        async def run():
+            queue = JobQueue(maxsize=2)
+            queue.put(1, "a")
+            queue.put(1, "b")
+            with pytest.raises(QueueFullError) as excinfo:
+                queue.put(1, "c")
+            assert excinfo.value.depth == 2
+            assert excinfo.value.limit == 2
+            assert "queue full" in str(excinfo.value)
+            # Draining one slot readmits.
+            await queue.get()
+            queue.put(1, "c")
+            return queue.depth
+
+        assert asyncio.run(run()) == 2
+
+    def test_zero_size_queue_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(maxsize=0)
+
+
+class TestJobState:
+    def test_stream_yields_history_then_live_events(self):
+        async def run():
+            state = JobState("job-000001", JobSpec.create("tracegen"))
+            state.add_event("queued")
+            seen = []
+
+            async def consume():
+                async for event in state.stream():
+                    seen.append(event["event"])
+
+            task = asyncio.create_task(consume())
+            await asyncio.sleep(0.01)
+            state.add_event("started")
+            await asyncio.sleep(0.01)
+            state.status = "done"
+            state.add_event("done")
+            await asyncio.wait_for(task, timeout=2)
+            return seen
+
+        assert asyncio.run(run()) == ["queued", "started", "done"]
+
+    def test_as_dict_hides_result_by_default(self):
+        state = JobState("job-000002", JobSpec.create("tracegen"))
+        state.result = {"type": "tracegen"}
+        assert "result" not in state.as_dict()
+        assert state.as_dict(include_result=True)["result"] == {
+            "type": "tracegen"
+        }

@@ -1,0 +1,92 @@
+"""Tests for the service metrics registry."""
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs_submitted")
+        registry.inc("jobs_submitted", 4)
+        assert registry.counter("jobs_submitted").value == 5
+
+    def test_never_decreases(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_high_water_tracks_peak_not_current(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("queue_depth", 3)
+        registry.set_gauge("queue_depth", 7)
+        registry.set_gauge("queue_depth", 2)
+        gauge = registry.gauge("queue_depth")
+        assert gauge.value == 2
+        assert gauge.high_water == 7
+
+    def test_inc_dec(self):
+        gauge = MetricsRegistry().gauge("jobs_running")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        assert gauge.high_water == 2
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        histogram = Histogram("lat", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 2, 1, 1]
+        assert histogram.count == 5
+        assert histogram.minimum == 0.05
+        assert histogram.maximum == 50.0
+        assert histogram.mean == pytest.approx(56.05 / 5)
+
+    def test_default_bounds_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(
+            DEFAULT_LATENCY_BUCKETS_S
+        )
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 0.1))
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready_and_complete(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.inc("jobs_completed", 2)
+        registry.set_gauge("queue_depth", 4)
+        registry.observe("queue_wait_s", 0.02)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"]["jobs_completed"]["value"] == 2
+        assert snap["gauges"]["queue_depth"]["high_water"] == 4
+        histogram = snap["histograms"]["queue_wait_s"]
+        assert histogram["count"] == 1
+        assert sum(histogram["bucket_counts"]) == 1
+
+    def test_summary_mentions_each_metric_family(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs_completed")
+        registry.set_gauge("queue_depth", 1)
+        registry.observe("run_s", 0.5)
+        text = registry.summary()
+        assert "jobs_completed=1" in text
+        assert "queue_depth" in text
+        assert "run_s" in text
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().summary() == "no metrics recorded"

@@ -1,0 +1,398 @@
+"""Tests for the campaign scheduler: batching, cache, backpressure.
+
+These carry the service acceptance criteria: results produced under
+request coalescing and under caching are bit-identical to direct runs,
+the bounded queue sheds load with an explicit rejection, and queue
+depth / latency metrics are actually populated.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.codec import from_payload
+from repro.service.jobs import JobSpec, QueueFullError
+from repro.service.runners import run_attack, run_tracegen
+from repro.service.scheduler import (
+    CampaignScheduler,
+    SchedulerClosedError,
+    SchedulerConfig,
+)
+
+
+def _scheduler(**kwargs) -> CampaignScheduler:
+    defaults = dict(
+        max_concurrency=2, queue_size=16, batch_window_s=0.05
+    )
+    defaults.update(kwargs)
+    return CampaignScheduler(SchedulerConfig(**defaults))
+
+
+async def _finished(state, timeout=120.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not state.terminal:
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("job did not finish: %s" % state.job_id)
+        await asyncio.sleep(0.005)
+    return state
+
+
+class TestCoalescingBitIdentity:
+    def test_batched_tracegen_matches_direct_runs(self):
+        """The core guarantee: coalescing never changes any output."""
+
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.2)
+            await scheduler.start()
+            specs = [
+                JobSpec.create("tracegen", {"traces": 30 + 7 * i, "seed": i})
+                for i in range(1, 5)
+            ]
+            states = [scheduler.submit(spec) for spec in specs]
+            for state in states:
+                await _finished(state)
+            await scheduler.stop()
+            return specs, states
+
+        specs, states = asyncio.run(run())
+        sizes = {state.batch_size for state in states}
+        assert sizes == {len(specs)}, "window should coalesce all four"
+        for spec, state in zip(specs, states):
+            assert state.status == "done", state.error
+            direct = run_tracegen(dict(spec.params))
+            served = from_payload(state.result)
+            assert np.array_equal(
+                served["ciphertexts"], direct["ciphertexts"]
+            )
+            assert np.array_equal(served["voltages"], direct["voltages"])
+
+    def test_zero_window_disables_coalescing(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.0)
+            await scheduler.start()
+            states = [
+                scheduler.submit(
+                    JobSpec.create("tracegen", {"traces": 20, "seed": s})
+                )
+                for s in (1, 2)
+            ]
+            for state in states:
+                await _finished(state)
+            await scheduler.stop()
+            return states
+
+        states = asyncio.run(run())
+        assert all(state.batch_size == 1 for state in states)
+
+    def test_incompatible_keys_never_share_a_batch(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.2)
+            await scheduler.start()
+            a = scheduler.submit(
+                JobSpec.create("tracegen", {"traces": 20, "seed": 1})
+            )
+            b = scheduler.submit(
+                JobSpec.create(
+                    "tracegen",
+                    {"traces": 20, "seed": 1, "key_hex": "ff" * 16},
+                )
+            )
+            await _finished(a)
+            await _finished(b)
+            await scheduler.stop()
+            return a, b
+
+        a, b = asyncio.run(run())
+        assert a.batch_size == 1 and b.batch_size == 1
+        assert a.status == b.status == "done"
+
+    def test_max_batch_jobs_bounds_a_window(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.2, max_batch_jobs=2)
+            await scheduler.start()
+            states = [
+                scheduler.submit(
+                    JobSpec.create("tracegen", {"traces": 10, "seed": s})
+                )
+                for s in (1, 2, 3)
+            ]
+            for state in states:
+                await _finished(state)
+            await scheduler.stop()
+            return states
+
+        states = asyncio.run(run())
+        assert sorted(state.batch_size for state in states) == [1, 2, 2]
+
+
+class TestCacheIntegration:
+    def test_repeat_submission_hits_memory_cache(self):
+        async def run():
+            scheduler = _scheduler()
+            await scheduler.start()
+            spec = JobSpec.create("tracegen", {"traces": 25, "seed": 3})
+            first = await _finished(scheduler.submit(spec))
+            second = scheduler.submit(spec)
+            await scheduler.stop()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.cache is None
+        assert second.status == "done"
+        assert second.cache == "memory"
+        assert second.result == first.result, "bit-identical payloads"
+
+    def test_disk_cache_survives_scheduler_restart(self, tmp_path):
+        async def run():
+            spec = JobSpec.create("tracegen", {"traces": 25, "seed": 5})
+            first_sched = _scheduler(cache_dir=str(tmp_path))
+            await first_sched.start()
+            first = await _finished(first_sched.submit(spec))
+            await first_sched.stop()
+
+            second_sched = _scheduler(cache_dir=str(tmp_path))
+            await second_sched.start()
+            second = second_sched.submit(spec)
+            await second_sched.stop()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert second.cache == "disk"
+        a = from_payload(first.result)
+        b = from_payload(second.result)
+        assert np.array_equal(a["voltages"], b["voltages"])
+
+    def test_inflight_duplicate_attaches_to_primary(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.2)
+            await scheduler.start()
+            spec = JobSpec.create("tracegen", {"traces": 25, "seed": 6})
+            primary = scheduler.submit(spec)
+            follower = scheduler.submit(spec)
+            await _finished(primary)
+            await _finished(follower)
+            await scheduler.stop()
+            return scheduler, primary, follower
+
+        scheduler, primary, follower = asyncio.run(run())
+        assert follower.cache == "inflight"
+        assert follower.result == primary.result
+        assert scheduler.metrics.counter("jobs_deduped").value == 1
+        # The deterministic pass ran once, not twice.
+        assert scheduler.metrics.counter("batches").value == 1
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_with_structured_error(self):
+        async def run():
+            # One slot, zero workers started: nothing drains the queue.
+            scheduler = _scheduler(queue_size=1, batch_window_s=0.0)
+            first = scheduler.submit(
+                JobSpec.create("tracegen", {"traces": 10, "seed": 1})
+            )
+            with pytest.raises(QueueFullError) as excinfo:
+                scheduler.submit(
+                    JobSpec.create("tracegen", {"traces": 10, "seed": 2})
+                )
+            return scheduler, first, excinfo.value
+
+        scheduler, first, error = asyncio.run(run())
+        assert error.depth == 1 and error.limit == 1
+        assert "retry later" in str(error)
+        assert scheduler.metrics.counter("jobs_rejected").value == 1
+        # The rejected job was never registered anywhere.
+        assert len(scheduler.jobs) == 1
+        assert scheduler.jobs[first.job_id] is first
+
+    def test_rejection_leaves_no_inflight_residue(self):
+        async def run():
+            scheduler = _scheduler(queue_size=1, batch_window_s=0.0)
+            scheduler.submit(
+                JobSpec.create("tracegen", {"traces": 10, "seed": 1})
+            )
+            rejected_spec = JobSpec.create(
+                "tracegen", {"traces": 10, "seed": 2}
+            )
+            with pytest.raises(QueueFullError):
+                scheduler.submit(rejected_spec)
+            # After capacity frees, the same spec must be admittable:
+            # a rejected submission must not leave a phantom in-flight
+            # registration behind.
+            await scheduler.start()
+            while scheduler.queue.depth > 0:
+                await asyncio.sleep(0.01)
+            state = scheduler.submit(rejected_spec)
+            await _finished(state)
+            await scheduler.stop()
+            return state
+
+        state = asyncio.run(run())
+        assert state.status == "done"
+        assert state.cache is None, "computed, not served from residue"
+
+    def test_draining_scheduler_refuses_submissions(self):
+        async def run():
+            scheduler = _scheduler()
+            await scheduler.start()
+            await scheduler.drain()
+            with pytest.raises(SchedulerClosedError):
+                scheduler.submit(JobSpec.create("tracegen"))
+
+        asyncio.run(run())
+
+
+class TestMetrics:
+    def test_queue_depth_and_latency_metrics_populated(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.05)
+            # Submit BEFORE starting workers so depth is observably > 0.
+            states = [
+                scheduler.submit(
+                    JobSpec.create("tracegen", {"traces": 15, "seed": s})
+                )
+                for s in (1, 2)
+            ]
+            assert scheduler.metrics.gauge("queue_depth").value == 2
+            await scheduler.start()
+            for state in states:
+                await _finished(state)
+            await scheduler.stop()
+            return scheduler
+
+        scheduler = asyncio.run(run())
+        metrics = scheduler.metrics
+        assert metrics.gauge("queue_depth").high_water == 2
+        assert metrics.gauge("queue_depth").value == 0, "drained"
+        assert metrics.gauge("jobs_running").value == 0
+        assert metrics.gauge("jobs_running").high_water >= 1
+        for name in ("queue_wait_s", "run_s", "total_s"):
+            histogram = metrics.histogram(name)
+            assert histogram.count == 2, name
+            assert histogram.maximum >= 0
+        assert metrics.counter("jobs_submitted").value == 2
+        assert metrics.counter("jobs_completed").value == 2
+        assert metrics.counter("cache_misses").value == 2
+
+    def test_batching_counters(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.2)
+            await scheduler.start()
+            states = [
+                scheduler.submit(
+                    JobSpec.create("tracegen", {"traces": 10, "seed": s})
+                )
+                for s in (1, 2, 3)
+            ]
+            for state in states:
+                await _finished(state)
+            await scheduler.stop()
+            return scheduler
+
+        scheduler = asyncio.run(run())
+        assert scheduler.metrics.counter("batches").value == 1
+        assert scheduler.metrics.counter("batched_jobs").value == 3
+        assert scheduler.metrics.counter("coalesced_jobs").value == 3
+
+
+class TestCancellation:
+    def test_queued_job_cancels_cleanly(self):
+        async def run():
+            scheduler = _scheduler(batch_window_s=0.0)
+            # No workers: jobs stay queued and cancellable.
+            state = scheduler.submit(
+                JobSpec.create("tracegen", {"traces": 10, "seed": 1})
+            )
+            assert scheduler.cancel(state.job_id) is True
+            assert scheduler.cancel(state.job_id) is False, "idempotent"
+            assert scheduler.cancel("job-999999") is False
+            # The slot is free again for the same content.
+            await scheduler.start()
+            redo = scheduler.submit(
+                JobSpec.create("tracegen", {"traces": 10, "seed": 1})
+            )
+            await _finished(redo)
+            await scheduler.stop()
+            return scheduler, state, redo
+
+        scheduler, state, redo = asyncio.run(run())
+        assert state.status == "cancelled"
+        assert redo.status == "done"
+        assert scheduler.metrics.counter("jobs_cancelled").value == 1
+
+    def test_finished_job_cannot_be_cancelled(self):
+        async def run():
+            scheduler = _scheduler()
+            await scheduler.start()
+            state = await _finished(
+                scheduler.submit(
+                    JobSpec.create("tracegen", {"traces": 10, "seed": 1})
+                )
+            )
+            cancelled = scheduler.cancel(state.job_id)
+            await scheduler.stop()
+            return cancelled, state
+
+        cancelled, state = asyncio.run(run())
+        assert cancelled is False
+        assert state.status == "done"
+
+
+class TestCampaignJobs:
+    def test_attack_job_bit_identical_to_direct_runner(self):
+        async def run():
+            scheduler = _scheduler()
+            await scheduler.start()
+            spec = JobSpec.create(
+                "attack", {"traces": 400, "seed": 1, "workers": 2}
+            )
+            state = await _finished(scheduler.submit(spec))
+            await scheduler.stop()
+            return spec, state
+
+        spec, state = asyncio.run(run())
+        assert state.status == "done", state.error
+        direct = run_attack(dict(spec.params))
+        served = from_payload(state.result)
+        assert np.array_equal(served.correlations, direct.correlations)
+        assert np.array_equal(served.checkpoints, direct.checkpoints)
+        assert served.correct_key == direct.correct_key
+
+    def test_attack_spools_checkpoint_and_cleans_up(self, tmp_path):
+        async def run():
+            scheduler = _scheduler(spool_dir=str(tmp_path / "spool"))
+            await scheduler.start()
+            state = await _finished(
+                scheduler.submit(
+                    JobSpec.create(
+                        "attack", {"traces": 400, "seed": 1, "workers": 2}
+                    )
+                )
+            )
+            await scheduler.stop()
+            return state
+
+        state = asyncio.run(run())
+        assert state.status == "done", state.error
+        spool = tmp_path / "spool"
+        assert not list(spool.glob("*.npz")), "checkpoint removed on success"
+
+    def test_failed_job_reports_error_not_crash(self):
+        async def run():
+            scheduler = _scheduler()
+            await scheduler.start()
+            # A spec built without validation, so the failure happens
+            # at execution time inside the worker thread.
+            spec = JobSpec(
+                kind="tracegen",
+                params={"traces": 10, "seed": 1, "key_hex": "zz"},
+            )
+            state = await _finished(scheduler.submit(spec))
+            await scheduler.stop()
+            return scheduler, state
+
+        scheduler, state = asyncio.run(run())
+        assert state.status == "failed"
+        assert state.error
+        assert scheduler.metrics.counter("jobs_failed").value == 1

@@ -1,0 +1,233 @@
+"""End-to-end tests of the JSON-lines server and client."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceRejection,
+)
+from repro.service.codec import from_payload
+from repro.service.jobs import normalize_params
+from repro.service.runners import run_tracegen
+from repro.service.scheduler import CampaignScheduler, SchedulerConfig
+from repro.service.server import CampaignServer
+
+
+def _serve(config=None):
+    """A started server on an ephemeral port plus its scheduler."""
+    scheduler = CampaignScheduler(
+        config
+        or SchedulerConfig(max_concurrency=2, batch_window_s=0.05)
+    )
+    return CampaignServer(scheduler, port=0)
+
+
+class TestProtocol:
+    def test_ping(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                alive = await client.ping()
+            await server.close()
+            return alive
+
+        assert asyncio.run(run()) is True
+
+    def test_malformed_line_answers_with_error(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            await server.close()
+            return response
+
+        response = asyncio.run(run())
+        assert response["ok"] is False
+        assert "bad request" in response["error"]
+
+    def test_unknown_op_rejected(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                try:
+                    await client.request({"op": "levitate"})
+                except ServiceError as exc:
+                    return str(exc)
+                finally:
+                    await server.close()
+
+        assert "unknown op" in asyncio.run(run())
+
+
+class TestSubmitStreaming:
+    def test_tracegen_streams_events_and_returns_exact_result(self):
+        params = {"traces": 30, "seed": 4}
+
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            events = []
+            async with ServiceClient(host, port) as client:
+                job = await client.submit(
+                    "tracegen", params, on_event=events.append
+                )
+            await server.close()
+            return job, events
+
+        job, events = asyncio.run(run())
+        assert job["status"] == "done"
+        assert [event["event"] for event in events] == [
+            "queued",
+            "started",
+            "done",
+        ]
+        served = from_payload(job["result"])
+        direct = run_tracegen(normalize_params("tracegen", params))
+        assert np.array_equal(served["voltages"], direct["voltages"])
+        assert np.array_equal(
+            served["ciphertexts"], direct["ciphertexts"]
+        )
+
+    def test_invalid_params_answered_inline(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                try:
+                    await client.submit("tracegen", {"bogus": 1})
+                except ServiceError as exc:
+                    return str(exc)
+                finally:
+                    await server.close()
+
+        assert "bogus" in asyncio.run(run())
+
+    def test_duplicate_submissions_hit_the_cache(self):
+        params = {"traces": 25, "seed": 9}
+
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                first = await client.submit("tracegen", params)
+                second = await client.submit("tracegen", params)
+                metrics = await client.metrics()
+            await server.close()
+            return first, second, metrics
+
+        first, second, metrics = asyncio.run(run())
+        assert first["cache"] is None
+        assert second["cache"] == "memory"
+        assert second["result"] == first["result"]
+        counters = metrics["metrics"]["counters"]
+        assert counters["cache_hits"]["value"] == 1
+        assert metrics["cache"]["memory_hits"] == 1
+
+
+class TestBackpressureOverTheWire:
+    def test_queue_full_surfaces_as_rejection(self):
+        async def run():
+            scheduler = CampaignScheduler(
+                SchedulerConfig(
+                    max_concurrency=1, queue_size=1, batch_window_s=0.0
+                )
+            )
+            server = CampaignServer(scheduler, port=0)
+            host, port = await server.start()
+            # Stall the single worker slot, then fill the single queue
+            # slot, then overflow it.
+            async with ServiceClient(host, port) as stall, ServiceClient(
+                host, port
+            ) as fill, ServiceClient(host, port) as overflow:
+                stall_id = await stall.submit_nowait(
+                    "tracegen", {"traces": 4000, "seed": 1}
+                )
+                fill_id = None
+                rejection = None
+                for seed in range(2, 50):
+                    try:
+                        job_id = await fill.submit_nowait(
+                            "tracegen", {"traces": 10, "seed": seed}
+                        )
+                        fill_id = fill_id or job_id
+                    except ServiceRejection as exc:
+                        rejection = exc
+                        break
+                # Everything admitted still completes.
+                done = await overflow.job(stall_id, wait=True)
+            await server.close()
+            return rejection, done
+
+        rejection, done = asyncio.run(run())
+        assert rejection is not None, "queue never filled"
+        assert rejection.limit == 1
+        assert "queue full" in str(rejection)
+        assert done["status"] == "done"
+
+
+class TestJobsAndCancel:
+    def test_jobs_listing_and_cancel_roundtrip(self):
+        async def run():
+            scheduler = CampaignScheduler(
+                SchedulerConfig(max_concurrency=1, batch_window_s=0.0)
+            )
+            server = CampaignServer(scheduler, port=0)
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                done_id = await client.submit_nowait(
+                    "tracegen", {"traces": 10, "seed": 1}
+                )
+                await client.job(done_id, wait=True)
+                jobs = await client.jobs()
+                cancelled = await client.cancel(done_id)
+                unknown = None
+                try:
+                    await client.job("job-424242")
+                except ServiceError as exc:
+                    unknown = str(exc)
+            await server.close()
+            return jobs, cancelled, unknown
+
+        jobs, cancelled, unknown = asyncio.run(run())
+        assert len(jobs) == 1
+        assert jobs[0]["status"] == "done"
+        assert "result" not in jobs[0], "listings stay lightweight"
+        assert cancelled is False, "terminal jobs cannot be cancelled"
+        assert "unknown job" in unknown
+
+
+class TestGracefulShutdown:
+    def test_shutdown_op_drains_and_stops(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                job = await client.submit(
+                    "tracegen", {"traces": 20, "seed": 2}
+                )
+                await client.shutdown()
+            await asyncio.wait_for(
+                server.serve_until_shutdown(), timeout=30
+            )
+            # After the drain no connection is accepted.
+            with pytest.raises(ServiceError):
+                async with ServiceClient(host, port) as late:
+                    await late.ping()
+            return job, server.scheduler
+
+        job, scheduler = asyncio.run(run())
+        assert job["status"] == "done"
+        assert scheduler.accepting is False
+        assert scheduler.metrics.counter("jobs_completed").value == 1
