@@ -14,7 +14,7 @@ key.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.aes.leakage import SHIFT_ROWS_SOURCE
 from repro.attacks.cpa import CPAResult, run_cpa
 from repro.attacks.models import single_bit_hypothesis
 from repro.util.executors import CampaignHealth, RetryPolicy, map_ordered
+from repro.util.shm import ArrayFanout, fanout_state
 
 
 def column_of_key_byte(byte_index: int) -> int:
@@ -103,18 +104,28 @@ class FullKeyResult:
         return max(mtds)  # type: ignore[arg-type]
 
 
-def _attack_byte_task(
-    task: Tuple[np.ndarray, np.ndarray, int, Optional[List[int]],
-                Optional[int]]
-) -> CPAResult:
-    """One key byte's CPA (module-level so process pools can pickle it)."""
-    column_leakage, ct_column, target_bit, checkpoints, correct_byte = task
-    hypotheses = single_bit_hypothesis(ct_column, bit=target_bit)
+def _attack_byte_task(task: Dict[str, object]) -> CPAResult:
+    """One key byte's CPA (module-level so process pools can pickle it).
+
+    The task carries only the byte index plus a fan-out context id; the
+    (N, 4) leakage matrix and (N, 16) ciphertext block are resolved in
+    the worker — from driver memory on in-process backends, from a
+    shared-memory mapping on the process backend — so no task or retry
+    ever re-serializes the campaign data.
+    """
+    state = fanout_state(task["ctx"])
+    byte_index: int = task["byte_index"]
+    leakage = state.array("leakage")
+    ct = state.array("ciphertexts")
+    correct_key = state.heavy["correct_key"]
+    hypotheses = single_bit_hypothesis(
+        ct[:, byte_index], bit=state.heavy["target_bit"]
+    )
     return run_cpa(
-        column_leakage,
+        leakage[:, column_of_key_byte(byte_index)],
         hypotheses,
-        checkpoints=checkpoints,
-        correct_key=correct_byte,
+        checkpoints=state.heavy["checkpoints"],
+        correct_key=None if correct_key is None else correct_key[byte_index],
     )
 
 
@@ -162,16 +173,6 @@ def recover_last_round_key(
     if ct.shape != (leakage.shape[0], 16):
         raise ValueError("ciphertexts must have shape (N, 16)")
 
-    tasks = [
-        (
-            leakage[:, column_of_key_byte(byte_index)],
-            ct[:, byte_index],
-            target_bit,
-            checkpoints,
-            None if correct_key is None else correct_key[byte_index],
-        )
-        for byte_index in range(16)
-    ]
     kwargs: Dict[str, object] = {}
     if policy is not None or health is not None:
         kwargs = dict(
@@ -179,13 +180,30 @@ def recover_last_round_key(
             health=health,
             sites=["byte[%d]" % index for index in range(16)],
         )
-    results = map_ordered(
-        _attack_byte_task,
-        tasks,
-        max_workers=1 if max_workers is None else max_workers,
+    workers = 1 if max_workers is None else max_workers
+    with ArrayFanout(
+        heavy={
+            "target_bit": target_bit,
+            "checkpoints": checkpoints,
+            "correct_key": correct_key,
+        },
+        arrays={"leakage": leakage, "ciphertexts": ct},
         executor=executor,
-        **kwargs,
-    )
+        workers=workers,
+        num_tasks=16,
+    ) as fanout:
+        tasks = [
+            {"ctx": fanout.context_id, "byte_index": byte_index}
+            for byte_index in range(16)
+        ]
+        results = map_ordered(
+            _attack_byte_task,
+            tasks,
+            max_workers=workers,
+            executor=executor,
+            **fanout.map_kwargs,
+            **kwargs,
+        )
     return FullKeyResult(
         byte_results=results,
         true_last_round_key=correct_key,

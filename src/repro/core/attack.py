@@ -291,6 +291,17 @@ class AttackCampaign:
         )
         return ciphertexts, voltages
 
+    def working_set_bytes_per_trace(self) -> int:
+        """Approximate per-trace footprint of the reduction pipeline.
+
+        Counts the per-trace intermediates a leakage chunk touches: the
+        sampled endpoint bits (uint8 per endpoint), the per-endpoint
+        jitter draws (float64), and the voltage/leakage scalars.  Used
+        by :func:`repro.experiments.parallel.plan_chunk_size` to size
+        leakage chunks to a cache-resident working set.
+        """
+        return int(9 * self.sensor.num_bits + 32)
+
     def reduced_leakage_block(
         self,
         voltages: np.ndarray,

@@ -130,6 +130,36 @@ class PhysicalTraceGenerator:
         """PDN samples per AES clock cycle."""
         return self.pdn.sample_rate_hz / self.schedule.clock_hz
 
+    def _batched_cipher(self) -> BatchedAES128:
+        """Per-instance :class:`BatchedAES128`, built once.
+
+        The expansion is cheap but sits on the per-chunk hot path of
+        sharded campaigns; caching it makes worker-side chunk loops
+        re-derive nothing per chunk.  Lazy so unpickled generators
+        (process-pool fan-out) rebuild it on first use.
+        """
+        cached = self.__dict__.get("_batched_aes")
+        if cached is None:
+            cached = BatchedAES128.from_cipher(self.cipher)
+            self.__dict__["_batched_aes"] = cached
+        return cached
+
+    def working_set_bytes_per_trace(self) -> int:
+        """Approximate per-trace footprint of :meth:`generate`.
+
+        Counts the big per-trace intermediates of the batched pipeline:
+        the 12 round states (uint8), the per-cycle activity row
+        (float64), and the four waveform-length float64 arrays
+        (currents, droop, clean voltages, noise).  Used by
+        :func:`repro.experiments.parallel.plan_chunk_size` to size
+        generation chunks to a cache-resident working set.
+        """
+        return int(
+            12 * 16
+            + 8 * self.schedule.total_cycles
+            + 4 * 8 * self.num_samples
+        )
+
     def last_round_sample_indices(self) -> np.ndarray:
         """Waveform sample aligned with each of the 4 last-round cycles.
 
@@ -181,7 +211,7 @@ class PhysicalTraceGenerator:
         single batched-AES call.
         """
         blocks = as_state_array(plaintexts)
-        states = BatchedAES128.from_cipher(self.cipher).round_states(blocks)
+        states = self._batched_cipher().round_states(blocks)
         currents = aes_current_waveform_batch(
             cycle_activity_from_states(
                 states,

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
@@ -53,7 +54,12 @@ from repro.core.endpoint_sensor import (
     BenignSensor,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import default_workers, sharded_attack
+from repro.experiments.parallel import (
+    default_workers,
+    plan_chunk_size,
+    sharded_attack,
+)
+from repro.util.executors import usable_cpu_count
 from repro.util.rng import derive_seed, make_rng
 
 from repro.aes.aes128 import AES128
@@ -82,8 +88,32 @@ def host_metadata(executor: Optional[str] = None) -> Dict[str, object]:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        # What the campaign can actually use: cgroup/affinity limits
+        # make this smaller than cpu_count in containers and CI, and a
+        # "parallel speedup" is only meaningful against this number.
+        "usable_cpus": usable_cpu_count(),
         "executor": executor if executor is not None else "thread",
     }
+
+
+def _workers_exceed_cpus(workers: int) -> bool:
+    """Whether ``workers`` oversubscribes the usable cores (warns once).
+
+    4 workers pinned to 1 core time-slice one CPU while paying full
+    fan-out overhead — that alone can manufacture a sub-1.0 "parallel
+    speedup", so the condition is stamped into the record and warned
+    about rather than silently distorting the trajectory.
+    """
+    usable = usable_cpu_count()
+    exceed = workers > usable
+    if exceed:
+        print(
+            "bench: warning: %d workers exceed %d usable CPU%s; parallel "
+            "timings will understate real multi-core scaling"
+            % (workers, usable, "" if usable == 1 else "s"),
+            file=sys.stderr,
+        )
+    return exceed
 
 
 def _best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -171,15 +201,18 @@ def run_sampling_benchmark(
     }
 
     workers = max_workers if max_workers is not None else default_workers()
-    # Both paths must share one chunk grid: jitter seeds are keyed on
-    # global chunk starts, so the serial baseline is collected at the
-    # sharded driver's chunk size and the correlation comparison is
-    # bit-exact at any campaign size.
-    chunk = max(1, campaign_traces // (2 * workers))
     campaign = AttackCampaign(
         sensor, AES128(ExperimentConfig().key), seed=seed
     )
     campaign.characterize()
+    # Both paths must share one chunk grid: jitter seeds are keyed on
+    # global chunk starts, so the serial baseline is collected at the
+    # sharded driver's chunk size and the correlation comparison is
+    # bit-exact at any campaign size.  The chunk itself is sized to the
+    # reduction pipeline's working-set footprint, not the trace count.
+    chunk = plan_chunk_size(
+        campaign_traces, campaign.working_set_bytes_per_trace(), workers
+    )
 
     def serial_run():
         data = campaign.collect_reduced_traces(
@@ -204,13 +237,15 @@ def run_sampling_benchmark(
     identical = bool(
         np.array_equal(serial.correlations, sharded.correlations)
     )
+    if not identical:
+        raise AssertionError("sharded campaign correlations diverge")
     serial_s = _best_of(repeats, serial_run)
     sharded_s = _best_of(repeats, sharded_run)
     return {
         "circuit": circuit,
         "seed": seed,
         "repeats": repeats,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": usable_cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "host": host_metadata(),
@@ -218,6 +253,7 @@ def run_sampling_benchmark(
         "campaign": {
             "num_traces": campaign_traces,
             "workers": workers,
+            "workers_exceed_cpus": _workers_exceed_cpus(workers),
             "chunk_size": chunk,
             "serial_s": serial_s,
             "sharded_s": sharded_s,
@@ -391,7 +427,11 @@ def run_e2e_benchmark(
     # Stage 4: physical CPA campaign -----------------------------------
     workers = max_workers if max_workers is not None else default_workers()
     backend = resolve_executor(executor)
-    chunk = max(1, campaign_traces // (2 * workers))
+    # Chunk sized to the generation pipeline's working-set footprint
+    # (cache-resident chunks), not to the campaign's trace count.
+    chunk = plan_chunk_size(
+        campaign_traces, generator.working_set_bytes_per_trace(), workers
+    )
 
     def campaign_reference():
         return sharded_physical_attack(
@@ -427,10 +467,17 @@ def run_e2e_benchmark(
 
     reference_result = campaign_reference()
     fast_result = campaign_fast()
+    fast_serial_result = campaign_fast_serial()
     if not np.array_equal(
         reference_result.correlations, fast_result.correlations
     ):
         raise AssertionError("fast campaign correlations diverge")
+    if not np.array_equal(
+        fast_serial_result.correlations, fast_result.correlations
+    ):
+        raise AssertionError(
+            "parallel campaign correlations diverge from fast-serial"
+        )
     reference_s = _best_of(repeats, campaign_reference)
     fast_s = _best_of(repeats, campaign_fast)
     fast_serial_s = _best_of(repeats, campaign_fast_serial)
@@ -439,7 +486,7 @@ def run_e2e_benchmark(
         "circuit": circuit,
         "seed": seed,
         "repeats": repeats,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": usable_cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "host": host_metadata(backend),
@@ -453,6 +500,7 @@ def run_e2e_benchmark(
         "campaign": {
             "num_traces": campaign_traces,
             "workers": workers,
+            "workers_exceed_cpus": _workers_exceed_cpus(workers),
             "executor": backend,
             "chunk_size": chunk,
             "reference_serial_s": reference_s,

@@ -91,10 +91,13 @@ from repro.util.executors import (
 )
 from repro.util.faults import FaultPlan, poison_leakage
 from repro.util.rng import derive_seed
+from repro.util.shm import ArrayFanout, fanout_state
 
 __all__ = [
+    "DEFAULT_CHUNK_WORKING_SET_BYTES",
     "Shard",
     "default_workers",
+    "plan_chunk_size",
     "plan_shards",
     "sharded_attack",
     "sharded_full_key",
@@ -151,6 +154,58 @@ def plan_shards(
     return plan
 
 
+#: Default per-chunk working-set budget.  A chunk's arrays (voltages,
+#: sampled bits, jitter draws, currents/droops for the physical path)
+#: should stay resident in a per-core last-level-cache slice while the
+#: numpy kernels stream over them; a few MiB is the sweet spot on
+#: commodity parts, and the exact value only shifts constant factors.
+DEFAULT_CHUNK_WORKING_SET_BYTES = 4 << 20
+
+
+def plan_chunk_size(
+    num_traces: int,
+    bytes_per_trace: int,
+    workers: Optional[int] = None,
+    target_bytes: int = DEFAULT_CHUNK_WORKING_SET_BYTES,
+) -> int:
+    """Trace-chunk length derived from working-set footprint.
+
+    Sizing chunks as ``num_traces / k`` couples the working set to the
+    campaign size: a 100k-trace campaign on 4 workers used to process
+    12.5k-trace chunks whose temporaries spill every cache level.  This
+    derives the chunk from how many traces *fit* instead:
+
+    * at most ``target_bytes / bytes_per_trace`` traces per chunk, so
+      one chunk's arrays stay cache-resident;
+    * at least one chunk per worker (when ``num_traces`` allows), so
+      the pool is saturated regardless of footprint;
+    * never more than ``num_traces``.
+
+    The chunk size feeds the campaign's jitter-seed grid, so the serial
+    baseline of any comparison must be collected at the same chunk size
+    — exactly as with a hand-picked value.
+
+    Args:
+        num_traces: campaign length.
+        bytes_per_trace: per-trace footprint of the generation pipeline
+            (see :meth:`AttackCampaign.working_set_bytes_per_trace` and
+            :meth:`PhysicalTraceGenerator.working_set_bytes_per_trace`).
+        workers: worker count (default :func:`default_workers`).
+        target_bytes: per-chunk working-set budget.
+    """
+    if num_traces < 1:
+        raise ValueError("need at least one trace")
+    if bytes_per_trace < 1:
+        raise ValueError("bytes_per_trace must be positive")
+    if target_bytes < 1:
+        raise ValueError("target_bytes must be positive")
+    chunk = max(1, target_bytes // bytes_per_trace)
+    count = workers if workers is not None else default_workers()
+    if count > 1:
+        chunk = min(chunk, -(-num_traces // count))
+    return int(max(1, min(chunk, num_traces)))
+
+
 def _normalize_checkpoints(
     checkpoints: Optional[Sequence[int]], num_traces: int
 ) -> np.ndarray:
@@ -176,31 +231,38 @@ def _attack_shard_task(
 ) -> List[Tuple[int, StreamingCPA]]:
     """One shard's trace generation + per-segment CPA accumulation.
 
-    Module-level with a picklable payload (the campaign object, its
-    input slices, and plain parameters) so the process backend can ship
-    it to a worker; the thread backend calls it directly.
+    Module-level and picklable, but the payload is only a context id
+    plus the shard descriptor: the campaign object arrives fork-once
+    per worker, and the campaign-global input arrays are read in place
+    (driver memory or a shared-memory mapping — see
+    :class:`repro.util.shm.ArrayFanout`), so neither a task nor a
+    retry re-serializes anything heavier than a few hundred bytes.
     """
-    campaign: AttackCampaign = task["campaign"]
+    state = fanout_state(task["ctx"])
+    campaign: AttackCampaign = state.heavy["campaign"]
     shard: Shard = task["shard"]
-    voltages: np.ndarray = task["voltages"]
-    ct_bytes: np.ndarray = task["ct_bytes"]
+    voltages = state.array("voltages")
+    ct_bytes = state.array("ct_bytes")
     segment_ends: List[int] = task["segment_ends"]
-    chunk_size: int = task["chunk_size"]
+    chunk_size: int = state.heavy["chunk_size"]
 
     leakage = np.empty(shard.num_traces, dtype=np.float64)
     for start in range(shard.start, shard.end, chunk_size):
         end = min(start + chunk_size, shard.end)
         leakage[start - shard.start : end - shard.start] = (
             campaign.reduced_leakage_block(
-                voltages[start - shard.start : end - shard.start],
+                voltages[start:end],
                 start,
-                task["reduction"],
-                task["mask"],
-                task["bit"],
+                state.heavy["reduction"],
+                state.heavy["mask"],
+                state.heavy["bit"],
             )
         )
     leakage = poison_leakage(leakage)
-    hypotheses = single_bit_hypothesis(ct_bytes, bit=task["target_bit"])
+    hypotheses = single_bit_hypothesis(
+        ct_bytes[shard.start : shard.end],
+        bit=state.heavy["target_bit"],
+    )
     partials: List[Tuple[int, StreamingCPA]] = []
     previous = shard.start
     for segment_end in segment_ends:
@@ -259,6 +321,7 @@ def _run_checkpointed_cpa(
     checkpoint_path: Optional[str],
     checkpoint_every: Optional[int],
     resume: bool,
+    map_kwargs: Optional[Dict[str, object]] = None,
 ) -> CPAResult:
     """Shared group-wise execute/merge/checkpoint loop of the two CPA
     drivers.
@@ -314,6 +377,7 @@ def _run_checkpointed_cpa(
             tasks[completed:stop],
             max_workers=max_workers,
             executor=executor,
+            **dict(map_kwargs or {}),
             **kwargs,
         )
         for partials in per_shard:
@@ -409,21 +473,6 @@ def sharded_attack(
     points = _normalize_checkpoints(checkpoints, num_traces)
     shards = plan_shards(num_traces, max_workers, chunk_size)
 
-    tasks = [
-        {
-            "campaign": campaign,
-            "shard": shard,
-            "voltages": voltages[shard.start : shard.end],
-            "ct_bytes": ciphertexts[shard.start : shard.end, target_byte],
-            "segment_ends": _segment_ends(shard, points),
-            "chunk_size": chunk_size,
-            "reduction": reduction,
-            "mask": mask,
-            "bit": bit,
-            "target_bit": target_bit,
-        }
-        for shard in shards
-    ]
     manifest = CampaignManifest(
         kind="attack",
         params={
@@ -440,22 +489,48 @@ def sharded_attack(
         shard_plan=tuple((s.start, s.end) for s in shards),
         checkpoints=tuple(int(p) for p in points),
     )
-    return _run_checkpointed_cpa(
-        _attack_shard_task,
-        tasks,
-        shards,
-        points,
-        campaign.cipher.last_round_key[target_byte],
-        manifest,
-        max_workers,
-        executor,
-        policy,
-        fault_plan,
-        health,
-        checkpoint_path,
-        checkpoint_every,
-        resume,
-    )
+    with ArrayFanout(
+        heavy={
+            "campaign": campaign,
+            "chunk_size": chunk_size,
+            "reduction": reduction,
+            "mask": mask,
+            "bit": bit,
+            "target_bit": target_bit,
+        },
+        arrays={
+            "voltages": voltages,
+            "ct_bytes": ciphertexts[:, target_byte],
+        },
+        executor=executor,
+        workers=max_workers or default_workers(),
+        num_tasks=len(shards),
+    ) as fanout:
+        tasks = [
+            {
+                "ctx": fanout.context_id,
+                "shard": shard,
+                "segment_ends": _segment_ends(shard, points),
+            }
+            for shard in shards
+        ]
+        return _run_checkpointed_cpa(
+            _attack_shard_task,
+            tasks,
+            shards,
+            points,
+            campaign.cipher.last_round_key[target_byte],
+            manifest,
+            max_workers,
+            executor,
+            policy,
+            fault_plan,
+            health,
+            checkpoint_path,
+            checkpoint_every,
+            resume,
+            map_kwargs=fanout.map_kwargs,
+        )
 
 
 def _physical_shard_task(
@@ -469,15 +544,16 @@ def _physical_shard_task(
     jitter seeds keyed on the chunk's global start index, so any
     chunk-aligned sharding reproduces the identical campaign.
     """
-    generator: PhysicalTraceGenerator = task["generator"]
-    sensor: BenignSensor = task["sensor"]
+    state = fanout_state(task["ctx"])
+    generator: PhysicalTraceGenerator = state.heavy["generator"]
+    sensor: BenignSensor = state.heavy["sensor"]
     shard: Shard = task["shard"]
-    plaintexts: np.ndarray = task["plaintexts"]
+    plaintexts = state.array("plaintexts")
     segment_ends: List[int] = task["segment_ends"]
-    chunk_size: int = task["chunk_size"]
-    seed: int = task["seed"]
-    reference: bool = task["reference"]
-    sample_index: int = task["sample_index"]
+    chunk_size: int = state.heavy["chunk_size"]
+    seed: int = state.heavy["seed"]
+    reference: bool = state.heavy["reference"]
+    sample_index: int = state.heavy["sample_index"]
 
     generate = (
         generator.generate_reference if reference else generator.generate
@@ -488,17 +564,19 @@ def _physical_shard_task(
         end = min(start + chunk_size, shard.end)
         local = slice(start - shard.start, end - shard.start)
         data = generate(
-            plaintexts[local], seed=derive_seed(seed, "e2e-noise", start)
+            plaintexts[start:end], seed=derive_seed(seed, "e2e-noise", start)
         )
         bits = sensor.sample_bits(
             data["voltages"][:, sample_index],
             seed=derive_seed(seed, "e2e-jitter", start),
             reference=reference,
         )
-        leakage[local] = hamming_weight_series(bits, task["mask"])
-        ct_bytes[local] = data["ciphertexts"][:, task["target_byte"]]
+        leakage[local] = hamming_weight_series(bits, state.heavy["mask"])
+        ct_bytes[local] = data["ciphertexts"][:, state.heavy["target_byte"]]
     leakage = poison_leakage(leakage)
-    hypotheses = single_bit_hypothesis(ct_bytes, bit=task["target_bit"])
+    hypotheses = single_bit_hypothesis(
+        ct_bytes, bit=state.heavy["target_bit"]
+    )
     partials: List[Tuple[int, StreamingCPA]] = []
     previous = shard.start
     for segment_end in segment_ends:
@@ -566,23 +644,6 @@ def sharded_physical_attack(
     )
     points = _normalize_checkpoints(checkpoints, num_traces)
     shards = plan_shards(num_traces, max_workers, chunk_size)
-    tasks = [
-        {
-            "generator": generator,
-            "sensor": sensor,
-            "shard": shard,
-            "plaintexts": plaintexts[shard.start : shard.end],
-            "segment_ends": _segment_ends(shard, points),
-            "chunk_size": chunk_size,
-            "seed": seed,
-            "reference": reference,
-            "sample_index": sample_index,
-            "mask": mask,
-            "target_byte": target_byte,
-            "target_bit": target_bit,
-        }
-        for shard in shards
-    ]
     manifest = CampaignManifest(
         kind="physical",
         params={
@@ -600,22 +661,48 @@ def sharded_physical_attack(
         shard_plan=tuple((s.start, s.end) for s in shards),
         checkpoints=tuple(int(p) for p in points),
     )
-    return _run_checkpointed_cpa(
-        _physical_shard_task,
-        tasks,
-        shards,
-        points,
-        generator.cipher.last_round_key[target_byte],
-        manifest,
-        max_workers,
-        executor,
-        policy,
-        fault_plan,
-        health,
-        checkpoint_path,
-        checkpoint_every,
-        resume,
-    )
+    with ArrayFanout(
+        heavy={
+            "generator": generator,
+            "sensor": sensor,
+            "chunk_size": chunk_size,
+            "seed": seed,
+            "reference": reference,
+            "sample_index": sample_index,
+            "mask": mask,
+            "target_byte": target_byte,
+            "target_bit": target_bit,
+        },
+        arrays={"plaintexts": plaintexts},
+        executor=executor,
+        workers=max_workers or default_workers(),
+        num_tasks=len(shards),
+    ) as fanout:
+        tasks = [
+            {
+                "ctx": fanout.context_id,
+                "shard": shard,
+                "segment_ends": _segment_ends(shard, points),
+            }
+            for shard in shards
+        ]
+        return _run_checkpointed_cpa(
+            _physical_shard_task,
+            tasks,
+            shards,
+            points,
+            generator.cipher.last_round_key[target_byte],
+            manifest,
+            max_workers,
+            executor,
+            policy,
+            fault_plan,
+            health,
+            checkpoint_path,
+            checkpoint_every,
+            resume,
+            map_kwargs=fanout.map_kwargs,
+        )
 
 
 def _column_shard_task(task: Dict[str, object]) -> np.ndarray:
@@ -624,11 +711,12 @@ def _column_shard_task(task: Dict[str, object]) -> np.ndarray:
     Returns the block instead of writing into a shared array so the
     payload round-trips through a process pool unchanged.
     """
-    campaign: AttackCampaign = task["campaign"]
+    state = fanout_state(task["ctx"])
+    campaign: AttackCampaign = state.heavy["campaign"]
     shard: Shard = task["shard"]
-    voltages: np.ndarray = task["voltages"]
-    mask: np.ndarray = task["mask"]
-    chunk_size: int = task["chunk_size"]
+    voltages = state.array("voltages")
+    mask: np.ndarray = state.heavy["mask"]
+    chunk_size: int = state.heavy["chunk_size"]
 
     leakage = np.empty((shard.num_traces, 4), dtype=np.float64)
     for column in range(4):
@@ -636,7 +724,7 @@ def _column_shard_task(task: Dict[str, object]) -> np.ndarray:
             end = min(start + chunk_size, shard.end)
             local = slice(start - shard.start, end - shard.start)
             leakage[local, column] = campaign.column_leakage_block(
-                voltages[local, column], start, column, mask
+                voltages[start:end, column], start, column, mask
             )
     return poison_leakage(leakage)
 
@@ -678,16 +766,6 @@ def sharded_full_key(
         seed=derive_seed(campaign.seed, "campaign-noise"),
     )
     shards = plan_shards(num_traces, max_workers, chunk_size)
-    tasks = [
-        {
-            "campaign": campaign,
-            "shard": shard,
-            "voltages": voltages[shard.start : shard.end],
-            "mask": mask,
-            "chunk_size": chunk_size,
-        }
-        for shard in shards
-    ]
     manifest = CampaignManifest(
         kind="fullkey",
         params={
@@ -725,41 +803,56 @@ def sharded_full_key(
         or health is not None
         or checkpoint_path is not None
     )
-    group = len(tasks)
+    group = len(shards)
     if checkpoint_path is not None:
         # Default group = worker count, so durability costs no
         # parallelism (a group is one map_ordered call).
         group = max(1, checkpoint_every or max_workers or default_workers())
-    while completed < len(tasks):
-        stop = min(completed + group, len(tasks))
-        kwargs: Dict[str, object] = {}
-        if robust:
-            kwargs = dict(
-                policy=policy,
-                fault_plan=fault_plan,
-                sites=[shard.site for shard in shards[completed:stop]],
-                health=health,
-                validate=_validate_column_block,
+    with ArrayFanout(
+        heavy={
+            "campaign": campaign,
+            "mask": mask,
+            "chunk_size": chunk_size,
+        },
+        arrays={"voltages": voltages},
+        executor=executor,
+        workers=max_workers or default_workers(),
+        num_tasks=len(shards),
+    ) as fanout:
+        tasks = [
+            {"ctx": fanout.context_id, "shard": shard} for shard in shards
+        ]
+        while completed < len(tasks):
+            stop = min(completed + group, len(tasks))
+            kwargs: Dict[str, object] = {}
+            if robust:
+                kwargs = dict(
+                    policy=policy,
+                    fault_plan=fault_plan,
+                    sites=[shard.site for shard in shards[completed:stop]],
+                    health=health,
+                    validate=_validate_column_block,
+                )
+            blocks.extend(
+                map_ordered(
+                    _column_shard_task,
+                    tasks[completed:stop],
+                    max_workers=max_workers,
+                    executor=executor,
+                    **fanout.map_kwargs,
+                    **kwargs,
+                )
             )
-        blocks.extend(
-            map_ordered(
-                _column_shard_task,
-                tasks[completed:stop],
-                max_workers=max_workers,
-                executor=executor,
-                **kwargs,
-            )
-        )
-        completed = stop
-        if checkpoint_path is not None:
-            save_checkpoint(
-                checkpoint_path,
-                CampaignCheckpoint(
-                    manifest=manifest,
-                    completed_shards=completed,
-                    arrays={"leakage_prefix": np.vstack(blocks)},
-                ),
-            )
+            completed = stop
+            if checkpoint_path is not None:
+                save_checkpoint(
+                    checkpoint_path,
+                    CampaignCheckpoint(
+                        manifest=manifest,
+                        completed_shards=completed,
+                        arrays={"leakage_prefix": np.vstack(blocks)},
+                    ),
+                )
     leakage = np.vstack(blocks)
     return recover_last_round_key(
         leakage,

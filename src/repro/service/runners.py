@@ -27,6 +27,7 @@ dicts (see :func:`repro.service.jobs.normalize_params`), safe to run on
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -56,14 +57,22 @@ __all__ = [
 #: Experiment setups are expensive (placement + gate-level calibration)
 #: and immutable in normal use; the service reuses one per
 #: configuration, exactly like the CLI process would within one run.
+#: The scheduler executes runners on concurrent ``asyncio.to_thread``
+#: workers, so the cache is guarded: without the lock two simultaneous
+#: jobs with a fresh configuration would each pay the full calibration
+#: (and briefly hold two setups for one key).
 _SETUPS: Dict[ExperimentConfig, ExperimentSetup] = {}
+_SETUPS_LOCK = threading.Lock()
 
 
 def cached_setup(config: ExperimentConfig) -> ExperimentSetup:
     """One shared :class:`ExperimentSetup` per configuration."""
-    if config not in _SETUPS:
-        _SETUPS[config] = ExperimentSetup(config)
-    return _SETUPS[config]
+    with _SETUPS_LOCK:
+        setup = _SETUPS.get(config)
+        if setup is None:
+            setup = ExperimentSetup(config)
+            _SETUPS[config] = setup
+    return setup
 
 
 def retry_policy(
@@ -166,8 +175,22 @@ def run_report(
 # ----------------------------------------------------------------------
 
 
+#: One generator per cipher key: the generator itself is cheap, but it
+#: caches its batched key schedule (and the PDN's lazily built filter
+#: state), so reusing it across requests makes repeated service jobs
+#: re-derive nothing per call.  Guarded like ``_SETUPS`` because the
+#: scheduler's thread workers race on first use.
+_GENERATORS: Dict[str, PhysicalTraceGenerator] = {}
+_GENERATORS_LOCK = threading.Lock()
+
+
 def _generator(key_hex: str) -> PhysicalTraceGenerator:
-    return PhysicalTraceGenerator(AES128(bytes.fromhex(key_hex)))
+    with _GENERATORS_LOCK:
+        generator = _GENERATORS.get(key_hex)
+        if generator is None:
+            generator = PhysicalTraceGenerator(AES128(bytes.fromhex(key_hex)))
+            _GENERATORS[key_hex] = generator
+    return generator
 
 
 def tracegen_compat_key(params: Dict[str, object]) -> str:

@@ -34,7 +34,9 @@ contract.
 from __future__ import annotations
 
 import os
+import pickle
 import time
+import uuid
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -73,9 +75,27 @@ _Result = TypeVar("_Result")
 _UNSET = object()
 
 
+def usable_cpu_count() -> int:
+    """CPUs this *process* may actually run on.
+
+    ``os.cpu_count()`` reports the machine; containers and CI runners
+    routinely pin processes to a subset via cgroup/affinity masks, and
+    sizing a pool off the machine count oversubscribes the pinned
+    cores — which is exactly how a "parallel" campaign ends up slower
+    than serial.  ``os.sched_getaffinity`` reflects the mask where the
+    platform supports it; elsewhere fall back to the machine count.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def default_workers() -> int:
     """Worker count when the caller does not specify one."""
-    return min(8, os.cpu_count() or 1)
+    return min(8, usable_cpu_count())
 
 
 def resolve_executor(executor: Optional[str]) -> str:
@@ -91,12 +111,111 @@ def resolve_executor(executor: Optional[str]) -> str:
 
 
 def make_executor(
-    executor: Optional[str], max_workers: int
+    executor: Optional[str],
+    max_workers: int,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> Executor:
-    """Construct the requested executor kind."""
+    """Construct the requested executor kind.
+
+    ``initializer``/``initargs`` run once per worker at pool start —
+    the fork-once hook that ships heavy, immutable campaign state a
+    single time per worker instead of once per task per attempt.
+    """
     if resolve_executor(executor) == EXECUTOR_PROCESS:
-        return ProcessPoolExecutor(max_workers=max_workers)
-    return ThreadPoolExecutor(max_workers=max_workers)
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+    return ThreadPoolExecutor(
+        max_workers=max_workers,
+        initializer=initializer,
+        initargs=initargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fork-once worker state
+# ----------------------------------------------------------------------
+
+#: Per-process store of fanned-out campaign state, keyed by context id.
+#: In the driver process it is populated directly by
+#: :class:`WorkerContext`; in process-pool workers by the pool
+#: initializer (exactly once per worker, however many tasks and retries
+#: that worker serves).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _install_worker_state(context_id: str, payload: object) -> None:
+    """Pool initializer: bind one context's payload in this worker.
+
+    Keeps an existing registration: when a thread pool (the degradation
+    ladder's middle rung) runs this initializer *in the driver process*,
+    the driver's registration — which holds the real arrays — must win
+    over the handle-bearing worker payload, so in-process threads read
+    the originals instead of re-attaching shared memory.  Freshly
+    forked pool workers start with an empty store and install normally.
+    """
+    _WORKER_STATE.setdefault(context_id, payload)
+
+
+def worker_state(context_id: str) -> object:
+    """Resolve a fanned-out context from this process's store."""
+    try:
+        return _WORKER_STATE[context_id]
+    except KeyError:
+        raise RuntimeError(
+            "worker context %r is not installed in this process; "
+            "shard tasks must run under the WorkerContext that "
+            "created them" % context_id
+        ) from None
+
+
+class WorkerContext:
+    """Fork-once fan-out of heavy, immutable task state.
+
+    The driver registers ``payload`` under a fresh context id:
+
+    * locally, in this process's store — so thread/serial backends
+      (including the degradation ladder's lower rungs) resolve it with
+      zero copies and zero pickling;
+    * for the process backend, via :attr:`initializer`/:attr:`initargs`
+      passed to :func:`map_ordered`, which ships ``worker_payload``
+      (default: the same payload) to each worker exactly once at pool
+      start — and again on pool rebuild, never per task.
+
+    Task payloads then carry only the context id plus per-task
+    scalars, so a retried task re-pickles a few hundred bytes instead
+    of the whole campaign.
+    """
+
+    def __init__(
+        self, payload: object, worker_payload: object = _UNSET
+    ) -> None:
+        self.context_id = "ctx-%d-%s" % (os.getpid(), uuid.uuid4().hex[:12])
+        self._worker_payload = (
+            payload if worker_payload is _UNSET else worker_payload
+        )
+        _WORKER_STATE[self.context_id] = payload
+
+    @property
+    def initializer(self) -> Callable[..., None]:
+        return _install_worker_state
+
+    @property
+    def initargs(self) -> Tuple[str, object]:
+        return (self.context_id, self._worker_payload)
+
+    def close(self) -> None:
+        """Drop the driver-side registration (idempotent)."""
+        _WORKER_STATE.pop(self.context_id, None)
+
+    def __enter__(self) -> "WorkerContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +319,15 @@ class TruncatedResultError(ReproError):
 
 @dataclass
 class AttemptRecord:
-    """One task submission as seen by the driver."""
+    """One task submission as seen by the driver.
+
+    ``payload_bytes`` is the pickled size of the task payload shipped
+    for this submission — measured only on the process backend, where
+    serialization is real work (``None`` elsewhere).  Retried shards
+    must reuse their already-materialized payloads, so this number
+    stays small and flat across attempts; the regression suite asserts
+    exactly that.
+    """
 
     site: str
     backend: str
@@ -208,6 +335,7 @@ class AttemptRecord:
     status: str  # "ok" | "error" | "timeout" | "pool-broken"
     seconds: float
     error: Optional[str] = None
+    payload_bytes: Optional[int] = None
 
 
 @dataclass
@@ -231,9 +359,13 @@ class CampaignHealth:
         status: str,
         seconds: float,
         error: Optional[str] = None,
+        payload_bytes: Optional[int] = None,
     ) -> None:
         self.attempts.append(
-            AttemptRecord(site, backend, attempt, status, seconds, error)
+            AttemptRecord(
+                site, backend, attempt, status, seconds, error,
+                payload_bytes,
+            )
         )
 
     @property
@@ -256,6 +388,16 @@ class CampaignHealth:
         for a in self.attempts:
             times[a.site] = times.get(a.site, 0.0) + a.seconds
         return times
+
+    def payload_bytes_per_attempt(self, site: str) -> List[int]:
+        """Pickled payload bytes of each process-backend submission of
+        ``site``, in submission order (the double-pickling regression
+        gauge)."""
+        return [
+            a.payload_bytes
+            for a in self.attempts
+            if a.site == site and a.payload_bytes is not None
+        ]
 
     def summary(self) -> str:
         parts = [
@@ -287,6 +429,7 @@ class CampaignHealth:
                     "status": a.status,
                     "seconds": a.seconds,
                     "error": a.error,
+                    "payload_bytes": a.payload_bytes,
                 }
                 for a in self.attempts
             ],
@@ -349,6 +492,8 @@ def map_ordered(
     sites: Optional[Sequence[str]] = None,
     health: Optional[CampaignHealth] = None,
     validate: Optional[Callable[[_Task, _Result], None]] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> List[_Result]:
     """``[fn(t) for t in tasks]``, optionally on a worker pool.
 
@@ -385,6 +530,11 @@ def map_ordered(
             after each successful attempt; raising (e.g.
             :class:`TruncatedResultError`) marks the attempt failed
             and triggers the retry path.
+        initializer / initargs: run once per pool worker at pool start
+            (and after every pool rebuild) — the fork-once channel for
+            heavy shard state (see :class:`WorkerContext`).  Ignored on
+            the in-process serial path, where the driver's own state
+            store is already visible.
 
     Raises:
         ShardError: a task kept failing through the whole retry budget
@@ -401,7 +551,10 @@ def map_ordered(
     if not resilient:
         if workers <= 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
-        with make_executor(kind, max_workers=workers) as pool:
+        with make_executor(
+            kind, max_workers=workers,
+            initializer=initializer, initargs=initargs,
+        ) as pool:
             return list(pool.map(fn, tasks))
     return _resilient_map(
         fn,
@@ -413,6 +566,8 @@ def map_ordered(
         sites,
         health if health is not None else CampaignHealth(),
         validate,
+        initializer,
+        initargs,
     )
 
 
@@ -426,6 +581,8 @@ def _resilient_map(
     sites: Optional[Sequence[str]],
     health: CampaignHealth,
     validate: Optional[Callable[[_Task, _Result], None]],
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> List[_Result]:
     names = (
         list(sites)
@@ -459,7 +616,7 @@ def _resilient_map(
                 leftover = _pool_rung(
                     fn, tasks, pending, names, workers, backend,
                     policy, plan, results, submissions, last_error,
-                    health, validate, final,
+                    health, validate, final, initializer, initargs,
                 )
                 if leftover and not final:
                     health.degradations.append(
@@ -473,6 +630,7 @@ def _resilient_map(
 def _pool_rung(
     fn, tasks, pending, names, workers, backend, policy, plan,
     results, submissions, last_error, health, validate, final,
+    initializer=None, initargs=(),
 ) -> List[int]:
     """Run ``pending`` tasks on one pool backend.
 
@@ -481,7 +639,14 @@ def _pool_rung(
     this is the final rung.
     """
     failures = {index: 0 for index in pending}
-    pool = make_executor(backend, workers)
+    pool = make_executor(
+        backend, workers, initializer=initializer, initargs=initargs
+    )
+    # Serialization is real work only on the process backend; meter the
+    # payload actually shipped per submission so retries that re-pickle
+    # heavy state are measurable (and regression-testable).
+    meter_payloads = backend == EXECUTOR_PROCESS
+    payload_sizes: Dict[int, int] = {}
     round_number = 0
     try:
         while pending:
@@ -489,17 +654,41 @@ def _pool_rung(
                 time.sleep(policy.backoff_delay(backend, round_number))
             futures = {}
             submitted_at = {}
-            for index in pending:
-                attempt = submissions[index]
-                submissions[index] += 1
-                futures[index] = pool.submit(
-                    _execute_task, fn, tasks[index], names[index],
-                    attempt, plan, backend,
-                )
-                submitted_at[index] = time.monotonic()
             broken = False
             retry: List[int] = []
             for index in pending:
+                attempt = submissions[index]
+                submissions[index] += 1
+                if meter_payloads:
+                    payload_sizes[index] = len(
+                        pickle.dumps(
+                            tasks[index],
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        )
+                    )
+                try:
+                    futures[index] = pool.submit(
+                        _execute_task, fn, tasks[index], names[index],
+                        attempt, plan, backend,
+                    )
+                except BrokenExecutor as exc:
+                    # An earlier task's crash broke the pool before
+                    # this submission landed; count the attempt and
+                    # retry it on the rebuilt pool below.
+                    broken = True
+                    failures[index] += 1
+                    retry.append(index)
+                    last_error[index] = exc
+                    health.record(
+                        names[index], backend, attempt, "pool-broken",
+                        0.0, error=repr(exc),
+                        payload_bytes=payload_sizes.get(index),
+                    )
+                    continue
+                submitted_at[index] = time.monotonic()
+            for index in pending:
+                if index not in futures:
+                    continue
                 attempt = submissions[index] - 1
                 begun = submitted_at[index]
                 try:
@@ -518,6 +707,7 @@ def _pool_rung(
                     health.record(
                         names[index], backend, attempt, "ok",
                         time.monotonic() - begun,
+                        payload_bytes=payload_sizes.get(index),
                     )
                 except FuturesTimeout:
                     futures[index].cancel()
@@ -531,6 +721,7 @@ def _pool_rung(
                         names[index], backend, attempt, "timeout",
                         time.monotonic() - begun,
                         error=str(last_error[index]),
+                        payload_bytes=payload_sizes.get(index),
                     )
                 except BrokenExecutor as exc:
                     # The pool died under this task (worker crash /
@@ -543,6 +734,7 @@ def _pool_rung(
                     health.record(
                         names[index], backend, attempt, "pool-broken",
                         time.monotonic() - begun, error=repr(exc),
+                        payload_bytes=payload_sizes.get(index),
                     )
                 except Exception as exc:
                     failures[index] += 1
@@ -551,10 +743,14 @@ def _pool_rung(
                     health.record(
                         names[index], backend, attempt, "error",
                         time.monotonic() - begun, error=repr(exc),
+                        payload_bytes=payload_sizes.get(index),
                     )
             if broken:
                 pool.shutdown(wait=False)
-                pool = make_executor(backend, workers)
+                pool = make_executor(
+                    backend, workers,
+                    initializer=initializer, initargs=initargs,
+                )
                 health.pool_rebuilds += 1
             exhausted = [
                 index

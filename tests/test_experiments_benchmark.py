@@ -65,10 +65,14 @@ class TestHostMetadata:
 
         from repro.experiments.benchmark import host_metadata
 
+        from repro.util.executors import usable_cpu_count
+
         host = host_metadata("process")
         assert host["python"] == platform.python_version()
         assert host["numpy"] == np.__version__
         assert host["cpu_count"] == os.cpu_count()
+        assert host["usable_cpus"] == usable_cpu_count()
+        assert host["usable_cpus"] <= host["cpu_count"]
         assert host["executor"] == "process"
         assert host["platform"]
         assert host["machine"]
@@ -101,10 +105,17 @@ class TestHostMetadata:
             "platform",
             "machine",
             "cpu_count",
+            "usable_cpus",
             "executor",
         ):
             assert key in host, key
         assert host["executor"] == "thread"
+        # Top-level cpu_count reports what the campaign can actually
+        # use — the count the parallel speedup is judged against.
+        assert record["cpu_count"] == host["usable_cpus"]
+        assert isinstance(
+            record["campaign"]["workers_exceed_cpus"], bool
+        )
         # The record must stay JSON-serializable with the block added.
         json.dumps(record)
 
@@ -119,5 +130,6 @@ class TestHostMetadata:
             seed=3,
         )
         assert record["host"]["python"]
-        assert record["host"]["cpu_count"] == record["cpu_count"]
+        assert record["host"]["usable_cpus"] == record["cpu_count"]
+        assert record["campaign"]["workers_exceed_cpus"] is False
         json.dumps(record)

@@ -12,11 +12,14 @@ from repro.attacks.cpa import StreamingCPA
 from repro.attacks.full_key import recover_last_round_key
 from repro.core.attack import REDUCTION_HW, REDUCTION_SINGLE_BIT
 from repro.experiments.parallel import (
+    DEFAULT_CHUNK_WORKING_SET_BYTES,
     Shard,
+    plan_chunk_size,
     plan_shards,
     sharded_attack,
     sharded_full_key,
 )
+from repro.util.shm import leaked_segments
 
 
 class TestPlanShards:
@@ -49,6 +52,41 @@ class TestPlanShards:
             plan_shards(0, 4)
         with pytest.raises(ValueError):
             plan_shards(100, 4, chunk_size=0)
+
+
+class TestPlanChunkSize:
+    def test_bounded_by_working_set_footprint(self):
+        # 1 KiB per trace against the 4 MiB default budget: 4096
+        # traces per chunk, regardless of how long the campaign is.
+        assert plan_chunk_size(10**6, 1024, workers=1) == 4096
+        assert plan_chunk_size(10**7, 1024, workers=1) == 4096
+
+    def test_saturates_workers_on_small_campaigns(self):
+        # A campaign whose footprint-derived chunk would be one giant
+        # block still splits into at least one chunk per worker.
+        assert plan_chunk_size(100, 1, workers=4) == 25
+
+    def test_never_exceeds_campaign_length(self):
+        assert plan_chunk_size(10, 1, workers=1) == 10
+
+    def test_huge_footprint_still_makes_progress(self):
+        assert plan_chunk_size(100, 10**9, workers=1) == 1
+
+    def test_custom_target_bytes(self):
+        assert plan_chunk_size(
+            10**6, 100, workers=1, target_bytes=1000
+        ) == 10
+
+    def test_default_budget_is_cache_scaled(self):
+        assert DEFAULT_CHUNK_WORKING_SET_BYTES == 4 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_chunk_size(0, 8)
+        with pytest.raises(ValueError):
+            plan_chunk_size(100, 0)
+        with pytest.raises(ValueError):
+            plan_chunk_size(100, 8, target_bytes=0)
 
 
 class TestShardedAttack:
@@ -376,6 +414,121 @@ class TestFaultTolerantCampaign:
                 fault_plan=plan,
             )
         assert excinfo.value.site == shards[0].site
+
+
+@pytest.mark.timeout(300)
+class TestSharedMemoryLifecycle:
+    """No ``/dev/shm`` leak on any campaign exit path.
+
+    The driver owns every segment: normal completion, a SIGKILLed
+    worker mid-shard, and the process→thread degradation ladder must
+    all leave ``/dev/shm`` clean, because dead workers never owned the
+    segments and the fan-out context unlinks on exit.
+    """
+
+    CS = 1000
+
+    def test_normal_completion_unlinks(self, alu_campaign):
+        assert leaked_segments() == []
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS, executor="process",
+        )
+        assert result.correlations.shape[0] == 2
+        assert leaked_segments() == []
+
+    def test_worker_sigkill_mid_shard_unlinks(self, alu_campaign):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import FAULT_CRASH, FaultPlan, FaultSpec
+
+        assert leaked_segments() == []
+        baseline = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS,
+        )
+        shards = plan_shards(4000, 4, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_CRASH, site=shards[1].site, attempts=1)],
+            seed=9,
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS, executor="process",
+            policy=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        assert health.pool_rebuilds >= 1
+        # The killed worker held a read-only mapping, never ownership:
+        # the driver's unlink must still reclaim every segment.
+        assert leaked_segments() == []
+
+    def test_degradation_ladder_unlinks(self, alu_campaign):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import FAULT_CRASH, FaultPlan, FaultSpec
+
+        assert leaked_segments() == []
+        baseline = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS,
+        )
+        plan = FaultPlan(
+            [FaultSpec(FAULT_CRASH, attempts=10**6)], seed=9
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS, executor="process",
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        # process → thread: the fallen-back in-process workers resolve
+        # the driver's own registration, bit-identically.
+        assert np.array_equal(result.correlations, baseline.correlations)
+        assert ("process", "thread") in health.degradations
+        assert leaked_segments() == []
+
+    def test_fullkey_process_path_unlinks(self, alu_campaign):
+        assert leaked_segments() == []
+        sharded_full_key(
+            alu_campaign, 3000, max_workers=4, chunk_size=self.CS,
+            executor="process",
+        )
+        assert leaked_segments() == []
+
+    def test_retry_reships_only_lightweight_payload(self, alu_campaign):
+        from repro.util.executors import CampaignHealth, RetryPolicy
+        from repro.util.faults import (
+            FAULT_EXCEPTION,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        baseline = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS,
+        )
+        shards = plan_shards(4000, 4, self.CS)
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site=shards[1].site, attempts=2)],
+            seed=4,
+        )
+        health = CampaignHealth()
+        result = sharded_attack(
+            alu_campaign, 4000, checkpoints=[2000, 4000],
+            max_workers=4, chunk_size=self.CS, executor="process",
+            policy=RetryPolicy(max_attempts=4, backoff_base=0.0),
+            fault_plan=plan, health=health,
+        )
+        assert np.array_equal(result.correlations, baseline.correlations)
+        sizes = health.payload_bytes_per_attempt(shards[1].site)
+        assert len(sizes) == 3  # two injected failures + the success
+        # The double-pickling regression gauge: every submission of a
+        # shard — first attempt and retries alike — ships only the
+        # context id + shard descriptor, never the campaign state.
+        assert max(sizes) < 2048
+        assert len(set(sizes)) == 1
 
 
 @pytest.mark.timeout(300)

@@ -12,10 +12,13 @@ from repro.util.executors import (
     RetryPolicy,
     ShardError,
     TruncatedResultError,
+    WorkerContext,
     default_workers,
     make_executor,
     map_ordered,
     resolve_executor,
+    usable_cpu_count,
+    worker_state,
 )
 from repro.util.faults import (
     FAULT_CRASH,
@@ -38,6 +41,11 @@ def _square(x):
 
 def _pid_of(_):
     return os.getpid()
+
+
+def _add_context_base(task):
+    """Resolve fork-once state in whatever process runs the task."""
+    return worker_state(task["ctx"]) + task["x"]
 
 
 class TestResolve:
@@ -110,6 +118,112 @@ class TestMapOrdered:
 
     def test_default_workers_positive(self):
         assert 1 <= default_workers() <= 8
+
+
+class TestUsableCpuCount:
+    def test_matches_affinity_mask_where_available(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert usable_cpu_count() == len(os.sched_getaffinity(0))
+        else:  # pragma: no cover - non-Linux
+            assert usable_cpu_count() == (os.cpu_count() or 1)
+
+    def test_never_exceeds_machine_count(self):
+        assert 1 <= usable_cpu_count() <= (os.cpu_count() or 1)
+
+    def test_default_workers_uses_usable_count(self):
+        # The containerized-oversubscription fix: the default pool is
+        # sized from the cores this process may run on, not from the
+        # machine's total.
+        assert default_workers() == min(8, usable_cpu_count())
+
+
+class TestWorkerContext:
+    def test_registers_and_resolves_locally(self):
+        payload = {"heavy": list(range(100))}
+        with WorkerContext(payload) as context:
+            assert worker_state(context.context_id) is payload
+
+    def test_close_drops_registration(self):
+        context = WorkerContext("state")
+        context.close()
+        with pytest.raises(RuntimeError, match="not installed"):
+            worker_state(context.context_id)
+        context.close()  # idempotent
+
+    def test_unknown_context_rejected_with_guidance(self):
+        with pytest.raises(RuntimeError, match="WorkerContext"):
+            worker_state("ctx-0-never-created")
+
+    def test_initargs_ship_worker_payload(self):
+        with WorkerContext("driver", worker_payload="worker") as context:
+            context_id, payload = context.initargs
+            assert context_id == context.context_id
+            assert payload == "worker"
+            # The driver-side registry holds the *driver* payload.
+            assert worker_state(context.context_id) == "driver"
+
+    def test_context_ids_are_unique(self):
+        with WorkerContext(1) as a, WorkerContext(2) as b:
+            assert a.context_id != b.context_id
+
+    def test_initializer_fans_state_to_process_workers(self):
+        with WorkerContext(100) as context:
+            tasks = [{"ctx": context.context_id, "x": x} for x in range(6)]
+            results = map_ordered(
+                _add_context_base, tasks, max_workers=2,
+                executor=EXECUTOR_PROCESS,
+                initializer=context.initializer,
+                initargs=context.initargs,
+            )
+        assert results == [100 + x for x in range(6)]
+
+    def test_thread_backend_resolves_without_initializer(self):
+        # Threads share the driver's store; no initializer required.
+        with WorkerContext(7) as context:
+            tasks = [{"ctx": context.context_id, "x": x} for x in range(4)]
+            results = map_ordered(
+                _add_context_base, tasks, max_workers=2,
+                executor=EXECUTOR_THREAD,
+            )
+        assert results == [7 + x for x in range(4)]
+
+
+class TestPayloadMetering:
+    def test_process_backend_records_payload_bytes(self):
+        health = CampaignHealth()
+        map_ordered(
+            _square, [1, 2, 3, 4], max_workers=2,
+            executor=EXECUTOR_PROCESS, policy=FAST, health=health,
+        )
+        sizes = [a.payload_bytes for a in health.attempts]
+        assert all(isinstance(s, int) and s > 0 for s in sizes)
+
+    def test_in_process_backends_record_none(self):
+        health = CampaignHealth()
+        map_ordered(
+            _square, [1, 2, 3], max_workers=2,
+            executor=EXECUTOR_THREAD, policy=FAST, health=health,
+        )
+        map_ordered(
+            _square, [4], max_workers=1, policy=FAST, health=health,
+        )
+        assert all(a.payload_bytes is None for a in health.attempts)
+
+    def test_per_attempt_sizes_stay_flat_across_retries(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_EXCEPTION, site="task[1]", attempts=2)]
+        )
+        health = CampaignHealth()
+        map_ordered(
+            _square, [10, 20, 30, 40], max_workers=2,
+            executor=EXECUTOR_PROCESS,
+            policy=FAST, fault_plan=plan, health=health,
+        )
+        sizes = health.payload_bytes_per_attempt("task[1]")
+        assert len(sizes) == 3  # two injected failures + the success
+        # A retry reuses the already-materialized payload: every
+        # submission ships the same (tiny) number of bytes.
+        assert len(set(sizes)) == 1
 
 
 class TestRetryPolicy:
