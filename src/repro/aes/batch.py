@@ -24,13 +24,14 @@ against :func:`repro.aes.datapath.encryption_cycle_hd` per trace.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.aes.aes128 import AES128, expand_key
 from repro.aes.datapath import DatapathSchedule
 from repro.aes.leakage import SBOX_TABLE, SHIFT_ROWS_SOURCE
+from repro.util import kernels
 
 #: GF(2^8) multiplication by 2 (xtime) for every byte value.
 GMUL2_TABLE = np.array(
@@ -87,6 +88,91 @@ def _mix_columns_batch(states: np.ndarray) -> np.ndarray:
     return out.reshape(-1, 16)
 
 
+# ----------------------------------------------------------------------
+# numpy reference kernels (registered with the dispatch registry; the
+# public API below routes every call through kernels.dispatch, so the
+# same call sites transparently run the native backend when selected)
+# ----------------------------------------------------------------------
+
+
+def _round_states_numpy(
+    round_keys: np.ndarray, blocks: np.ndarray
+) -> np.ndarray:
+    """Reference ``(N, 12, 16)`` round-state pipeline (vectorized)."""
+    states = np.empty((blocks.shape[0], 12, 16), dtype=np.uint8)
+    states[:, 0] = blocks
+    state = blocks ^ round_keys[0]
+    states[:, 1] = state
+    for round_index in range(1, 10):
+        state = SBOX_TABLE[state]
+        state = _shift_rows_batch(state)
+        state = _mix_columns_batch(state)
+        state = state ^ round_keys[round_index]
+        states[:, round_index + 1] = state
+    state = SBOX_TABLE[state]
+    state = _shift_rows_batch(state)
+    state = state ^ round_keys[10]
+    states[:, 11] = state
+    return states
+
+
+def _cycle_hd_numpy(
+    states: np.ndarray, cycles_per_round: int
+) -> np.ndarray:
+    byte_hd = POPCOUNT8_TABLE[states[:, :-1, :] ^ states[:, 1:, :]]
+    # (N, 11 rounds, 4 columns): sum the 4 bytes of each column.
+    column_hd = (
+        byte_hd.reshape(-1, 11, 4, 4).sum(axis=3, dtype=np.int64)
+    )
+    columns = np.arange(cycles_per_round) % 4
+    return column_hd[:, :, columns].reshape(-1, 11 * cycles_per_round)
+
+
+def _cycle_activity_numpy(
+    states: np.ndarray,
+    cycles_per_round: int,
+    value_weight: float,
+    transition_weight: float,
+) -> np.ndarray:
+    byte_hd = POPCOUNT8_TABLE[states[:, :-1, :] ^ states[:, 1:, :]]
+    byte_hw = POPCOUNT8_TABLE[states[:, :-1, :]]
+    column_hd = byte_hd.reshape(-1, 11, 4, 4).sum(axis=3, dtype=np.int64)
+    column_hw = byte_hw.reshape(-1, 11, 4, 4).sum(axis=3, dtype=np.int64)
+    activity = value_weight * column_hw + transition_weight * column_hd
+    columns = np.arange(cycles_per_round) % 4
+    return activity[:, :, columns].reshape(-1, 11 * cycles_per_round)
+
+
+def _activity_and_ciphertexts_numpy(
+    round_keys: np.ndarray,
+    blocks: np.ndarray,
+    cycles_per_round: int,
+    value_weight: float,
+    transition_weight: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference for the fused activity+ciphertext op.
+
+    Materializes the full state tensor (that's what makes the native
+    version — one streaming pass over two 16-byte registers per trace —
+    worth having) and slices the activity and ciphertexts out of it.
+    """
+    states = _round_states_numpy(round_keys, blocks)
+    activity = _cycle_activity_numpy(
+        states, cycles_per_round, value_weight, transition_weight
+    )
+    return activity, states[:, 11].copy()
+
+
+kernels.register_backend(
+    "aes",
+    "numpy",
+    round_states=_round_states_numpy,
+    cycle_hd_from_states=_cycle_hd_numpy,
+    cycle_activity_from_states=_cycle_activity_numpy,
+    activity_and_ciphertexts=_activity_and_ciphertexts_numpy,
+)
+
+
 class BatchedAES128:
     """AES-128 over ``(N, 16)`` uint8 plaintext batches.
 
@@ -126,21 +212,8 @@ class BatchedAES128:
         round ``r``; index 11 is the ciphertext.
         """
         blocks = as_state_array(plaintexts)
-        states = np.empty((blocks.shape[0], 12, 16), dtype=np.uint8)
-        states[:, 0] = blocks
-        state = blocks ^ self.round_keys[0]
-        states[:, 1] = state
-        for round_index in range(1, 10):
-            state = SBOX_TABLE[state]
-            state = _shift_rows_batch(state)
-            state = _mix_columns_batch(state)
-            state = state ^ self.round_keys[round_index]
-            states[:, round_index + 1] = state
-        state = SBOX_TABLE[state]
-        state = _shift_rows_batch(state)
-        state = state ^ self.round_keys[10]
-        states[:, 11] = state
-        return states
+        op = kernels.dispatch("aes", "round_states")
+        return op(self.round_keys, blocks)
 
     def encrypt(self, plaintexts: Union[np.ndarray, Sequence[bytes]]
                 ) -> np.ndarray:
@@ -174,15 +247,8 @@ def cycle_hd_from_states(
     encryption pass; :meth:`BatchedAES128.cycle_hd` is this applied to
     a fresh :meth:`BatchedAES128.round_states` call.
     """
-    byte_hd = POPCOUNT8_TABLE[states[:, :-1, :] ^ states[:, 1:, :]]
-    # (N, 11 rounds, 4 columns): sum the 4 bytes of each column.
-    column_hd = (
-        byte_hd.reshape(-1, 11, 4, 4).sum(axis=3, dtype=np.int64)
-    )
-    columns = np.arange(schedule.cycles_per_round) % 4
-    return column_hd[:, :, columns].reshape(
-        -1, 11 * schedule.cycles_per_round
-    )
+    op = kernels.dispatch("aes", "cycle_hd_from_states")
+    return op(states, schedule.cycles_per_round)
 
 
 def cycle_activity_from_states(
@@ -203,14 +269,41 @@ def cycle_activity_from_states(
     :func:`repro.aes.leakage.last_round_activity` for that column —
     the same leakage composition the analytical campaign model uses.
     """
-    byte_hd = POPCOUNT8_TABLE[states[:, :-1, :] ^ states[:, 1:, :]]
-    byte_hw = POPCOUNT8_TABLE[states[:, :-1, :]]
-    column_hd = byte_hd.reshape(-1, 11, 4, 4).sum(axis=3, dtype=np.int64)
-    column_hw = byte_hw.reshape(-1, 11, 4, 4).sum(axis=3, dtype=np.int64)
-    activity = value_weight * column_hw + transition_weight * column_hd
-    columns = np.arange(schedule.cycles_per_round) % 4
-    return activity[:, :, columns].reshape(
-        -1, 11 * schedule.cycles_per_round
+    op = kernels.dispatch("aes", "cycle_activity_from_states")
+    return op(
+        states, schedule.cycles_per_round, value_weight, transition_weight
+    )
+
+
+def cycle_activity_and_ciphertexts(
+    batched: "BatchedAES128",
+    plaintexts: Union[np.ndarray, Sequence[bytes]],
+    schedule: DatapathSchedule = DatapathSchedule(),
+    value_weight: float = 1.0,
+    transition_weight: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused per-cycle activity **and** ciphertexts in one pass.
+
+    Returns ``(activity, ciphertexts)`` exactly equal to::
+
+        states = batched.round_states(plaintexts)
+        (cycle_activity_from_states(states, schedule, vw, tw),
+         states[:, 11])
+
+    but without requiring the ``(N, 12, 16)`` state tensor: the native
+    backend streams each trace through two 16-byte registers, which is
+    what the trace generator's hot loop wants (it needs both outputs
+    and nothing else from the states).  The numpy reference backend
+    still materializes the tensor, so dispatch stays bit-identical.
+    """
+    blocks = as_state_array(plaintexts)
+    op = kernels.dispatch("aes", "activity_and_ciphertexts")
+    return op(
+        batched.round_keys,
+        blocks,
+        schedule.cycles_per_round,
+        value_weight,
+        transition_weight,
     )
 
 

@@ -19,7 +19,32 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.util import kernels
 from repro.util.errors import ReproError
+
+
+def _accumulate_numpy(x: np.ndarray, h: np.ndarray):
+    """Reference CPA accumulate: block sums, or None on non-finite.
+
+    Returns ``(sum_x, sum_xx, sum_h, sum_hh, sum_xh)`` for a finite
+    block.  Returning None (instead of raising) keeps the op contract
+    backend-agnostic; :meth:`StreamingCPA.update` re-runs the finite
+    checks to raise the exact :class:`NonFiniteValuesError`, and no
+    accumulator state is touched either way.
+    """
+    h = np.asarray(h, dtype=np.float64)
+    if not np.isfinite(x).all() or not np.isfinite(h).all():
+        return None
+    return (
+        x.sum(),
+        (x * x).sum(),
+        h.sum(axis=0),
+        (h * h).sum(axis=0),
+        h.T @ x,
+    )
+
+
+kernels.register_backend("cpa", "numpy", accumulate=_accumulate_numpy)
 
 
 class NonFiniteValuesError(ReproError):
@@ -171,28 +196,40 @@ class StreamingCPA:
             hypotheses: (B, num_candidates) hypothesis values.
         """
         x = np.asarray(leakage, dtype=np.float64)
-        h = np.asarray(hypotheses, dtype=np.float64)
+        h = np.asarray(hypotheses)
         if x.ndim != 1 or h.shape != (x.shape[0], self.num_candidates):
             raise ValueError(
                 "shape mismatch: leakage %r vs hypotheses %r"
                 % (x.shape, h.shape)
             )
-        finite_x = np.isfinite(x)
-        if not finite_x.all():
-            raise NonFiniteValuesError(
-                "leakage", self.count + np.flatnonzero(~finite_x)
-            )
-        finite_h = np.isfinite(h).all(axis=1)
-        if not finite_h.all():
+        # The fused accumulate runs under the selected kernel backend
+        # (int8 hypothesis blocks skip the float64 materialization on
+        # the native path).  Campaign leakage/hypotheses are
+        # integer-valued, so the float64 sums are exact and therefore
+        # identical across backends and accumulation orders — the same
+        # property merge() relies on.
+        sums = kernels.dispatch("cpa", "accumulate")(x, h)
+        if sums is None:
+            # Re-run the finite checks in numpy to name the offending
+            # traces; the accumulator state was never touched.
+            finite_x = np.isfinite(x)
+            if not finite_x.all():
+                raise NonFiniteValuesError(
+                    "leakage", self.count + np.flatnonzero(~finite_x)
+                )
+            finite_h = np.isfinite(
+                np.asarray(h, dtype=np.float64)
+            ).all(axis=1)
             raise NonFiniteValuesError(
                 "hypotheses", self.count + np.flatnonzero(~finite_h)
             )
+        sum_x, sum_xx, sum_h, sum_hh, sum_xh = sums
         self.count += x.shape[0]
-        self._sum_x += x.sum()
-        self._sum_xx += (x * x).sum()
-        self._sum_h += h.sum(axis=0)
-        self._sum_hh += (h * h).sum(axis=0)
-        self._sum_xh += h.T @ x
+        self._sum_x += sum_x
+        self._sum_xx += sum_xx
+        self._sum_h += sum_h
+        self._sum_hh += sum_hh
+        self._sum_xh += sum_xh
 
     def merge(self, other: "StreamingCPA") -> "StreamingCPA":
         """Fold another accumulator's traces into this one (in place).

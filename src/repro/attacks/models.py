@@ -15,6 +15,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.aes.leakage import INV_SBOX_TABLE, _POPCOUNT8
+from repro.util import kernels
 
 #: Paper's target: the 4th byte (index 3) of the last round key.
 DEFAULT_TARGET_BYTE = 3
@@ -45,6 +46,26 @@ def inverse_sbox_intermediate(ct_bytes: np.ndarray) -> np.ndarray:
     return INV_SBOX_TABLE[xored]
 
 
+def _single_bit_numpy(ct_bytes: np.ndarray, bit: int) -> np.ndarray:
+    intermediate = inverse_sbox_intermediate(ct_bytes)
+    return ((intermediate >> bit) & 1).astype(np.int8)
+
+
+def _hamming_weight_numpy(ct_bytes: np.ndarray) -> np.ndarray:
+    return _POPCOUNT8[inverse_sbox_intermediate(ct_bytes)].astype(np.int8)
+
+
+# The hypothesis blocks ride on the AES kernel (same tables, same
+# uint8 arithmetic); native backends fuse the InvSBox lookup with the
+# bit/HW extraction instead of materializing the (N, 256) intermediate.
+kernels.register_backend(
+    "aes",
+    "numpy",
+    single_bit_hypothesis=_single_bit_numpy,
+    hamming_weight_hypothesis=_hamming_weight_numpy,
+)
+
+
 def single_bit_hypothesis(
     ct_bytes: np.ndarray, bit: int = DEFAULT_TARGET_BIT
 ) -> np.ndarray:
@@ -55,13 +76,14 @@ def single_bit_hypothesis(
     """
     if not 0 <= bit < 8:
         raise ValueError("bit must be 0..7, got %d" % bit)
-    intermediate = inverse_sbox_intermediate(ct_bytes)
-    return ((intermediate >> bit) & 1).astype(np.int8)
+    arr = _validate_ct_bytes(ct_bytes)
+    return kernels.dispatch("aes", "single_bit_hypothesis")(arr, bit)
 
 
 def hamming_weight_hypothesis(ct_bytes: np.ndarray) -> np.ndarray:
     """Hamming weight of the state byte before the final SBox."""
-    return _POPCOUNT8[inverse_sbox_intermediate(ct_bytes)].astype(np.int8)
+    arr = _validate_ct_bytes(ct_bytes)
+    return kernels.dispatch("aes", "hamming_weight_hypothesis")(arr)
 
 
 def hamming_distance_hypothesis(

@@ -16,9 +16,12 @@ Commands:
   measures sensor sampling + the sharded campaign driver and writes
   ``BENCH_sampling.json``; ``--suite e2e`` measures the batched
   end-to-end trace-generation pipeline (AES datapath + PDN IIR +
-  process sharding) and writes ``BENCH_e2e.json``.  Both records embed
+  process sharding) and writes ``BENCH_e2e.json``; ``--suite kernels``
+  compares every available backend (numpy/scipy/native) of the three
+  hot kernels and writes ``BENCH_kernels.json``.  All records embed
   host metadata (python/numpy/scipy versions, CPU count, platform,
-  executor backend) so snapshots from different machines compare
+  executor backend, resolved kernel-backend map, native provider,
+  numba version) so snapshots from different machines compare
   honestly.
 * ``serve`` — run the campaign job service: an asyncio scheduler with
   a bounded priority queue, request batching, in-flight dedupe, and a
@@ -31,8 +34,13 @@ Commands:
 
 Parallel commands accept ``--workers N`` and ``--executor
 {thread,process}``; results are bit-identical across backends and
-worker counts.  Invalid values (``--workers 0``, an unknown executor
-name) exit with code 2 and one actionable line, not a traceback.  The campaign commands (``attack``, ``fullkey``) also
+worker counts.  The campaign and bench commands also accept
+``--kernels {auto,numpy,scipy,native}`` (or a per-kernel map like
+``aes=native,pdn=scipy``) selecting the compiled-kernel backends —
+bit-identical by contract.  Invalid values (``--workers 0``, an
+unknown executor or kernels name, ``native`` on a host without numba
+or a C compiler) exit with code 2 and one actionable line, not a
+traceback.  The campaign commands (``attack``, ``fullkey``) also
 take fault-tolerance flags — ``--checkpoint PATH``,
 ``--checkpoint-every K``, ``--resume``, ``--retries N``,
 ``--task-timeout S`` — and ``report`` supports figure-granular
@@ -63,6 +71,18 @@ def _add_executor_argument(parser) -> None:
     )
 
 
+def _add_kernels_argument(parser) -> None:
+    # Validated like --executor: unknown modes and unavailable native
+    # backends surface as one-line exit-2 ReproErrors, not tracebacks.
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        metavar="{auto,numpy,native}",
+        help="kernel backend selection: auto (default), numpy, scipy, "
+        "native, or a per-kernel map like aes=native,pdn=scipy",
+    )
+
+
 def _validate_parallel_args(args) -> None:
     """Reject bad --workers/--executor values with a ReproError.
 
@@ -85,6 +105,17 @@ def _validate_parallel_args(args) -> None:
             "unknown --executor %r (expected one of %s)"
             % (executor, ", ".join(EXECUTOR_KINDS))
         )
+    spec = getattr(args, "kernels", None)
+    if spec is not None:
+        from repro.util import kernels
+
+        # parse_spec raises KernelConfigError (a ReproError) on an
+        # unknown mode/kernel; resolving eagerly raises
+        # KernelUnavailableError naming the missing dependency when
+        # native is requested on a host that cannot serve it.
+        kernels.parse_spec(spec)
+        with kernels.use(spec):
+            pass
 
 
 def _add_resilience_arguments(parser) -> None:
@@ -143,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for the sharded driver (1 = serial)",
     )
     _add_executor_argument(attack)
+    _add_kernels_argument(attack)
     _add_resilience_arguments(attack)
 
     fullkey = sub.add_parser("fullkey", help="recover all 16 key bytes")
@@ -152,6 +184,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for collection and per-byte CPAs",
     )
     _add_executor_argument(fullkey)
+    _add_kernels_argument(fullkey)
     _add_resilience_arguments(fullkey)
 
     scan = sub.add_parser("scan", help="bitstream-check a design")
@@ -182,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workers for the sharded CPA figures",
     )
     _add_executor_argument(report)
+    _add_kernels_argument(report)
     report.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="JSON checkpoint updated after every completed figure",
@@ -195,9 +229,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="sampling/campaign or e2e performance snapshot"
     )
     bench.add_argument(
-        "--suite", choices=["sampling", "e2e"], default="sampling",
+        "--suite",
+        choices=["sampling", "e2e", "kernels"],
+        default="sampling",
         help="sampling: sensor kernels + sharded campaign; "
-        "e2e: batched trace-generation pipeline",
+        "e2e: batched trace-generation pipeline; "
+        "kernels: per-backend AES/PDN/CPA kernel comparison",
     )
     bench.add_argument("--cycles", type=int, default=100_000)
     bench.add_argument("--traces", type=int, default=100_000)
@@ -211,6 +248,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--workers", type=int, default=None)
     _add_executor_argument(bench)
+    _add_kernels_argument(bench)
     bench.add_argument(
         "--output", default=None,
         help="where to write the JSON record (default: "
@@ -314,6 +352,7 @@ def _campaign_params(args, **extra) -> dict:
         "seed": args.seed,
         "workers": args.workers,
         "executor": args.executor,
+        "kernels": getattr(args, "kernels", None),
     }
     if hasattr(args, "retries"):
         params["retries"] = args.retries
@@ -463,6 +502,7 @@ def _cmd_report(args) -> int:
             "cpa": not args.no_cpa,
             "workers": args.workers,
             "executor": args.executor,
+            "kernels": args.kernels,
         },
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -474,7 +514,20 @@ def _cmd_report(args) -> int:
 def _cmd_bench(args) -> int:
     import json
 
-    if args.suite == "e2e":
+    from repro.util import kernels
+
+    # One-line availability/selection report (which backend each
+    # kernel resolved to, what serves "native", numba version).
+    print(kernels.describe())
+    if args.suite == "kernels":
+        from repro.experiments.benchmark import write_kernels_benchmark
+
+        record = write_kernels_benchmark(
+            args.output or "BENCH_kernels.json",
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    elif args.suite == "e2e":
         from repro.experiments.benchmark import write_e2e_benchmark
 
         record = write_e2e_benchmark(
@@ -692,6 +745,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     try:
         _validate_parallel_args(args)
+        spec = getattr(args, "kernels", None)
+        if spec is not None:
+            from repro.util import kernels
+
+            # Apply the backend selection for the whole command (and,
+            # via REPRO_KERNELS, for its process-pool workers);
+            # restored on exit so in-process callers are unaffected.
+            with kernels.use(spec):
+                return _COMMANDS[args.command](args)
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(

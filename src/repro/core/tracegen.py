@@ -43,7 +43,7 @@ from repro.aes.aes128 import AES128
 from repro.aes.batch import (
     BatchedAES128,
     as_state_array,
-    cycle_activity_from_states,
+    cycle_activity_and_ciphertexts,
 )
 from repro.aes.datapath import DatapathSchedule, column_hd
 from repro.util.bits import hamming_weight
@@ -211,14 +211,18 @@ class PhysicalTraceGenerator:
         single batched-AES call.
         """
         blocks = as_state_array(plaintexts)
-        states = self._batched_cipher().round_states(blocks)
+        # Fused kernel op: per-cycle activity and ciphertexts in one
+        # pass (the native backend never materializes the (N, 12, 16)
+        # round-state tensor this loop used to allocate per chunk).
+        activity, ciphertexts = cycle_activity_and_ciphertexts(
+            self._batched_cipher(),
+            blocks,
+            self.schedule,
+            value_weight=self.value_weight,
+            transition_weight=self.transition_weight,
+        )
         currents = aes_current_waveform_batch(
-            cycle_activity_from_states(
-                states,
-                self.schedule,
-                value_weight=self.value_weight,
-                transition_weight=self.transition_weight,
-            ),
+            activity,
             self.num_samples,
             self.start_sample,
             self.samples_per_cycle,
@@ -227,7 +231,7 @@ class PhysicalTraceGenerator:
         )
         droop = self.pdn.integrate_batch(currents)
         return {
-            "ciphertexts": states[:, 11],
+            "ciphertexts": ciphertexts,
             "voltages": (
                 self.pdn.params.nominal_voltage
                 - droop

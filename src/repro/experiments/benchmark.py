@@ -59,6 +59,7 @@ from repro.experiments.parallel import (
     plan_chunk_size,
     sharded_attack,
 )
+from repro.util import kernels
 from repro.util.executors import usable_cpu_count
 from repro.util.rng import derive_seed, make_rng
 
@@ -70,10 +71,12 @@ def host_metadata(executor: Optional[str] = None) -> Dict[str, object]:
 
     Performance snapshots are only comparable between runs when the
     platform that produced them is known; this block pins the
-    interpreter, the numeric stack, the machine, and the executor
-    backend the run used.  ``scipy`` is optional in the runtime (the
-    PDN integrator falls back to a pure-numpy path), so its version is
-    recorded as ``None`` when absent rather than failing the bench.
+    interpreter, the numeric stack, the machine, the executor backend,
+    and — since the kernel dispatch layer — the resolved kernel backend
+    map (``kernel_backends``), the native provider serving it, and the
+    numba version.  ``scipy``/``numba`` are optional in the runtime, so
+    their versions are recorded as ``None`` when absent rather than
+    failing the bench.
     """
     try:
         import scipy  # noqa: PLC0415 — optional dependency probe
@@ -81,7 +84,7 @@ def host_metadata(executor: Optional[str] = None) -> Dict[str, object]:
         scipy_version: Optional[str] = scipy.__version__
     except ImportError:
         scipy_version = None
-    return {
+    meta = {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "scipy": scipy_version,
@@ -94,6 +97,61 @@ def host_metadata(executor: Optional[str] = None) -> Dict[str, object]:
         "usable_cpus": usable_cpu_count(),
         "executor": executor if executor is not None else "thread",
     }
+    meta.update(kernels.backend_metadata())
+    return meta
+
+
+def warm_kernels() -> None:
+    """Run every dispatched kernel once on tiny inputs, pre-timing.
+
+    JIT-compiled backends (numba) pay compilation and the cc backend
+    pays a one-time library build on first call; running each op here
+    keeps that cost out of every timed repeat.  The warm-up outputs are
+    asserted equal to the numpy reference — the same
+    assert-before-timing contract the stage comparisons enforce, just
+    extended to the warm-up itself.
+    """
+    rng = make_rng(derive_seed(0, "bench-kernel-warmup"))
+    plaintexts = rng.integers(0, 256, size=(4, 16), dtype=np.uint8)
+    currents = rng.normal(0.02, 0.005, size=(4, 32))
+    leakage = rng.integers(0, 9, size=16).astype(np.float64)
+    hypotheses = rng.integers(0, 2, size=(16, 256)).astype(np.int8)
+
+    from repro.aes.batch import BatchedAES128, cycle_activity_and_ciphertexts
+    from repro.attacks.cpa import StreamingCPA
+    from repro.attacks.models import single_bit_hypothesis
+    from repro.pdn.model import PDNModel
+
+    def run_all():
+        batched = BatchedAES128(bytes(range(16)))
+        states = batched.round_states(plaintexts)
+        activity, ciphertexts = cycle_activity_and_ciphertexts(
+            batched, plaintexts
+        )
+        hyp = single_bit_hypothesis(states[:, 11, 0])
+        droop = PDNModel().integrate_batch(currents)
+        engine = StreamingCPA()
+        engine.update(leakage, hypotheses)
+        return states, activity, ciphertexts, hyp, droop, engine
+
+    with kernels.use("numpy"):
+        reference = run_all()
+    warmed = run_all()
+    same = all(
+        np.array_equal(a, b)
+        for a, b in zip(reference[:5], warmed[:5])
+    ) and all(
+        np.array_equal(a, b)
+        for a, b in zip(
+            reference[5].state_arrays().values(),
+            warmed[5].state_arrays().values(),
+        )
+    )
+    if not same:
+        raise AssertionError(
+            "kernel warm-up output diverges from the numpy reference "
+            "(active backends: %r)" % (kernels.active_backends(),)
+        )
 
 
 def _workers_exceed_cpus(workers: int) -> bool:
@@ -176,6 +234,7 @@ def run_sampling_benchmark(
             dependent).
         seed: campaign/jitter seed.
     """
+    warm_kernels()
     sensor = BenignSensor.from_name(circuit)
     calibration = sensor.instances[0].calibration
     rng = make_rng(derive_seed(seed, "bench-voltages"))
@@ -330,6 +389,7 @@ def run_e2e_benchmark(
     from repro.experiments.parallel import sharded_physical_attack
     from repro.util.executors import resolve_executor
 
+    warm_kernels()
     cipher = AES128(ExperimentConfig().key)
     sensor = BenignSensor.from_name(circuit)
     generator = PhysicalTraceGenerator(cipher)
@@ -521,5 +581,120 @@ def write_e2e_benchmark(
 ) -> Dict[str, object]:
     """Run the e2e benchmark and write its record to ``path``."""
     record = run_e2e_benchmark(**kwargs)
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _backend_case(
+    backend: str,
+    fn: Callable[[], object],
+    reference,
+    repeats: int,
+    n: int,
+) -> Dict[str, object]:
+    """Warm + assert-bit-identical + time one kernel on one backend."""
+    with kernels.use(backend):
+        warm = fn()  # warm-up: JIT/compile cost lands here, untimed
+        outputs = warm if isinstance(warm, tuple) else (warm,)
+        expected = (
+            reference if isinstance(reference, tuple) else (reference,)
+        )
+        for got, want in zip(outputs, expected):
+            if not np.array_equal(got, want):
+                raise AssertionError(
+                    "backend %r output diverges from the numpy "
+                    "reference" % backend
+                )
+        seconds = _best_of(repeats, fn)
+    return {
+        "seconds": seconds,
+        "traces_per_s": n / seconds,
+        "identical_to_numpy": True,
+    }
+
+
+def run_kernels_benchmark(
+    aes_traces: int = 20_000,
+    pdn_traces: int = 2_000,
+    pdn_samples: int = 1_024,
+    cpa_traces: int = 50_000,
+    repeats: int = 3,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Per-backend comparison of the three hot kernels.
+
+    For each kernel (``aes``: fused activity+ciphertexts, ``pdn``:
+    batched IIR droop integration, ``cpa``: streaming accumulate over
+    256 candidates), every backend available on this host is warmed,
+    asserted bit-identical to the numpy reference, and timed best-of
+    ``repeats``.  ``speedup_vs_numpy`` on the resolved backend is the
+    number the acceptance gate reads.
+    """
+    from repro.aes.batch import BatchedAES128, cycle_activity_and_ciphertexts
+    from repro.attacks.cpa import StreamingCPA
+    from repro.pdn.model import PDNModel
+
+    rng = make_rng(derive_seed(seed, "bench-kernels"))
+    record: Dict[str, object] = {
+        "seed": seed,
+        "repeats": repeats,
+        "host": host_metadata(),
+        "kernels": {},
+    }
+
+    def sweep(kernel: str, fn: Callable[[], object], n: int) -> None:
+        with kernels.use("numpy"):
+            reference = fn()
+        backends: Dict[str, object] = {}
+        for backend in kernels.available_backends(kernel):
+            backends[backend] = _backend_case(
+                backend, fn, reference, repeats, n
+            )
+        numpy_s = backends["numpy"]["seconds"]
+        for case in backends.values():
+            case["speedup_vs_numpy"] = numpy_s / case["seconds"]
+        record["kernels"][kernel] = {
+            "num_traces": n,
+            "resolved_backend": kernels.active_backends()[kernel],
+            "backends": backends,
+        }
+
+    batched = BatchedAES128(bytes(range(16)))
+    aes_pt = rng.integers(0, 256, size=(aes_traces, 16), dtype=np.uint8)
+    sweep(
+        "aes",
+        lambda: cycle_activity_and_ciphertexts(batched, aes_pt),
+        aes_traces,
+    )
+
+    pdn = PDNModel()
+    currents = rng.normal(0.02, 0.005, size=(pdn_traces, pdn_samples))
+    sweep("pdn", lambda: pdn.integrate_batch(currents), pdn_traces)
+
+    leakage = rng.integers(0, 33, size=cpa_traces).astype(np.float64)
+    hypotheses = rng.integers(
+        0, 2, size=(cpa_traces, 256)
+    ).astype(np.int8)
+
+    def cpa_fn():
+        engine = StreamingCPA()
+        engine.update(leakage, hypotheses)
+        return (
+            np.float64(engine._sum_x),
+            np.float64(engine._sum_xx),
+            engine._sum_h,
+            engine._sum_hh,
+            engine._sum_xh,
+        )
+
+    sweep("cpa", cpa_fn, cpa_traces)
+    return record
+
+
+def write_kernels_benchmark(
+    path: str = "BENCH_kernels.json", **kwargs
+) -> Dict[str, object]:
+    """Run the kernels benchmark and write its record to ``path``."""
+    record = run_kernels_benchmark(**kwargs)
     Path(path).write_text(json.dumps(record, indent=2) + "\n")
     return record

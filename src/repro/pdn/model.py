@@ -44,12 +44,82 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.util import kernels
 from repro.util.rng import make_rng
 
 try:  # scipy is optional; the pure-numpy fallback is bit-identical.
     from scipy.signal import lfilter as _lfilter
 except ImportError:  # pragma: no cover - depends on the environment
     _lfilter = None
+
+
+# ----------------------------------------------------------------------
+# Registered kernel backends for the droop recurrence.  The numpy pair
+# is the bit-identity reference; scipy's lfilter (registered only when
+# importable) and the native sequential loop produce the same float64
+# operation sequence per sample, so all three match bit-for-bit.
+# ----------------------------------------------------------------------
+
+
+def _integrate_numpy(
+    current: np.ndarray, c1: float, c2: float, b0: float
+) -> np.ndarray:
+    droop = np.empty(current.shape[0], dtype=np.float64)
+    z1 = 0.0
+    z2 = 0.0
+    for n in range(current.shape[0]):
+        z = c1 * z1 + c2 * z2 + b0 * current[n]
+        droop[n] = z
+        z2 = z1
+        z1 = z
+    return droop
+
+
+def _integrate_batch_numpy(
+    currents: np.ndarray, c1: float, c2: float, b0: float
+) -> np.ndarray:
+    droop = np.empty_like(currents)
+    z1 = np.zeros(currents.shape[0])
+    z2 = np.zeros(currents.shape[0])
+    for n in range(currents.shape[1]):
+        z = c1 * z1 + c2 * z2 + b0 * currents[:, n]
+        droop[:, n] = z
+        z2 = z1
+        z1 = z
+    return droop
+
+
+kernels.register_backend(
+    "pdn",
+    "numpy",
+    integrate=_integrate_numpy,
+    integrate_batch=_integrate_batch_numpy,
+)
+
+if _lfilter is not None:
+
+    # _lfilter is re-read at call time so tests can simulate scipy
+    # disappearing after import; the numpy recurrence is bit-identical.
+    def _integrate_scipy(
+        current: np.ndarray, c1: float, c2: float, b0: float
+    ) -> np.ndarray:
+        if _lfilter is None:
+            return _integrate_numpy(current, c1, c2, b0)
+        return _lfilter([b0], [1.0, -c1, -c2], current)
+
+    def _integrate_batch_scipy(
+        currents: np.ndarray, c1: float, c2: float, b0: float
+    ) -> np.ndarray:
+        if _lfilter is None:
+            return _integrate_batch_numpy(currents, c1, c2, b0)
+        return _lfilter([b0], [1.0, -c1, -c2], currents, axis=1)
+
+    kernels.register_backend(
+        "pdn",
+        "scipy",
+        integrate=_integrate_scipy,
+        integrate_batch=_integrate_batch_scipy,
+    )
 
 
 @dataclass(frozen=True)
@@ -178,12 +248,15 @@ class PDNModel:
         return droop
 
     def _integrate(self, current: np.ndarray) -> np.ndarray:
-        """Integrate the RLC droop response for one current waveform."""
+        """Integrate the RLC droop response for one current waveform.
+
+        Dispatched through the kernel registry: ``native`` runs the
+        sequential compiled loop, ``scipy`` the IIR ``lfilter`` form,
+        ``numpy`` the reference recurrence — all bit-identical.
+        """
         current = np.asarray(current, dtype=np.float64)
-        if _lfilter is None:
-            return self._integrate_reference(current)
         c1, c2, b0 = self.recurrence_coefficients()
-        return _lfilter([b0], [1.0, -c1, -c2], current)
+        return kernels.dispatch("pdn", "integrate")(current, c1, c2, b0)
 
     def integrate_batch(self, currents: np.ndarray) -> np.ndarray:
         """Droop responses for a batch of current waveforms.
@@ -205,17 +278,8 @@ class PDNModel:
                 % (currents.shape,)
             )
         c1, c2, b0 = self.recurrence_coefficients()
-        if _lfilter is not None:
-            return _lfilter([b0], [1.0, -c1, -c2], currents, axis=1)
-        droop = np.empty_like(currents)
-        z1 = np.zeros(currents.shape[0])
-        z2 = np.zeros(currents.shape[0])
-        for n in range(currents.shape[1]):
-            z = c1 * z1 + c2 * z2 + b0 * currents[:, n]
-            droop[:, n] = z
-            z2 = z1
-            z1 = z
-        return droop
+        op = kernels.dispatch("pdn", "integrate_batch")
+        return op(currents, c1, c2, b0)
 
     def simulate(
         self,

@@ -83,6 +83,10 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "traces": (1000, int, True),
         "seed": (1, int, True),
         "key_hex": (DEFAULT_KEY.hex(), str, True),
+        # Execution knob like workers/executor: every kernel backend
+        # is bit-identical by contract, so the backend selection can
+        # never change a result and stays out of the cache key.
+        "kernels": (None, str, False),
     },
     "attack": {
         "circuit": ("alu", str, True),
@@ -91,6 +95,7 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "seed": (1, int, True),
         "workers": (None, int, False),
         "executor": (None, str, False),
+        "kernels": (None, str, False),
         "retries": (None, int, False),
         "task_timeout": (None, float, False),
     },
@@ -99,6 +104,7 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "seed": (1, int, True),
         "workers": (None, int, False),
         "executor": (None, str, False),
+        "kernels": (None, str, False),
         "retries": (None, int, False),
         "task_timeout": (None, float, False),
     },
@@ -108,6 +114,7 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "cpa": (False, bool, True),
         "workers": (None, int, False),
         "executor": (None, str, False),
+        "kernels": (None, str, False),
     },
 }
 
@@ -137,6 +144,21 @@ def _check_value(kind: str, name: str, value: object) -> object:
             "%s job: unknown executor %r (expected one of %s)"
             % (kind, value, ", ".join(EXECUTOR_KINDS))
         )
+    if name == "kernels" and value is not None:
+        from repro.util import kernels
+
+        try:
+            # Same contract as the CLI: unknown modes are structured
+            # errors at admission; a native request the host cannot
+            # serve names the missing dependency instead of failing
+            # deep inside the campaign.
+            kernels.parse_spec(str(value))
+            with kernels.use(str(value)):
+                pass
+        except kernels.KernelConfigError as exc:
+            raise JobError("%s job: %s" % (kind, exc)) from None
+        except kernels.KernelUnavailableError as exc:
+            raise JobError("%s job: %s" % (kind, exc)) from None
     if name == "workers" and value is not None and value < 1:
         raise JobError("%s job: workers must be >= 1" % kind)
     if name == "traces" and value < 2 and kind != "tracegen":

@@ -40,6 +40,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import sharded_attack, sharded_full_key
 from repro.experiments.runner import FigureRecord, run_all_figures
 from repro.experiments.setup import ExperimentSetup
+from repro.util import kernels
 from repro.util.executors import CampaignHealth, RetryPolicy
 from repro.util.rng import derive_seed
 
@@ -91,6 +92,18 @@ def retry_policy(
     return RetryPolicy(**kwargs)  # type: ignore[arg-type]
 
 
+def _kernels_spec(params: Dict[str, object]) -> Optional[str]:
+    """The request's validated ``kernels`` spec (None = session default).
+
+    Runners apply the spec with :func:`repro.util.kernels.use` so a
+    service job's backend selection matches the equivalent CLI
+    invocation — including the exported ``REPRO_KERNELS`` environment
+    variable that process-pool workers resolve against.
+    """
+    spec = params.get("kernels")
+    return None if spec is None else str(spec)
+
+
 def _experiment_config(params: Dict[str, object]) -> ExperimentConfig:
     return ExperimentConfig(
         seed=int(params["seed"]),  # type: ignore[arg-type]
@@ -108,25 +121,26 @@ def run_attack(
     resume: bool = False,
 ) -> CPAResult:
     """The ``repro attack`` campaign as a parameter-dict runner."""
-    config = _experiment_config(params)
-    setup = cached_setup(config)
-    campaign = setup.campaign(str(params["circuit"]))
-    return sharded_attack(
-        campaign,
-        int(params["traces"]),  # type: ignore[arg-type]
-        reduction=str(params["reduction"]),
-        max_workers=params.get("workers"),  # type: ignore[arg-type]
-        executor=params.get("executor"),  # type: ignore[arg-type]
-        policy=retry_policy(
-            params.get("retries"),  # type: ignore[arg-type]
-            params.get("task_timeout"),  # type: ignore[arg-type]
-            config.seed,
-        ),
-        health=health,
-        checkpoint_path=checkpoint_path,
-        checkpoint_every=checkpoint_every,
-        resume=resume,
-    )
+    with kernels.use(_kernels_spec(params)):
+        config = _experiment_config(params)
+        setup = cached_setup(config)
+        campaign = setup.campaign(str(params["circuit"]))
+        return sharded_attack(
+            campaign,
+            int(params["traces"]),  # type: ignore[arg-type]
+            reduction=str(params["reduction"]),
+            max_workers=params.get("workers"),  # type: ignore[arg-type]
+            executor=params.get("executor"),  # type: ignore[arg-type]
+            policy=retry_policy(
+                params.get("retries"),  # type: ignore[arg-type]
+                params.get("task_timeout"),  # type: ignore[arg-type]
+                config.seed,
+            ),
+            health=health,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
 
 
 def run_fullkey(
@@ -137,23 +151,24 @@ def run_fullkey(
     resume: bool = False,
 ) -> FullKeyResult:
     """The ``repro fullkey`` campaign as a parameter-dict runner."""
-    config = _experiment_config(params)
-    setup = cached_setup(config)
-    return sharded_full_key(
-        setup.campaign("alu"),
-        int(params["traces"]),  # type: ignore[arg-type]
-        max_workers=params.get("workers"),  # type: ignore[arg-type]
-        executor=params.get("executor"),  # type: ignore[arg-type]
-        policy=retry_policy(
-            params.get("retries"),  # type: ignore[arg-type]
-            params.get("task_timeout"),  # type: ignore[arg-type]
-            config.seed,
-        ),
-        health=health,
-        checkpoint_path=checkpoint_path,
-        checkpoint_every=checkpoint_every,
-        resume=resume,
-    )
+    with kernels.use(_kernels_spec(params)):
+        config = _experiment_config(params)
+        setup = cached_setup(config)
+        return sharded_full_key(
+            setup.campaign("alu"),
+            int(params["traces"]),  # type: ignore[arg-type]
+            max_workers=params.get("workers"),  # type: ignore[arg-type]
+            executor=params.get("executor"),  # type: ignore[arg-type]
+            policy=retry_policy(
+                params.get("retries"),  # type: ignore[arg-type]
+                params.get("task_timeout"),  # type: ignore[arg-type]
+                config.seed,
+            ),
+            health=health,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
 
 
 def run_report(
@@ -162,12 +177,13 @@ def run_report(
     resume: bool = False,
 ) -> List[FigureRecord]:
     """The ``repro report`` figure sweep as a parameter-dict runner."""
-    return run_all_figures(
-        _experiment_config(params),
-        include_cpa=bool(params.get("cpa", False)),
-        checkpoint_path=checkpoint_path,
-        resume=resume,
-    )
+    with kernels.use(_kernels_spec(params)):
+        return run_all_figures(
+            _experiment_config(params),
+            include_cpa=bool(params.get("cpa", False)),
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -216,11 +232,12 @@ def _tracegen_plaintexts(params: Dict[str, object]) -> np.ndarray:
 
 def run_tracegen(params: Dict[str, object]) -> Dict[str, np.ndarray]:
     """One trace-generation request, alone (the direct path)."""
-    generator = _generator(str(params["key_hex"]))
-    return generator.generate(
-        _tracegen_plaintexts(params),
-        seed=derive_seed(int(params["seed"]), "service-noise"),  # type: ignore[arg-type]
-    )
+    with kernels.use(_kernels_spec(params)):
+        generator = _generator(str(params["key_hex"]))
+        return generator.generate(
+            _tracegen_plaintexts(params),
+            seed=derive_seed(int(params["seed"]), "service-noise"),  # type: ignore[arg-type]
+        )
 
 
 def run_tracegen_batch(
@@ -241,9 +258,12 @@ def run_tracegen_batch(
         raise ValueError(
             "tracegen batch mixes %d compatibility classes" % len(keys)
         )
-    generator = _generator(str(batch[0]["key_hex"]))
-    plaintexts = [_tracegen_plaintexts(params) for params in batch]
-    merged = generator.generate_deterministic(np.vstack(plaintexts))
+    # Backends are bit-identical, so the kernels knob never affects the
+    # merged output; the first request's spec drives the shared pass.
+    with kernels.use(_kernels_spec(batch[0])):
+        generator = _generator(str(batch[0]["key_hex"]))
+        plaintexts = [_tracegen_plaintexts(params) for params in batch]
+        merged = generator.generate_deterministic(np.vstack(plaintexts))
     results: List[Dict[str, np.ndarray]] = []
     offset = 0
     for params, blocks in zip(batch, plaintexts):

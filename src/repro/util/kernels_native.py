@@ -1,0 +1,980 @@
+"""Native providers for the kernel dispatch registry.
+
+Two interchangeable providers serve the ``native`` backend of
+:mod:`repro.util.kernels`:
+
+* **numba** — ``@njit(cache=True, nogil=True)`` loops, used when numba
+  is importable (the ``repro[native]`` extra).  ``fastmath`` stays off:
+  fused multiply-adds and reassociation would break the bit-identity
+  contract.
+* **cc** — a small C translation of the same loops, embedded below as
+  source, compiled once with the system compiler into a content-hashed
+  shared library under a cache directory, and loaded through ctypes.
+  ``-ffp-contract=off`` disables FMA contraction for the same reason,
+  and no ``-ffast-math`` means IEEE semantics (and a working
+  ``isfinite``) everywhere.
+
+Both express each kernel as the *same sequence of IEEE-754 float64
+operations* (or exact uint8 table lookups) as the numpy reference, so
+outputs are bit-identical, not merely close — the property the
+exact-equality test suite and the bench's assert-before-timing check
+enforce.
+
+Nothing here is ever pickled: the registry dispatches to these ops at
+call time, so campaign objects carry no numba dispatchers or ctypes
+handles.  Forked pool workers inherit the loaded library; spawned ones
+re-open it from the on-disk cache.
+
+``REPRO_NATIVE_PROVIDER`` forces a provider: ``numba``, ``cc``, or
+``none`` (useful in tests to exercise the unavailable path without
+uninstalling anything).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["NativeProvider", "load_native", "unavailable_reason"]
+
+PROVIDER_ENV = "REPRO_NATIVE_PROVIDER"
+CACHE_ENV = "REPRO_KERNELS_CACHE"
+
+try:  # optional dependency: the repro[native] extra
+    import numba
+    from numba import njit
+except ImportError:  # pragma: no cover - depends on the environment
+    numba = None
+
+
+class NativeProvider:
+    """A loaded native backend: its name and its op table.
+
+    Attributes:
+        provider: ``"numba"`` or ``"cc"`` — recorded in bench metadata.
+        ops: ``{(kernel, op): callable}`` with the same signatures the
+            registered numpy reference ops use.
+    """
+
+    def __init__(self, provider: str, ops: Dict[Tuple[str, str], Callable]):
+        self.provider = provider
+        self.ops = ops
+
+
+# ----------------------------------------------------------------------
+# numba provider
+# ----------------------------------------------------------------------
+
+if numba is not None:  # pragma: no cover - exercised on numba hosts
+
+    @njit(cache=True, nogil=True)
+    def _nb_round_states(rk, pt, sbox, shift_src, g2, g3, out):
+        n = pt.shape[0]
+        for t in range(n):
+            s = np.empty(16, dtype=np.uint8)
+            tmp = np.empty(16, dtype=np.uint8)
+            for i in range(16):
+                out[t, 0, i] = pt[t, i]
+                s[i] = pt[t, i] ^ rk[0, i]
+                out[t, 1, i] = s[i]
+            for r in range(1, 10):
+                for i in range(16):
+                    tmp[i] = sbox[s[shift_src[i]]]
+                for c in range(4):
+                    a0 = tmp[4 * c]
+                    a1 = tmp[4 * c + 1]
+                    a2 = tmp[4 * c + 2]
+                    a3 = tmp[4 * c + 3]
+                    s[4 * c] = (g2[a0] ^ g3[a1] ^ a2 ^ a3) ^ rk[r, 4 * c]
+                    s[4 * c + 1] = (
+                        a0 ^ g2[a1] ^ g3[a2] ^ a3
+                    ) ^ rk[r, 4 * c + 1]
+                    s[4 * c + 2] = (
+                        a0 ^ a1 ^ g2[a2] ^ g3[a3]
+                    ) ^ rk[r, 4 * c + 2]
+                    s[4 * c + 3] = (
+                        g3[a0] ^ a1 ^ a2 ^ g2[a3]
+                    ) ^ rk[r, 4 * c + 3]
+                for i in range(16):
+                    out[t, r + 1, i] = s[i]
+            for i in range(16):
+                tmp[i] = sbox[s[shift_src[i]]]
+            for i in range(16):
+                s[i] = tmp[i] ^ rk[10, i]
+                out[t, 11, i] = s[i]
+
+    @njit(cache=True, nogil=True)
+    def _nb_cycle_hd(states, cpr, pop, out):
+        n = states.shape[0]
+        col = np.empty(4, dtype=np.int64)
+        for t in range(n):
+            for r in range(11):
+                for c in range(4):
+                    acc = np.int64(0)
+                    for i in range(4):
+                        acc += pop[
+                            states[t, r, 4 * c + i]
+                            ^ states[t, r + 1, 4 * c + i]
+                        ]
+                    col[c] = acc
+                for c in range(cpr):
+                    out[t, r * cpr + c] = col[c % 4]
+
+    @njit(cache=True, nogil=True)
+    def _nb_cycle_activity(states, cpr, pop, vw, tw, out):
+        n = states.shape[0]
+        col_hd = np.empty(4, dtype=np.int64)
+        col_hw = np.empty(4, dtype=np.int64)
+        for t in range(n):
+            for r in range(11):
+                for c in range(4):
+                    hd = np.int64(0)
+                    hw = np.int64(0)
+                    for i in range(4):
+                        a = states[t, r, 4 * c + i]
+                        hd += pop[a ^ states[t, r + 1, 4 * c + i]]
+                        hw += pop[a]
+                    col_hd[c] = hd
+                    col_hw[c] = hw
+                for c in range(cpr):
+                    out[t, r * cpr + c] = (
+                        vw * col_hw[c % 4] + tw * col_hd[c % 4]
+                    )
+
+    @njit(cache=True, nogil=True)
+    def _nb_activity_ct(rk, pt, sbox, shift_src, g2, g3, pop, cpr, vw, tw,
+                        activity, ct):
+        n = pt.shape[0]
+        prev = np.empty(16, dtype=np.uint8)
+        cur = np.empty(16, dtype=np.uint8)
+        tmp = np.empty(16, dtype=np.uint8)
+        for t in range(n):
+            for i in range(16):
+                prev[i] = pt[t, i]
+                cur[i] = pt[t, i] ^ rk[0, i]
+            for r in range(11):
+                if r > 0:
+                    for i in range(16):
+                        tmp[i] = sbox[prev[shift_src[i]]]
+                    if r < 10:
+                        for c in range(4):
+                            a0 = tmp[4 * c]
+                            a1 = tmp[4 * c + 1]
+                            a2 = tmp[4 * c + 2]
+                            a3 = tmp[4 * c + 3]
+                            cur[4 * c] = (
+                                g2[a0] ^ g3[a1] ^ a2 ^ a3
+                            ) ^ rk[r, 4 * c]
+                            cur[4 * c + 1] = (
+                                a0 ^ g2[a1] ^ g3[a2] ^ a3
+                            ) ^ rk[r, 4 * c + 1]
+                            cur[4 * c + 2] = (
+                                a0 ^ a1 ^ g2[a2] ^ g3[a3]
+                            ) ^ rk[r, 4 * c + 2]
+                            cur[4 * c + 3] = (
+                                g3[a0] ^ a1 ^ a2 ^ g2[a3]
+                            ) ^ rk[r, 4 * c + 3]
+                    else:
+                        for i in range(16):
+                            cur[i] = tmp[i] ^ rk[10, i]
+                for c in range(4):
+                    hd = np.int64(0)
+                    hw = np.int64(0)
+                    for i in range(4):
+                        a = prev[4 * c + i]
+                        hd += pop[a ^ cur[4 * c + i]]
+                        hw += pop[a]
+                    col = vw * hw + tw * hd
+                    cc = c
+                    while cc < cpr:
+                        activity[t, r * cpr + cc] = col
+                        cc += 4
+                for i in range(16):
+                    prev[i] = cur[i]
+            for i in range(16):
+                ct[t, i] = cur[i]
+
+    @njit(cache=True, nogil=True)
+    def _nb_hyp_single_bit(ct_bytes, inv_sbox, bit, out):
+        n = ct_bytes.shape[0]
+        for t in range(n):
+            c = ct_bytes[t]
+            for k in range(256):
+                out[t, k] = np.int8((inv_sbox[c ^ k] >> bit) & 1)
+
+    @njit(cache=True, nogil=True)
+    def _nb_hyp_hw(ct_bytes, inv_sbox, pop, out):
+        n = ct_bytes.shape[0]
+        for t in range(n):
+            c = ct_bytes[t]
+            for k in range(256):
+                out[t, k] = np.int8(pop[inv_sbox[c ^ k]])
+
+    @njit(cache=True, nogil=True)
+    def _nb_pdn_integrate(x, c1, c2, b0, out):
+        rows = x.shape[0]
+        cols = x.shape[1]
+        for r in range(rows):
+            z1 = 0.0
+            z2 = 0.0
+            for i in range(cols):
+                z = c1 * z1 + c2 * z2 + b0 * x[r, i]
+                out[r, i] = z
+                z2 = z1
+                z1 = z
+
+    @njit(cache=True, nogil=True)
+    def _nb_cpa_accumulate_f64(x, h, out):
+        n = x.shape[0]
+        k = h.shape[1]
+        sx = 0.0
+        sxx = 0.0
+        for i in range(n):
+            xi = x[i]
+            if not np.isfinite(xi):
+                return i + 1
+            sx += xi
+            sxx += xi * xi
+            for j in range(k):
+                hij = h[i, j]
+                if not np.isfinite(hij):
+                    return i + 1
+                out[2 + j] += hij
+                out[2 + k + j] += hij * hij
+                out[2 + 2 * k + j] += hij * xi
+        out[0] = sx
+        out[1] = sxx
+        return 0
+
+    @njit(cache=True, nogil=True)
+    def _nb_cpa_accumulate_i8(x, h, out):
+        n = x.shape[0]
+        k = h.shape[1]
+        sx = 0.0
+        sxx = 0.0
+        for i in range(n):
+            xi = x[i]
+            if not np.isfinite(xi):
+                return i + 1
+            sx += xi
+            sxx += xi * xi
+            for j in range(k):
+                hij = float(h[i, j])
+                out[2 + j] += hij
+                out[2 + k + j] += hij * hij
+                out[2 + 2 * k + j] += hij * xi
+        out[0] = sx
+        out[1] = sxx
+        return 0
+
+
+def _build_numba_ops() -> Dict[Tuple[str, str], Callable]:
+    """Wrap the njit kernels in the registry op signatures."""
+    # pragma: no cover - exercised on numba hosts
+    tables = _tables()
+    sbox, inv_sbox, shift_src, g2, g3, pop = tables
+
+    def round_states(round_keys, blocks):
+        rk = np.ascontiguousarray(round_keys, dtype=np.uint8)
+        pt = np.ascontiguousarray(blocks, dtype=np.uint8)
+        out = np.empty((pt.shape[0], 12, 16), dtype=np.uint8)
+        _nb_round_states(rk, pt, sbox, shift_src, g2, g3, out)
+        return out
+
+    def cycle_hd_from_states(states, cycles_per_round):
+        st = np.ascontiguousarray(states, dtype=np.uint8)
+        out = np.empty(
+            (st.shape[0], 11 * cycles_per_round), dtype=np.int64
+        )
+        _nb_cycle_hd(st, cycles_per_round, pop, out)
+        return out
+
+    def cycle_activity_from_states(
+        states, cycles_per_round, value_weight, transition_weight
+    ):
+        st = np.ascontiguousarray(states, dtype=np.uint8)
+        out = np.empty(
+            (st.shape[0], 11 * cycles_per_round), dtype=np.float64
+        )
+        _nb_cycle_activity(
+            st, cycles_per_round, pop,
+            float(value_weight), float(transition_weight), out,
+        )
+        return out
+
+    def activity_and_ciphertexts(
+        round_keys, blocks, cycles_per_round, value_weight,
+        transition_weight,
+    ):
+        rk = np.ascontiguousarray(round_keys, dtype=np.uint8)
+        pt = np.ascontiguousarray(blocks, dtype=np.uint8)
+        activity = np.empty(
+            (pt.shape[0], 11 * cycles_per_round), dtype=np.float64
+        )
+        ct = np.empty((pt.shape[0], 16), dtype=np.uint8)
+        _nb_activity_ct(
+            rk, pt, sbox, shift_src, g2, g3, pop, cycles_per_round,
+            float(value_weight), float(transition_weight), activity, ct,
+        )
+        return activity, ct
+
+    def single_bit_hypothesis(ct_bytes, bit):
+        ct = np.ascontiguousarray(ct_bytes, dtype=np.uint8)
+        out = np.empty((ct.shape[0], 256), dtype=np.int8)
+        _nb_hyp_single_bit(ct, inv_sbox, bit, out)
+        return out
+
+    def hamming_weight_hypothesis(ct_bytes):
+        ct = np.ascontiguousarray(ct_bytes, dtype=np.uint8)
+        out = np.empty((ct.shape[0], 256), dtype=np.int8)
+        _nb_hyp_hw(ct, inv_sbox, pop, out)
+        return out
+
+    def integrate(current, c1, c2, b0):
+        x = np.ascontiguousarray(current, dtype=np.float64).reshape(1, -1)
+        out = np.empty_like(x)
+        _nb_pdn_integrate(x, c1, c2, b0, out)
+        return out[0]
+
+    def integrate_batch(currents, c1, c2, b0):
+        x = np.ascontiguousarray(currents, dtype=np.float64)
+        out = np.empty_like(x)
+        _nb_pdn_integrate(x, c1, c2, b0, out)
+        return out
+
+    def accumulate(x, h):
+        out = np.zeros(2 + 3 * h.shape[1], dtype=np.float64)
+        xf = np.ascontiguousarray(x, dtype=np.float64)
+        if h.dtype == np.int8:
+            status = _nb_cpa_accumulate_i8(
+                xf, np.ascontiguousarray(h), out
+            )
+        else:
+            status = _nb_cpa_accumulate_f64(
+                xf, np.ascontiguousarray(h, dtype=np.float64), out
+            )
+        if status != 0:
+            return None
+        k = h.shape[1]
+        return (
+            float(out[0]), float(out[1]),
+            out[2:2 + k], out[2 + k:2 + 2 * k], out[2 + 2 * k:],
+        )
+
+    return {
+        ("aes", "round_states"): round_states,
+        ("aes", "cycle_hd_from_states"): cycle_hd_from_states,
+        ("aes", "cycle_activity_from_states"): cycle_activity_from_states,
+        ("aes", "activity_and_ciphertexts"): activity_and_ciphertexts,
+        ("aes", "single_bit_hypothesis"): single_bit_hypothesis,
+        ("aes", "hamming_weight_hypothesis"): hamming_weight_hypothesis,
+        ("pdn", "integrate"): integrate,
+        ("pdn", "integrate_batch"): integrate_batch,
+        ("cpa", "accumulate"): accumulate,
+    }
+
+
+# ----------------------------------------------------------------------
+# cc provider: embedded C, compiled once, loaded via ctypes
+# ----------------------------------------------------------------------
+
+#: The C translation of the hot loops.  Every float64 statement mirrors
+#: the numpy/python reference operation order exactly; compiled with
+#: ``-ffp-contract=off`` (no FMA) and without ``-ffast-math`` (IEEE
+#: semantics, working ``isfinite``), the results are bit-identical.
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+void repro_aes_round_states(
+    const uint8_t *rk, const uint8_t *pt, long long n,
+    const uint8_t *sbox, const uint8_t *shift_src,
+    const uint8_t *g2, const uint8_t *g3, uint8_t *out)
+{
+    for (long long t = 0; t < n; ++t) {
+        const uint8_t *block = pt + 16 * t;
+        uint8_t *st = out + 192 * t;
+        uint8_t s[16], tmp[16];
+        for (int i = 0; i < 16; ++i) {
+            st[i] = block[i];
+            s[i] = block[i] ^ rk[i];
+            st[16 + i] = s[i];
+        }
+        for (int r = 1; r <= 9; ++r) {
+            const uint8_t *k = rk + 16 * r;
+            uint8_t *row = st + 16 * (r + 1);
+            for (int i = 0; i < 16; ++i)
+                tmp[i] = sbox[s[shift_src[i]]];
+            for (int c = 0; c < 4; ++c) {
+                uint8_t a0 = tmp[4 * c], a1 = tmp[4 * c + 1];
+                uint8_t a2 = tmp[4 * c + 2], a3 = tmp[4 * c + 3];
+                s[4 * c] = (uint8_t)(g2[a0] ^ g3[a1] ^ a2 ^ a3)
+                           ^ k[4 * c];
+                s[4 * c + 1] = (uint8_t)(a0 ^ g2[a1] ^ g3[a2] ^ a3)
+                               ^ k[4 * c + 1];
+                s[4 * c + 2] = (uint8_t)(a0 ^ a1 ^ g2[a2] ^ g3[a3])
+                               ^ k[4 * c + 2];
+                s[4 * c + 3] = (uint8_t)(g3[a0] ^ a1 ^ a2 ^ g2[a3])
+                               ^ k[4 * c + 3];
+            }
+            for (int i = 0; i < 16; ++i)
+                row[i] = s[i];
+        }
+        for (int i = 0; i < 16; ++i)
+            tmp[i] = sbox[s[shift_src[i]]];
+        for (int i = 0; i < 16; ++i) {
+            s[i] = tmp[i] ^ rk[160 + i];
+            st[176 + i] = s[i];
+        }
+    }
+}
+
+void repro_aes_cycle_hd(
+    const uint8_t *states, long long n, long long cpr,
+    const uint8_t *pop, int64_t *out)
+{
+    for (long long t = 0; t < n; ++t) {
+        const uint8_t *st = states + 192 * t;
+        int64_t *row = out + 11 * cpr * t;
+        for (int r = 0; r < 11; ++r) {
+            const uint8_t *a = st + 16 * r;
+            const uint8_t *b = a + 16;
+            int64_t col[4];
+            for (int c = 0; c < 4; ++c) {
+                int64_t acc = 0;
+                for (int i = 0; i < 4; ++i)
+                    acc += pop[a[4 * c + i] ^ b[4 * c + i]];
+                col[c] = acc;
+            }
+            for (long long c = 0; c < cpr; ++c)
+                row[r * cpr + c] = col[c & 3];
+        }
+    }
+}
+
+void repro_aes_cycle_activity(
+    const uint8_t *states, long long n, long long cpr,
+    const uint8_t *pop, double vw, double tw, double *out)
+{
+    for (long long t = 0; t < n; ++t) {
+        const uint8_t *st = states + 192 * t;
+        double *row = out + 11 * cpr * t;
+        for (int r = 0; r < 11; ++r) {
+            const uint8_t *a = st + 16 * r;
+            const uint8_t *b = a + 16;
+            double col[4];
+            for (int c = 0; c < 4; ++c) {
+                int64_t hd = 0, hw = 0;
+                for (int i = 0; i < 4; ++i) {
+                    uint8_t av = a[4 * c + i];
+                    hd += pop[av ^ b[4 * c + i]];
+                    hw += pop[av];
+                }
+                col[c] = vw * (double)hw + tw * (double)hd;
+            }
+            for (long long c = 0; c < cpr; ++c)
+                row[r * cpr + c] = col[c & 3];
+        }
+    }
+}
+
+void repro_aes_activity_ct(
+    const uint8_t *rk, const uint8_t *pt, long long n,
+    const uint8_t *sbox, const uint8_t *shift_src,
+    const uint8_t *g2, const uint8_t *g3, const uint8_t *pop,
+    long long cpr, double vw, double tw,
+    double *activity, uint8_t *ct)
+{
+    for (long long t = 0; t < n; ++t) {
+        const uint8_t *block = pt + 16 * t;
+        double *row = activity + 11 * cpr * t;
+        uint8_t prev[16], cur[16], tmp[16];
+        for (int i = 0; i < 16; ++i) {
+            prev[i] = block[i];
+            cur[i] = block[i] ^ rk[i];
+        }
+        for (int r = 0; r < 11; ++r) {
+            if (r > 0) {
+                for (int i = 0; i < 16; ++i)
+                    tmp[i] = sbox[prev[shift_src[i]]];
+                if (r < 10) {
+                    const uint8_t *k = rk + 16 * r;
+                    for (int c = 0; c < 4; ++c) {
+                        uint8_t a0 = tmp[4 * c], a1 = tmp[4 * c + 1];
+                        uint8_t a2 = tmp[4 * c + 2], a3 = tmp[4 * c + 3];
+                        cur[4 * c] = (uint8_t)(g2[a0] ^ g3[a1] ^ a2 ^ a3)
+                                     ^ k[4 * c];
+                        cur[4 * c + 1] =
+                            (uint8_t)(a0 ^ g2[a1] ^ g3[a2] ^ a3)
+                            ^ k[4 * c + 1];
+                        cur[4 * c + 2] =
+                            (uint8_t)(a0 ^ a1 ^ g2[a2] ^ g3[a3])
+                            ^ k[4 * c + 2];
+                        cur[4 * c + 3] =
+                            (uint8_t)(g3[a0] ^ a1 ^ a2 ^ g2[a3])
+                            ^ k[4 * c + 3];
+                    }
+                } else {
+                    for (int i = 0; i < 16; ++i)
+                        cur[i] = tmp[i] ^ rk[160 + i];
+                }
+            }
+            for (int c = 0; c < 4; ++c) {
+                int64_t hd = 0, hw = 0;
+                for (int i = 0; i < 4; ++i) {
+                    uint8_t av = prev[4 * c + i];
+                    hd += pop[av ^ cur[4 * c + i]];
+                    hw += pop[av];
+                }
+                double col = vw * (double)hw + tw * (double)hd;
+                for (long long cc = c; cc < cpr; cc += 4)
+                    row[r * cpr + cc] = col;
+            }
+            for (int i = 0; i < 16; ++i)
+                prev[i] = cur[i];
+        }
+        for (int i = 0; i < 16; ++i)
+            ct[16 * t + i] = cur[i];
+    }
+}
+
+void repro_hyp_single_bit(
+    const uint8_t *ct, long long n, const uint8_t *inv_sbox,
+    int bit, int8_t *out)
+{
+    for (long long t = 0; t < n; ++t) {
+        uint8_t c = ct[t];
+        int8_t *row = out + 256 * t;
+        for (int k = 0; k < 256; ++k)
+            row[k] = (int8_t)((inv_sbox[c ^ k] >> bit) & 1);
+    }
+}
+
+void repro_hyp_hw(
+    const uint8_t *ct, long long n, const uint8_t *inv_sbox,
+    const uint8_t *pop, int8_t *out)
+{
+    for (long long t = 0; t < n; ++t) {
+        uint8_t c = ct[t];
+        int8_t *row = out + 256 * t;
+        for (int k = 0; k < 256; ++k)
+            row[k] = (int8_t)pop[inv_sbox[c ^ k]];
+    }
+}
+
+void repro_pdn_integrate(
+    const double *x, long long rows, long long cols,
+    double c1, double c2, double b0, double *out)
+{
+    for (long long r = 0; r < rows; ++r) {
+        const double *xi = x + cols * r;
+        double *oi = out + cols * r;
+        double z1 = 0.0, z2 = 0.0;
+        for (long long i = 0; i < cols; ++i) {
+            double z = c1 * z1 + c2 * z2 + b0 * xi[i];
+            oi[i] = z;
+            z2 = z1;
+            z1 = z;
+        }
+    }
+}
+
+long long repro_cpa_accumulate_f64(
+    const double *x, const double *h, long long n, long long k,
+    double *out)
+{
+    double sx = 0.0, sxx = 0.0;
+    double *sh = out + 2, *shh = out + 2 + k, *sxh = out + 2 + 2 * k;
+    for (long long i = 0; i < n; ++i) {
+        double xi = x[i];
+        if (!isfinite(xi))
+            return i + 1;
+        const double *hi = h + k * i;
+        sx += xi;
+        sxx += xi * xi;
+        for (long long j = 0; j < k; ++j) {
+            double hij = hi[j];
+            if (!isfinite(hij))
+                return i + 1;
+            sh[j] += hij;
+            shh[j] += hij * hij;
+            sxh[j] += hij * xi;
+        }
+    }
+    out[0] = sx;
+    out[1] = sxx;
+    return 0;
+}
+
+long long repro_cpa_accumulate_i8(
+    const double *x, const int8_t *h, long long n, long long k,
+    double *out)
+{
+    double sx = 0.0, sxx = 0.0;
+    double *sh = out + 2, *shh = out + 2 + k, *sxh = out + 2 + 2 * k;
+    for (long long i = 0; i < n; ++i) {
+        double xi = x[i];
+        if (!isfinite(xi))
+            return i + 1;
+        const int8_t *hi = h + k * i;
+        sx += xi;
+        sxx += xi * xi;
+        for (long long j = 0; j < k; ++j) {
+            double hij = (double)hi[j];
+            sh[j] += hij;
+            shh[j] += hij * hij;
+            sxh[j] += hij * xi;
+        }
+    }
+    out[0] = sx;
+    out[1] = sxx;
+    return 0;
+}
+"""
+
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c99", "-ffp-contract=off"]
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get(CACHE_ENV)
+    if configured:
+        return configured
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro_kernels")
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile_library(compiler: str) -> str:
+    """Build (or reuse) the content-hashed shared library; return path."""
+    digest = hashlib.sha256(
+        ("\0".join([_C_SOURCE] + _CFLAGS)).encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, "repro_kernels_%s.so" % digest)
+    if os.path.exists(lib_path):
+        return lib_path
+    os.makedirs(cache, exist_ok=True)
+    # Build into a temp name and os.replace so concurrent builders
+    # (parallel test workers, forked pools) race safely.
+    fd, src_path = tempfile.mkstemp(suffix=".c", dir=cache)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_C_SOURCE)
+        tmp_lib = src_path[:-2] + ".so"
+        subprocess.run(
+            [compiler, *_CFLAGS, "-o", tmp_lib, src_path, "-lm"],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        os.replace(tmp_lib, lib_path)
+    finally:
+        if os.path.exists(src_path):
+            os.unlink(src_path)
+    return lib_path
+
+
+def _tables():
+    """The shared uint8 lookup tables, contiguous, in one place."""
+    from repro.aes.batch import GMUL2_TABLE, GMUL3_TABLE, POPCOUNT8_TABLE
+    from repro.aes.leakage import (
+        INV_SBOX_TABLE,
+        SBOX_TABLE,
+        SHIFT_ROWS_SOURCE,
+    )
+
+    def u8(arr):
+        return np.ascontiguousarray(arr, dtype=np.uint8)
+
+    return (
+        u8(SBOX_TABLE),
+        u8(INV_SBOX_TABLE),
+        u8(SHIFT_ROWS_SOURCE),
+        u8(GMUL2_TABLE),
+        u8(GMUL3_TABLE),
+        u8(POPCOUNT8_TABLE),
+    )
+
+
+def _build_cc_ops(lib_path: str) -> Dict[Tuple[str, str], Callable]:
+    lib = ctypes.CDLL(lib_path)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    i8p = ctypes.POINTER(ctypes.c_int8)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    f64p = ctypes.POINTER(ctypes.c_double)
+    ll = ctypes.c_longlong
+    f64 = ctypes.c_double
+
+    lib.repro_aes_round_states.argtypes = [
+        u8p, u8p, ll, u8p, u8p, u8p, u8p, u8p
+    ]
+    lib.repro_aes_round_states.restype = None
+    lib.repro_aes_cycle_hd.argtypes = [u8p, ll, ll, u8p, i64p]
+    lib.repro_aes_cycle_hd.restype = None
+    lib.repro_aes_cycle_activity.argtypes = [
+        u8p, ll, ll, u8p, f64, f64, f64p
+    ]
+    lib.repro_aes_cycle_activity.restype = None
+    lib.repro_aes_activity_ct.argtypes = [
+        u8p, u8p, ll, u8p, u8p, u8p, u8p, u8p, ll, f64, f64, f64p, u8p
+    ]
+    lib.repro_aes_activity_ct.restype = None
+    lib.repro_hyp_single_bit.argtypes = [u8p, ll, u8p, ctypes.c_int, i8p]
+    lib.repro_hyp_single_bit.restype = None
+    lib.repro_hyp_hw.argtypes = [u8p, ll, u8p, u8p, i8p]
+    lib.repro_hyp_hw.restype = None
+    lib.repro_pdn_integrate.argtypes = [f64p, ll, ll, f64, f64, f64, f64p]
+    lib.repro_pdn_integrate.restype = None
+    lib.repro_cpa_accumulate_f64.argtypes = [f64p, f64p, ll, ll, f64p]
+    lib.repro_cpa_accumulate_f64.restype = ll
+    lib.repro_cpa_accumulate_i8.argtypes = [f64p, i8p, ll, ll, f64p]
+    lib.repro_cpa_accumulate_i8.restype = ll
+
+    sbox, inv_sbox, shift_src, g2, g3, pop = _tables()
+
+    def ptr(arr, ctype):
+        return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+    sbox_p = ptr(sbox, ctypes.c_uint8)
+    inv_sbox_p = ptr(inv_sbox, ctypes.c_uint8)
+    shift_p = ptr(shift_src, ctypes.c_uint8)
+    g2_p = ptr(g2, ctypes.c_uint8)
+    g3_p = ptr(g3, ctypes.c_uint8)
+    pop_p = ptr(pop, ctypes.c_uint8)
+
+    def round_states(round_keys, blocks):
+        rk = np.ascontiguousarray(round_keys, dtype=np.uint8)
+        pt = np.ascontiguousarray(blocks, dtype=np.uint8)
+        out = np.empty((pt.shape[0], 12, 16), dtype=np.uint8)
+        lib.repro_aes_round_states(
+            ptr(rk, ctypes.c_uint8), ptr(pt, ctypes.c_uint8),
+            pt.shape[0], sbox_p, shift_p, g2_p, g3_p,
+            ptr(out, ctypes.c_uint8),
+        )
+        return out
+
+    def cycle_hd_from_states(states, cycles_per_round):
+        st = np.ascontiguousarray(states, dtype=np.uint8)
+        out = np.empty(
+            (st.shape[0], 11 * cycles_per_round), dtype=np.int64
+        )
+        lib.repro_aes_cycle_hd(
+            ptr(st, ctypes.c_uint8), st.shape[0], cycles_per_round,
+            pop_p, ptr(out, ctypes.c_int64),
+        )
+        return out
+
+    def cycle_activity_from_states(
+        states, cycles_per_round, value_weight, transition_weight
+    ):
+        st = np.ascontiguousarray(states, dtype=np.uint8)
+        out = np.empty(
+            (st.shape[0], 11 * cycles_per_round), dtype=np.float64
+        )
+        lib.repro_aes_cycle_activity(
+            ptr(st, ctypes.c_uint8), st.shape[0], cycles_per_round,
+            pop_p, float(value_weight), float(transition_weight),
+            ptr(out, ctypes.c_double),
+        )
+        return out
+
+    def activity_and_ciphertexts(
+        round_keys, blocks, cycles_per_round, value_weight,
+        transition_weight,
+    ):
+        rk = np.ascontiguousarray(round_keys, dtype=np.uint8)
+        pt = np.ascontiguousarray(blocks, dtype=np.uint8)
+        activity = np.empty(
+            (pt.shape[0], 11 * cycles_per_round), dtype=np.float64
+        )
+        ct = np.empty((pt.shape[0], 16), dtype=np.uint8)
+        lib.repro_aes_activity_ct(
+            ptr(rk, ctypes.c_uint8), ptr(pt, ctypes.c_uint8),
+            pt.shape[0], sbox_p, shift_p, g2_p, g3_p, pop_p,
+            cycles_per_round, float(value_weight),
+            float(transition_weight), ptr(activity, ctypes.c_double),
+            ptr(ct, ctypes.c_uint8),
+        )
+        return activity, ct
+
+    def single_bit_hypothesis(ct_bytes, bit):
+        ct = np.ascontiguousarray(ct_bytes, dtype=np.uint8)
+        out = np.empty((ct.shape[0], 256), dtype=np.int8)
+        lib.repro_hyp_single_bit(
+            ptr(ct, ctypes.c_uint8), ct.shape[0], inv_sbox_p,
+            int(bit), ptr(out, ctypes.c_int8),
+        )
+        return out
+
+    def hamming_weight_hypothesis(ct_bytes):
+        ct = np.ascontiguousarray(ct_bytes, dtype=np.uint8)
+        out = np.empty((ct.shape[0], 256), dtype=np.int8)
+        lib.repro_hyp_hw(
+            ptr(ct, ctypes.c_uint8), ct.shape[0], inv_sbox_p, pop_p,
+            ptr(out, ctypes.c_int8),
+        )
+        return out
+
+    def integrate(current, c1, c2, b0):
+        x = np.ascontiguousarray(current, dtype=np.float64)
+        out = np.empty_like(x)
+        lib.repro_pdn_integrate(
+            ptr(x, ctypes.c_double), 1, x.shape[0],
+            float(c1), float(c2), float(b0), ptr(out, ctypes.c_double),
+        )
+        return out
+
+    def integrate_batch(currents, c1, c2, b0):
+        x = np.ascontiguousarray(currents, dtype=np.float64)
+        out = np.empty_like(x)
+        lib.repro_pdn_integrate(
+            ptr(x, ctypes.c_double), x.shape[0], x.shape[1],
+            float(c1), float(c2), float(b0), ptr(out, ctypes.c_double),
+        )
+        return out
+
+    def accumulate(x, h):
+        xf = np.ascontiguousarray(x, dtype=np.float64)
+        k = h.shape[1]
+        out = np.zeros(2 + 3 * k, dtype=np.float64)
+        if h.dtype == np.int8:
+            hc = np.ascontiguousarray(h)
+            status = lib.repro_cpa_accumulate_i8(
+                ptr(xf, ctypes.c_double), ptr(hc, ctypes.c_int8),
+                xf.shape[0], k, ptr(out, ctypes.c_double),
+            )
+        else:
+            hc = np.ascontiguousarray(h, dtype=np.float64)
+            status = lib.repro_cpa_accumulate_f64(
+                ptr(xf, ctypes.c_double), ptr(hc, ctypes.c_double),
+                xf.shape[0], k, ptr(out, ctypes.c_double),
+            )
+        if status != 0:
+            return None
+        return (
+            float(out[0]), float(out[1]),
+            out[2:2 + k].copy(), out[2 + k:2 + 2 * k].copy(),
+            out[2 + 2 * k:].copy(),
+        )
+
+    return {
+        ("aes", "round_states"): round_states,
+        ("aes", "cycle_hd_from_states"): cycle_hd_from_states,
+        ("aes", "cycle_activity_from_states"): cycle_activity_from_states,
+        ("aes", "activity_and_ciphertexts"): activity_and_ciphertexts,
+        ("aes", "single_bit_hypothesis"): single_bit_hypothesis,
+        ("aes", "hamming_weight_hypothesis"): hamming_weight_hypothesis,
+        ("pdn", "integrate"): integrate,
+        ("pdn", "integrate_batch"): integrate_batch,
+        ("cpa", "accumulate"): accumulate,
+    }
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+_LOADED: Optional[NativeProvider] = None
+_LOAD_FAILED_REASON: Optional[str] = None
+#: What the cached load was computed for, so tests that flip
+#: REPRO_NATIVE_PROVIDER see a fresh probe.
+_LOADED_FOR: Optional[str] = None
+
+
+def _provider_request() -> str:
+    return os.environ.get(PROVIDER_ENV, "auto").strip().lower() or "auto"
+
+
+def load_native() -> Optional[NativeProvider]:
+    """The native provider for this host, or None (reason recorded).
+
+    Probes once per ``REPRO_NATIVE_PROVIDER`` value: numba first (when
+    allowed and importable), then the cc/ctypes fallback (when a C
+    compiler exists).  A failed probe caches its reason for
+    :func:`unavailable_reason`.
+    """
+    global _LOADED, _LOAD_FAILED_REASON, _LOADED_FOR
+    request = _provider_request()
+    if _LOADED_FOR == request and (
+        _LOADED is not None or _LOAD_FAILED_REASON is not None
+    ):
+        return _LOADED
+    _LOADED = None
+    _LOAD_FAILED_REASON = None
+    _LOADED_FOR = request
+
+    if request == "none":
+        _LOAD_FAILED_REASON = (
+            "disabled via %s=none" % PROVIDER_ENV
+        )
+        return None
+    if request not in ("auto", "numba", "cc"):
+        _LOAD_FAILED_REASON = (
+            "unknown %s value %r (expected auto, numba, cc, or none)"
+            % (PROVIDER_ENV, request)
+        )
+        return None
+
+    reasons = []
+    if request in ("auto", "numba"):
+        if numba is not None:
+            try:
+                _LOADED = NativeProvider("numba", _build_numba_ops())
+                return _LOADED
+            except Exception as exc:  # pragma: no cover - numba hosts
+                reasons.append("numba kernels failed to build: %s" % exc)
+        else:
+            reasons.append(
+                "numba is not installed (pip install 'repro[native]')"
+            )
+    if request in ("auto", "cc"):
+        compiler = _find_compiler()
+        if compiler is None:
+            reasons.append("no C compiler found (tried cc, gcc, clang)")
+        else:
+            try:
+                lib_path = _compile_library(compiler)
+                _LOADED = NativeProvider("cc", _build_cc_ops(lib_path))
+                return _LOADED
+            except subprocess.CalledProcessError as exc:
+                reasons.append(
+                    "C kernel build failed: %s"
+                    % (exc.stderr or exc).strip()
+                )
+            except OSError as exc:
+                reasons.append("C kernel library failed to load: %s" % exc)
+    _LOAD_FAILED_REASON = "; ".join(reasons) or (
+        "provider %r produced no kernels" % request
+    )
+    return None
+
+
+def unavailable_reason() -> str:
+    """Why :func:`load_native` returned None (for structured errors)."""
+    if load_native() is not None:
+        return "available"
+    return _LOAD_FAILED_REASON or "unknown"
+
+
+def _reset_for_tests() -> None:
+    """Drop the cached probe so tests can flip REPRO_NATIVE_PROVIDER."""
+    global _LOADED, _LOAD_FAILED_REASON, _LOADED_FOR
+    _LOADED = None
+    _LOAD_FAILED_REASON = None
+    _LOADED_FOR = None

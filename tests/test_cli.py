@@ -228,3 +228,90 @@ class TestErrorBoundary:
         err = capsys.readouterr().err
         assert "--resume" in err
         assert path in err
+
+
+class TestKernelsOption:
+    def test_attack_accepts_kernels_numpy(self, capsys):
+        code = main([
+            "attack", "alu", "--traces", "4000", "--kernels", "numpy",
+        ])
+        assert "best guess" in capsys.readouterr().out
+        assert code in (0, 1)
+
+    def test_invalid_kernels_one_line_exit_2(self, capsys):
+        code = main(["attack", "alu", "--kernels", "turbo"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "turbo" in err
+        assert "native" in err and "numpy" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1, "one actionable line, no traceback"
+
+    def test_unknown_kernel_name_one_line_exit_2(self, capsys):
+        code = main(["attack", "alu", "--kernels", "rsa=native"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "rsa" in err
+        assert err.count("\n") == 1
+
+    def test_fullkey_and_bench_validate_too(self, capsys):
+        assert main(["fullkey", "--kernels", "warp"]) == 2
+        assert "warp" in capsys.readouterr().err
+        assert main(["bench", "--kernels", "warp"]) == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_native_unavailable_structured_error(self, capsys):
+        import os
+
+        from repro.util import kernels, kernels_native
+
+        saved = os.environ.get(kernels_native.PROVIDER_ENV)
+        os.environ[kernels_native.PROVIDER_ENV] = "none"
+        kernels.invalidate_cache()
+        try:
+            code = main(["attack", "alu", "--kernels", "native"])
+            err = capsys.readouterr().err
+            assert code == 2
+            assert err.startswith("error: ")
+            assert "native" in err
+            assert "Traceback" not in err
+            assert err.count("\n") == 1
+        finally:
+            if saved is None:
+                os.environ.pop(kernels_native.PROVIDER_ENV, None)
+            else:
+                os.environ[kernels_native.PROVIDER_ENV] = saved
+            kernels.invalidate_cache()
+
+    def test_kernels_selection_restored_after_command(self, capsys):
+        import os
+
+        from repro.util import kernels
+
+        before = kernels.active_backends()
+        code = main([
+            "attack", "alu", "--traces", "4000", "--kernels", "numpy",
+        ])
+        capsys.readouterr()
+        assert code in (0, 1)
+        assert os.environ.get(kernels.KERNELS_ENV) is None
+        assert kernels.active_backends() == before
+
+    def test_bench_kernels_suite_writes_record(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_kernels.json"
+        code = main([
+            "bench", "--suite", "kernels",
+            "--repeats", "1",
+            "--output", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("kernels: ")
+        record = json.loads(path.read_text())
+        assert set(record["kernels"]) == {"aes", "pdn", "cpa"}
+        for entry in record["kernels"].values():
+            for case in entry["backends"].values():
+                assert case["identical_to_numpy"] is True

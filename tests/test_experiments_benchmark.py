@@ -133,3 +133,65 @@ class TestHostMetadata:
         assert record["host"]["usable_cpus"] == record["cpu_count"]
         assert record["campaign"]["workers_exceed_cpus"] is False
         json.dumps(record)
+
+
+class TestKernelsMetadata:
+    def test_host_block_records_kernel_backends(self):
+        from repro.experiments.benchmark import host_metadata
+        from repro.util import kernels
+
+        host = host_metadata()
+        assert host["kernel_backends"] == kernels.active_backends()
+        assert set(host["kernel_backends"]) == {"aes", "pdn", "cpa"}
+        # numba is optional: a version string when importable, else None.
+        try:
+            import numba
+
+            assert host["numba"] == numba.__version__
+        except ImportError:
+            assert host["numba"] is None
+        if "native" in host["kernel_backends"].values():
+            assert host["native_provider"] in ("numba", "cc")
+
+    def test_warm_kernels_is_clean_and_idempotent(self):
+        from repro.experiments.benchmark import warm_kernels
+
+        warm_kernels()
+        warm_kernels()
+
+
+class TestKernelsBenchmark:
+    def test_record_structure_and_identity_gates(self, tmp_path):
+        from repro.experiments.benchmark import write_kernels_benchmark
+        from repro.util import kernels
+
+        path = tmp_path / "BENCH_kernels.json"
+        record = write_kernels_benchmark(
+            str(path),
+            aes_traces=300,
+            pdn_traces=8,
+            pdn_samples=64,
+            cpa_traces=400,
+            repeats=1,
+            seed=5,
+        )
+        assert path.exists()
+        assert json.loads(path.read_text()) is not None
+        assert set(record["kernels"]) == {"aes", "pdn", "cpa"}
+        for kernel, entry in record["kernels"].items():
+            backends = entry["backends"]
+            # Every backend available on this host was swept and
+            # asserted bit-identical before timing.
+            assert set(backends) == set(
+                kernels.available_backends(kernel)
+            )
+            assert entry["resolved_backend"] in backends
+            assert backends["numpy"]["speedup_vs_numpy"] == 1.0
+            for case in backends.values():
+                assert case["identical_to_numpy"] is True
+                assert case["seconds"] > 0
+                assert case["traces_per_s"] > 0
+        host = record["host"]
+        assert "kernel_backends" in host
+        assert "native_provider" in host
+        assert "numba" in host

@@ -169,3 +169,49 @@ class TestJobState:
         assert state.as_dict(include_result=True)["result"] == {
             "type": "tracegen"
         }
+
+
+class TestKernelsParameter:
+    def test_accepted_on_every_campaign_kind(self):
+        for kind in JOB_KINDS:
+            params = normalize_params(kind, {"kernels": "numpy"})
+            assert params["kernels"] == "numpy"
+
+    def test_defaults_to_none(self):
+        assert normalize_params("attack")["kernels"] is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(JobError, match="turbo"):
+            normalize_params("attack", {"kernels": "turbo"})
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(JobError, match="rsa"):
+            normalize_params("tracegen", {"kernels": "rsa=native"})
+
+    def test_native_unavailable_names_dependency(self):
+        import os
+
+        from repro.util import kernels, kernels_native
+
+        saved = os.environ.get(kernels_native.PROVIDER_ENV)
+        os.environ[kernels_native.PROVIDER_ENV] = "none"
+        kernels.invalidate_cache()
+        try:
+            with pytest.raises(JobError, match="native"):
+                normalize_params("attack", {"kernels": "native"})
+        finally:
+            if saved is None:
+                os.environ.pop(kernels_native.PROVIDER_ENV, None)
+            else:
+                os.environ[kernels_native.PROVIDER_ENV] = saved
+            kernels.invalidate_cache()
+
+    def test_execution_knob_stays_out_of_cache_key(self):
+        # Kernel backends are bit-identical by contract, so two specs
+        # differing only in `kernels` must share one cached result.
+        base = JobSpec.create("attack", {"traces": 1000})
+        pinned = JobSpec.create(
+            "attack", {"traces": 1000, "kernels": "numpy"}
+        )
+        assert "kernels" not in base.content_params()
+        assert base.cache_key == pinned.cache_key
