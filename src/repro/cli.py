@@ -18,17 +18,26 @@ Commands:
   end-to-end trace-generation pipeline (AES datapath + PDN IIR +
   process sharding) and writes ``BENCH_e2e.json``; ``--suite kernels``
   compares every available backend (numpy/scipy/native) of the three
-  hot kernels and writes ``BENCH_kernels.json``.  All records embed
-  host metadata (python/numpy/scipy versions, CPU count, platform,
-  executor backend, resolved kernel-backend map, native provider,
-  numba version) so snapshots from different machines compare
-  honestly.
+  hot kernels and writes ``BENCH_kernels.json``; ``--suite fleet``
+  measures distributed campaign dispatch over 1 vs N loopback workers
+  (bit-identity asserted before any timing) and writes
+  ``BENCH_fleet.json``.  All records embed host metadata
+  (python/numpy/scipy versions, CPU count, platform, executor backend,
+  resolved kernel-backend map, native provider, numba version) so
+  snapshots from different machines compare honestly.
 * ``serve`` — run the campaign job service: an asyncio scheduler with
-  a bounded priority queue, request batching, in-flight dedupe, and a
-  content-addressed result cache, spoken over JSON lines on TCP.
+  a bounded priority queue, request batching, in-flight dedupe, a
+  content-addressed result cache (optionally LRU-bounded with
+  ``--cache-max-bytes``), and a fleet coordinator that dispatches
+  shard leases to connected workers, spoken over JSON lines on TCP.
+* ``worker`` — join a running service as a fleet worker: register
+  capabilities (CPUs, slots, kernel backends, warm cache keys), pull
+  shard leases, and execute them through the local zero-copy pool.
 * ``submit`` — send one job (``tracegen``/``attack``/``fullkey``/
   ``report``) to a running service, stream its progress events, and
   print the result summary (bit-identical to the direct command).
+  ``--param fleet=true`` requires fleet execution; by default
+  attack/fullkey jobs use the fleet whenever workers are connected.
 * ``jobs`` — list a running service's jobs, or ``--metrics`` for the
   live counters/gauges/latency histograms.
 
@@ -230,11 +239,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["sampling", "e2e", "kernels"],
+        choices=["sampling", "e2e", "kernels", "fleet"],
         default="sampling",
         help="sampling: sensor kernels + sharded campaign; "
         "e2e: batched trace-generation pipeline; "
-        "kernels: per-backend AES/PDN/CPA kernel comparison",
+        "kernels: per-backend AES/PDN/CPA kernel comparison; "
+        "fleet: distributed dispatch over 1 vs N loopback workers",
     )
     bench.add_argument("--cycles", type=int, default=100_000)
     bench.add_argument("--traces", type=int, default=100_000)
@@ -291,6 +301,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spool-dir", default=None, metavar="DIR",
         help="campaign checkpoint directory (jobs resume after a "
         "crash)",
+    )
+    serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU cap on the on-disk result cache (default: unbounded)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0,
+        metavar="SECONDS",
+        help="drop a fleet worker silent this long; its leases are "
+        "reassigned (default: 10)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="SECONDS",
+        help="revoke and reassign a shard lease running this long "
+        "(default: no per-lease deadline)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="join a running service as a fleet worker"
+    )
+    worker.add_argument(
+        "address", metavar="HOST:PORT",
+        help="fleet server address (bare PORT means 127.0.0.1)",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="worker name in logs and placement events "
+        "(default: worker-<pid>)",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=1, metavar="N",
+        help="concurrent shard leases this worker serves (default: 1)",
+    )
+    worker.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="local pool size per lease (default: usable CPUs)",
+    )
+    _add_executor_argument(worker)
+    worker.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory whose keys are advertised as "
+        "warm for cache-aware placement",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-lease log lines",
     )
 
     submit = sub.add_parser(
@@ -527,6 +583,15 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             seed=args.seed,
         )
+    elif args.suite == "fleet":
+        from repro.experiments.benchmark import write_fleet_benchmark
+
+        record = write_fleet_benchmark(
+            args.output or "BENCH_fleet.json",
+            traces=args.traces,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
     elif args.suite == "e2e":
         from repro.experiments.benchmark import write_e2e_benchmark
 
@@ -559,6 +624,7 @@ def _cmd_bench(args) -> int:
 def _cmd_serve(args) -> int:
     import asyncio
 
+    from repro.service.fleet import FleetConfig
     from repro.service.scheduler import (
         CampaignScheduler,
         SchedulerConfig,
@@ -571,10 +637,30 @@ def _cmd_serve(args) -> int:
             queue_size=args.queue_size,
             batch_window_s=args.batch_window,
             cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
             spool_dir=args.spool_dir,
-        )
+        ),
+        fleet_config=FleetConfig(
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            lease_timeout_s=args.lease_timeout,
+        ),
     )
     asyncio.run(serve_forever(scheduler, args.host, args.port))
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.service.worker import run_worker
+
+    run_worker(
+        args.address,
+        name=args.name,
+        slots=args.slots,
+        local_workers=args.workers,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        quiet=args.quiet,
+    )
     return 0
 
 
@@ -721,6 +807,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
 }

@@ -18,6 +18,13 @@ waveforms, sampled bits, CPA correlations) before anything is timed;
 ``BENCH_e2e.json`` is the tracked snapshot
 (``repro bench --suite e2e``).
 
+:func:`run_fleet_benchmark` measures distributed campaign dispatch:
+an in-process campaign service plus ``repro worker`` subprocesses on
+loopback TCP, 1 vs N workers, with the merged result asserted
+bit-identical to a direct single-host run before any timing, and the
+binary-frame vs base64-JSON payload sizes recorded alongside
+(``repro bench --suite fleet`` → ``BENCH_fleet.json``).
+
 Methodology:
 
 * every timed path runs once untimed to warm lazily built tables (the
@@ -172,6 +179,35 @@ def _workers_exceed_cpus(workers: int) -> bool:
             file=sys.stderr,
         )
     return exceed
+
+
+def _parallel_speedup_fields(
+    speedup: float, exceed: bool, prefix: str = "parallel_speedup"
+) -> Dict[str, object]:
+    """Speedup fields that stay honest on oversubscribed hosts.
+
+    When the measurement oversubscribed the usable cores, the headline
+    ``<prefix>_same_kernels`` figure is ``None`` — a sub-1.0 number
+    measured by time-slicing one CPU is not a scaling result — and the
+    raw ratio moves to ``<prefix>_advisory`` with a note saying why.
+    On a host with enough cores the headline field carries the ratio
+    and the advisory fields are ``None``.
+    """
+    if exceed:
+        return {
+            "%s_same_kernels" % prefix: None,
+            "%s_advisory" % prefix: speedup,
+            "%s_note" % prefix: (
+                "workers exceed usable CPUs; the advisory ratio "
+                "time-slices one core and understates real multi-core "
+                "scaling"
+            ),
+        }
+    return {
+        "%s_same_kernels" % prefix: speedup,
+        "%s_advisory" % prefix: None,
+        "%s_note" % prefix: None,
+    }
 
 
 def _best_of(repeats: int, fn: Callable[[], object]) -> float:
@@ -486,6 +522,7 @@ def run_e2e_benchmark(
 
     # Stage 4: physical CPA campaign -----------------------------------
     workers = max_workers if max_workers is not None else default_workers()
+    exceed = _workers_exceed_cpus(workers)
     backend = resolve_executor(executor)
     # Chunk sized to the generation pipeline's working-set footprint
     # (cache-resident chunks), not to the campaign's trace count.
@@ -560,7 +597,7 @@ def run_e2e_benchmark(
         "campaign": {
             "num_traces": campaign_traces,
             "workers": workers,
-            "workers_exceed_cpus": _workers_exceed_cpus(workers),
+            "workers_exceed_cpus": exceed,
             "executor": backend,
             "chunk_size": chunk,
             "reference_serial_s": reference_s,
@@ -569,8 +606,9 @@ def run_e2e_benchmark(
             "reference_traces_per_s": campaign_traces / reference_s,
             "fast_traces_per_s": campaign_traces / fast_s,
             "speedup_vs_reference": reference_s / fast_s,
-            # Honest scaling note: kernels identical, workers varied.
-            "parallel_speedup_same_kernels": fast_serial_s / fast_s,
+            # Honest scaling note: kernels identical, workers varied;
+            # advisory-only when the host can't host the worker count.
+            **_parallel_speedup_fields(fast_serial_s / fast_s, exceed),
             "identical_correlations": True,
         },
     }
@@ -581,6 +619,219 @@ def write_e2e_benchmark(
 ) -> Dict[str, object]:
     """Run the e2e benchmark and write its record to ``path``."""
     record = run_e2e_benchmark(**kwargs)
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _codec_payload_bytes(result) -> Dict[str, object]:
+    """Binary-frame vs base64-JSON size of one campaign result.
+
+    The fleet wire moved array payloads off base64-in-JSON onto
+    length-prefixed binary frames; this records what that actually
+    buys on a real merged attack result (the dominant message class).
+    """
+    from repro.service.codec import encode, pack_message
+
+    arrays = {
+        "checkpoints": result.checkpoints,
+        "correlations": result.correlations,
+    }
+    binary = len(pack_message(arrays))
+    binary_raw = len(pack_message(arrays, compress=False))
+    base64_json = len(
+        json.dumps(encode(arrays), sort_keys=True).encode("utf-8")
+    )
+    return {
+        "base64_json_bytes": base64_json,
+        "binary_frame_bytes": binary_raw,
+        "binary_frame_zlib_bytes": binary,
+        "binary_vs_base64": binary_raw / base64_json,
+        "binary_zlib_vs_base64": binary / base64_json,
+    }
+
+
+def run_fleet_benchmark(
+    traces: int = 120_000,
+    worker_counts=(1, 2),
+    repeats: int = 2,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Benchmark distributed campaign dispatch over loopback workers.
+
+    Starts an in-process campaign service, spawns ``repro worker``
+    subprocesses against it over loopback TCP, and times one CPA
+    attack job per fleet size.  Before anything is timed, the merged
+    fleet result is asserted bit-identical to a direct single-host
+    :func:`~repro.service.runners.run_attack` — a recorded speedup can
+    never come from merging something different.  Timed repeats clear
+    the scheduler's memory cache between submissions so every repeat
+    recomputes; worker-side rebuilt-input caches stay warm, which is
+    exactly the steady state cache-aware placement targets.
+
+    ``fleet_speedup_2_workers`` (1-worker wall clock over 2-worker
+    wall clock) is the figure the CI gate reads; on a host with fewer
+    usable CPUs than workers it is ``None`` and the measured ratio is
+    recorded as advisory instead (see :func:`_parallel_speedup_fields`
+    — time-slicing one core is not a scaling result).
+    """
+    import asyncio
+    import signal
+    import subprocess
+
+    import repro
+    from repro.service.codec import from_payload
+    from repro.service.jobs import JobSpec
+    from repro.service.runners import run_attack
+    from repro.service.scheduler import CampaignScheduler, SchedulerConfig
+    from repro.service.server import CampaignServer
+
+    warm_kernels()
+    worker_counts = tuple(sorted(set(int(n) for n in worker_counts)))
+    if not worker_counts or worker_counts[0] < 1:
+        raise ValueError("worker_counts must be positive integers")
+    spec = JobSpec.create(
+        "attack", {"traces": int(traces), "seed": int(seed), "fleet": True}
+    )
+    local_params = dict(spec.params, fleet=False)
+    baseline = run_attack(local_params)
+    baseline_s = _best_of(repeats, lambda: run_attack(local_params))
+
+    usable = usable_cpu_count()
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+
+    async def measure(num_workers: int) -> Dict[str, object]:
+        scheduler = CampaignScheduler(SchedulerConfig(max_concurrency=1))
+        server = CampaignServer(scheduler, "127.0.0.1", 0)
+        host, port = await server.start()
+        # Split the usable cores across the fleet so N workers model N
+        # hosts sharing nothing, not N pools oversubscribing one host.
+        local = max(1, usable // num_workers)
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    "%s:%d" % (host, port),
+                    "--name",
+                    "bench-w%d" % index,
+                    "--workers",
+                    str(local),
+                    "--quiet",
+                ],
+                env=env,
+            )
+            for index in range(num_workers)
+        ]
+        try:
+            deadline = time.monotonic() + 120.0
+            while scheduler.fleet.num_workers < num_workers:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        "only %d/%d bench workers registered"
+                        % (scheduler.fleet.num_workers, num_workers)
+                    )
+                await asyncio.sleep(0.1)
+
+            async def one_run():
+                state = scheduler.submit(spec)
+                async for _event in state.stream():
+                    pass
+                if state.status != "done":
+                    raise RuntimeError(
+                        "fleet bench job failed: %s" % state.error
+                    )
+                return state
+
+            # Identity gate first — untimed, and it doubles as the
+            # warm-up that pays worker-side input rebuilding.
+            state = await one_run()
+            result = from_payload(state.result)
+            if not (
+                np.array_equal(result.checkpoints, baseline.checkpoints)
+                and np.array_equal(
+                    result.correlations, baseline.correlations
+                )
+            ):
+                raise AssertionError(
+                    "fleet merge over %d worker(s) diverges from the "
+                    "single-host result" % num_workers
+                )
+            best = float("inf")
+            for _ in range(repeats):
+                scheduler.cache.clear_memory()
+                start = time.perf_counter()
+                await one_run()
+                best = min(best, time.perf_counter() - start)
+            return {
+                "workers": num_workers,
+                "local_workers_each": local,
+                "seconds": best,
+                "traces_per_s": traces / best,
+                "identical_correlations": True,
+                "placement": {
+                    "warm": scheduler.metrics.counter(
+                        "fleet_placement_warm"
+                    ).value,
+                    "cold": scheduler.metrics.counter(
+                        "fleet_placement_cold"
+                    ).value,
+                },
+            }
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+            for proc in procs:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+            await server.close()
+
+    fleet: Dict[str, object] = {}
+    for count in worker_counts:
+        fleet[str(count)] = asyncio.run(measure(count))
+
+    record: Dict[str, object] = {
+        "suite": "fleet",
+        "seed": seed,
+        "traces": traces,
+        "repeats": repeats,
+        "host": host_metadata(),
+        "codec": _codec_payload_bytes(baseline),
+        "single_host_s": baseline_s,
+        "single_host_traces_per_s": traces / baseline_s,
+        "fleet": fleet,
+    }
+    if 1 in worker_counts and 2 in worker_counts:
+        one_s = fleet["1"]["seconds"]
+        two_s = fleet["2"]["seconds"]
+        exceed = _workers_exceed_cpus(2)
+        record["workers_exceed_cpus"] = exceed
+        record.update(
+            _parallel_speedup_fields(
+                one_s / two_s, exceed, prefix="fleet_speedup_2_workers"
+            )
+        )
+        # Flat alias for the CI gate (None on oversubscribed hosts).
+        record["fleet_speedup_2_workers"] = record[
+            "fleet_speedup_2_workers_same_kernels"
+        ]
+    return record
+
+
+def write_fleet_benchmark(
+    path: str = "BENCH_fleet.json", **kwargs
+) -> Dict[str, object]:
+    """Run the fleet benchmark and write its record to ``path``."""
+    record = run_fleet_benchmark(**kwargs)
     Path(path).write_text(json.dumps(record, indent=2) + "\n")
     return record
 

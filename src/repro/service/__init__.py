@@ -15,16 +15,30 @@ Module map:
 
 * :mod:`~repro.service.jobs` — specs, states, bounded priority queue;
 * :mod:`~repro.service.scheduler` — batching windows, dedupe, workers;
-* :mod:`~repro.service.cache` — content-addressed result cache;
-* :mod:`~repro.service.codec` — lossless array-over-JSON payloads;
-* :mod:`~repro.service.runners` — shared CLI/service execution paths;
+* :mod:`~repro.service.cache` — content-addressed result cache with an
+  optional LRU-bounded disk layer;
+* :mod:`~repro.service.codec` — lossless array-over-JSON payloads plus
+  length-prefixed binary frames for the fleet wire;
+* :mod:`~repro.service.runners` — shared CLI/service execution paths
+  and the fleet shard plan/run/merge primitives;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
   JSON-lines protocol endpoints;
+* :mod:`~repro.service.fleet` / :mod:`~repro.service.worker` — the
+  distributed campaign fabric: lease-based shard dispatch with
+  cache-aware placement, heartbeat fencing, and bit-identical merge;
 * :mod:`~repro.service.metrics` — the live metrics registry.
 """
 
 from repro.service.cache import CacheStats, ResultCache
-from repro.service.codec import decode, encode, from_payload, to_payload
+from repro.service.codec import (
+    decode,
+    encode,
+    from_payload,
+    pack_message,
+    to_payload,
+    unpack_message,
+)
+from repro.service.fleet import FleetConfig, FleetCoordinator, FleetError
 from repro.service.jobs import (
     JOB_KINDS,
     JobError,
@@ -39,10 +53,15 @@ from repro.service.scheduler import (
     SchedulerClosedError,
     SchedulerConfig,
 )
+from repro.service.worker import FleetWorker, WorkerError, run_worker
 
 __all__ = [
     "CacheStats",
     "CampaignScheduler",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetWorker",
     "JOB_KINDS",
     "JobError",
     "JobQueue",
@@ -53,8 +72,12 @@ __all__ = [
     "ResultCache",
     "SchedulerClosedError",
     "SchedulerConfig",
+    "WorkerError",
     "decode",
     "encode",
     "from_payload",
+    "pack_message",
+    "run_worker",
     "to_payload",
+    "unpack_message",
 ]

@@ -19,16 +19,25 @@ Two layers, mirroring the calibration cache
   (:mod:`repro.service.codec`), so a disk hit is bit-identical to the
   original computation.
 
-Hits, misses and stores are counted in :class:`CacheStats` and mirrored
-into the service metrics registry by the scheduler.  A corrupt disk
-entry is treated as a miss (and deleted), never as an error: the cache
-must only ever make the service faster, not less correct.
+The disk layer can be bounded: ``max_disk_bytes`` caps the directory's
+total entry bytes with LRU eviction (recency = disk hits and stores,
+tracked in insertion order; a restart reconstructs the order from file
+mtimes).  The entry being written is never evicted by its own ``put``,
+so a single oversized result still lands — the cap bounds *growth* on
+long-running servers, which previously was unbounded.
+
+Hits, misses, stores and evictions are counted in :class:`CacheStats`
+and mirrored into the service metrics registry by the scheduler.  A
+corrupt disk entry is treated as a miss (and deleted), never as an
+error: the cache must only ever make the service faster, not less
+correct.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -43,13 +52,15 @@ CACHE_FORMAT_VERSION = 1
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters of one :class:`ResultCache`."""
+    """Hit/miss/store/eviction counters of one :class:`ResultCache`."""
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt_entries: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
 
     @property
     def hits(self) -> int:
@@ -62,16 +73,53 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt_entries": self.corrupt_entries,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
         }
 
 
 class ResultCache:
-    """Hash-keyed payload store with optional on-disk persistence."""
+    """Hash-keyed payload store with optional bounded disk persistence."""
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        max_disk_bytes: Optional[int] = None,
+    ):
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError("max_disk_bytes must be >= 1")
         self.directory = Path(directory) if directory else None
+        self.max_disk_bytes = max_disk_bytes
         self.stats = CacheStats()
         self._memory: Dict[str, Dict[str, object]] = {}
+        # key -> entry bytes, least recently used first.
+        self._disk_entries: "OrderedDict[str, int]" = OrderedDict()
+        self._disk_bytes = 0
+        if self.directory is not None and self.directory.is_dir():
+            self._scan_directory()
+
+    def _scan_directory(self) -> None:
+        """Rebuild the LRU index from an existing cache directory.
+
+        File mtimes approximate the pre-restart recency order; exact
+        order only shifts *which* cold entry goes first, never
+        correctness (every entry is independently content-addressed).
+        """
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.stem, stat.st_size))
+        for _mtime, key, size in sorted(entries):
+            self._disk_entries[key] = int(size)
+            self._disk_bytes += int(size)
+
+    @property
+    def disk_bytes(self) -> int:
+        """Total bytes of tracked on-disk entries."""
+        return self._disk_bytes
 
     def _path(self, key: str) -> Optional[Path]:
         if self.directory is None:
@@ -88,6 +136,8 @@ class ResultCache:
         hit = self._memory.get(key)
         if hit is not None:
             self.stats.memory_hits += 1
+            if key in self._disk_entries:
+                self._disk_entries.move_to_end(key)
             return hit, "memory"
         path = self._path(key)
         if path is not None and path.is_file():
@@ -95,6 +145,8 @@ class ResultCache:
             if loaded is not None:
                 self.stats.disk_hits += 1
                 self._memory[key] = loaded
+                if key in self._disk_entries:
+                    self._disk_entries.move_to_end(key)
                 return loaded, "disk"
         self.stats.misses += 1
         return None, "miss"
@@ -116,6 +168,58 @@ class ResultCache:
             sort_keys=True,
         ).encode("utf-8")
         atomic_write(str(path), lambda handle: handle.write(body))
+        self._track_entry(key, len(body))
+        self._evict(exempt=key)
+
+    def _track_entry(self, key: str, size: int) -> None:
+        previous = self._disk_entries.pop(key, None)
+        if previous is not None:
+            self._disk_bytes -= previous
+        self._disk_entries[key] = size
+        self._disk_bytes += size
+
+    def _forget_entry(self, key: str) -> int:
+        size = self._disk_entries.pop(key, None)
+        if size is None:
+            return 0
+        self._disk_bytes -= size
+        return size
+
+    def _evict(self, exempt: Optional[str] = None) -> None:
+        """Drop least-recently-used disk entries until under the cap.
+
+        The ``exempt`` key (the entry just written) survives even when
+        it alone exceeds the cap: the cap bounds accumulation, it does
+        not veto individual results.
+        """
+        if self.max_disk_bytes is None:
+            return
+        while self._disk_bytes > self.max_disk_bytes:
+            victim = next(
+                (key for key in self._disk_entries if key != exempt), None
+            )
+            if victim is None:
+                return
+            size = self._forget_entry(victim)
+            path = self._path(victim)
+            if path is not None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            # The memory layer mirrors the eviction so a bounded server
+            # actually sheds the entry instead of hiding it in RAM.
+            self._memory.pop(victim, None)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries stay).
+
+        Operational hook for long-running servers (and the fleet
+        benchmark, which must force repeat submissions to recompute).
+        """
+        self._memory.clear()
 
     def _load_disk(
         self, path: Path, key: str
@@ -135,6 +239,7 @@ class ResultCache:
             return payload
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.corrupt_entries += 1
+            self._forget_entry(key)
             try:
                 os.unlink(path)
             except OSError:

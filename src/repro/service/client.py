@@ -206,6 +206,7 @@ class ServiceClient:
         return {
             "metrics": response["metrics"],
             "cache": response["cache"],
+            "fleet": response.get("fleet"),
         }
 
     async def cancel(self, job_id: str) -> bool:

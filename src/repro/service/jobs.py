@@ -98,6 +98,11 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "kernels": (None, str, False),
         "retries": (None, int, False),
         "task_timeout": (None, float, False),
+        # Routing knob, not a result knob: fleet and local execution
+        # are bit-identical by construction, so placement never enters
+        # the cache key.  None = auto (fleet when workers are
+        # connected), True = require the fleet, False = force local.
+        "fleet": (None, bool, False),
     },
     "fullkey": {
         "traces": (250_000, int, True),
@@ -107,6 +112,7 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "kernels": (None, str, False),
         "retries": (None, int, False),
         "task_timeout": (None, float, False),
+        "fleet": (None, bool, False),
     },
     "report": {
         "traces": (500_000, int, True),

@@ -187,6 +187,19 @@ class MetricsRegistry:
         with self._lock:
             gauge.set(value)
 
+    def sync_counter(self, name: str, value: int) -> None:
+        """Raise a counter to an externally tracked absolute value.
+
+        Subsystems that keep their own counts (e.g.
+        :class:`~repro.service.cache.CacheStats` eviction totals) are
+        mirrored here without delta bookkeeping at the call sites; the
+        counter stays monotonic — a lower value is a no-op.
+        """
+        counter = self.counter(name)
+        with self._lock:
+            if value > counter.value:
+                counter.value = value
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-serializable view of every metric (the endpoint body)."""
         with self._lock:

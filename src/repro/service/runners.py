@@ -28,31 +28,58 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Dict, List, Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.aes.aes128 import AES128
-from repro.attacks.cpa import CPAResult
-from repro.attacks.full_key import FullKeyResult
+from repro.aes.leakage import random_ciphertexts
+from repro.attacks.cpa import CPAResult, StreamingCPA
+from repro.attacks.full_key import FullKeyResult, recover_last_round_key
+from repro.attacks.models import DEFAULT_TARGET_BIT, DEFAULT_TARGET_BYTE
+from repro.core.attack import REDUCTION_HW, TRACE_CHUNK
 from repro.core.tracegen import PhysicalTraceGenerator, random_plaintexts
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import sharded_attack, sharded_full_key
+from repro.experiments.parallel import (
+    Shard,
+    _attack_shard_task,
+    _column_shard_task,
+    _normalize_checkpoints,
+    _segment_ends,
+    plan_shards,
+    sharded_attack,
+    sharded_full_key,
+)
 from repro.experiments.runner import FigureRecord, run_all_figures
 from repro.experiments.setup import ExperimentSetup
 from repro.util import kernels
-from repro.util.executors import CampaignHealth, RetryPolicy
+from repro.util.executors import (
+    CampaignHealth,
+    RetryPolicy,
+    map_ordered,
+)
 from repro.util.rng import derive_seed
+from repro.util.shm import ArrayFanout
 
 __all__ = [
+    "FleetShardPlan",
     "cached_setup",
+    "merge_attack_partials",
+    "merge_fullkey_blocks",
+    "note_warm_key",
+    "plan_fleet_job",
     "retry_policy",
     "run_attack",
+    "run_attack_shard",
     "run_fullkey",
+    "run_fullkey_shard",
     "run_report",
     "run_tracegen",
     "run_tracegen_batch",
     "tracegen_compat_key",
+    "warm_cache_keys",
 ]
 
 #: Experiment setups are expensive (placement + gate-level calibration)
@@ -281,3 +308,382 @@ def run_tracegen_batch(
         )
         offset = stop
     return results
+
+
+# ----------------------------------------------------------------------
+# Fleet shard execution (the distributed campaign fabric)
+# ----------------------------------------------------------------------
+#
+# The fleet protocol never ships trace arrays: campaign inputs are a
+# pure function of the job's content parameters (seeded ciphertext and
+# noise draws), and rebuilding them on the worker costs ~10ms per 40k
+# traces against ~170ms of leakage compute — so a shard lease is a few
+# hundred bytes, and the expensive direction (partial CPA states back
+# to the coordinator) rides the binary frame codec.  Rebuilt inputs are
+# cached per configuration below; the cache keys double as the worker's
+# *warm set*, which is what the coordinator's cache-aware placement
+# matches job config hashes against.
+
+#: Campaign input arrays rebuilt on this host, keyed per configuration.
+#: A handful of entries bounds memory (a 250k-trace campaign's inputs
+#: are a few MB); LRU keeps the actively leased configs resident.
+_INPUTS_MAX_ENTRIES = 4
+_INPUTS: "OrderedDict[Tuple[object, ...], Tuple[np.ndarray, np.ndarray]]" = (
+    OrderedDict()
+)
+_INPUTS_LOCK = threading.Lock()
+
+#: Config hashes this process has done work for (insertion-ordered so
+#: heartbeats report the most recent last).  Fed by completed leases
+#: and, for CLI workers, seeded from an on-disk cache directory scan.
+_WARM_KEYS: "OrderedDict[str, None]" = OrderedDict()
+_WARM_LOCK = threading.Lock()
+
+
+def note_warm_key(key: Optional[str]) -> None:
+    """Record a config hash as warm on this host."""
+    if not key:
+        return
+    with _WARM_LOCK:
+        _WARM_KEYS[str(key)] = None
+        _WARM_KEYS.move_to_end(str(key))
+
+
+def warm_cache_keys(limit: int = 64) -> List[str]:
+    """The most recently warmed config hashes (newest last)."""
+    with _WARM_LOCK:
+        keys = list(_WARM_KEYS)
+    return keys[-limit:]
+
+
+def _cached_inputs(
+    key: Tuple[object, ...],
+    build,
+) -> Tuple[np.ndarray, np.ndarray]:
+    with _INPUTS_LOCK:
+        hit = _INPUTS.get(key)
+        if hit is not None:
+            _INPUTS.move_to_end(key)
+            return hit
+    value = build()
+    with _INPUTS_LOCK:
+        _INPUTS[key] = value
+        _INPUTS.move_to_end(key)
+        while len(_INPUTS) > _INPUTS_MAX_ENTRIES:
+            _INPUTS.popitem(last=False)
+    return value
+
+
+def _attack_inputs(campaign, num_traces: int):
+    """Campaign-global ciphertexts/voltages, cached per configuration."""
+    key = ("attack", campaign.sensor.name, int(campaign.seed), int(num_traces))
+    return _cached_inputs(key, lambda: campaign.campaign_inputs(num_traces))
+
+
+def _fullkey_inputs(campaign, num_traces: int):
+    """Column-resolved ciphertexts/voltages, cached per configuration."""
+
+    def build():
+        ciphertexts = random_ciphertexts(
+            num_traces, seed=derive_seed(campaign.seed, "campaign-ct")
+        )
+        voltages = campaign.leakage.column_voltages(
+            ciphertexts,
+            campaign.cipher.last_round_key,
+            seed=derive_seed(campaign.seed, "campaign-noise"),
+        )
+        return ciphertexts, voltages
+
+    key = ("fullkey", campaign.sensor.name, int(campaign.seed), int(num_traces))
+    return _cached_inputs(key, build)
+
+
+@dataclass(frozen=True)
+class FleetShardPlan:
+    """A job's chunk-aligned shard decomposition for fleet dispatch.
+
+    ``segment_ends[i]`` are shard *i*'s internal merge boundaries —
+    every campaign checkpoint falling inside the shard plus the shard
+    end — exactly :func:`repro.experiments.parallel._segment_ends`, so
+    the coordinator's trace-order merge reproduces the single-host
+    checkpoint sequence bit for bit.
+    """
+
+    kind: str
+    shards: Tuple[Tuple[int, int], ...]
+    segment_ends: Tuple[Tuple[int, ...], ...]
+    checkpoints: Tuple[int, ...]
+
+
+def plan_fleet_job(
+    kind: str, params: Dict[str, object], num_shards: int
+) -> FleetShardPlan:
+    """Chunk-aligned shard plan for one fleet-dispatched job.
+
+    Shards land on the :data:`TRACE_CHUNK` grid (the jitter-seed grid
+    of the single-host drivers), so any fleet size reproduces the exact
+    per-chunk seeds — the precondition for bit-identical merges.
+    """
+    if kind not in ("attack", "fullkey"):
+        raise ValueError("job kind %r is not fleet-dispatchable" % kind)
+    num_traces = int(params["traces"])  # type: ignore[arg-type]
+    shards = plan_shards(num_traces, max(1, int(num_shards)), TRACE_CHUNK)
+    if kind == "attack":
+        points = _normalize_checkpoints(None, num_traces)
+        ends = tuple(
+            tuple(_segment_ends(shard, points)) for shard in shards
+        )
+        checkpoints = tuple(int(p) for p in points)
+    else:
+        ends = tuple((shard.end,) for shard in shards)
+        checkpoints = ()
+    return FleetShardPlan(
+        kind=kind,
+        shards=tuple((s.start, s.end) for s in shards),
+        segment_ends=ends,
+        checkpoints=checkpoints,
+    )
+
+
+def _plan_subshards(shard: Shard, workers: int) -> List[Shard]:
+    """Chunk-aligned split of one lease for the worker's local pool."""
+    if workers <= 1 or shard.start % TRACE_CHUNK:
+        return [shard]
+    relative = plan_shards(shard.num_traces, workers, TRACE_CHUNK)
+    return [
+        Shard(shard.start + sub.start, shard.start + sub.end)
+        for sub in relative
+    ]
+
+
+def _fold_subshard_partials(
+    per_sub: Sequence[List[Tuple[int, StreamingCPA]]],
+    segment_ends: Sequence[int],
+) -> List[Tuple[int, StreamingCPA]]:
+    """Merge local sub-shard partials back onto the lease's segments.
+
+    Sub-shard boundaries are a superset of the lease's segment ends
+    (each sub-shard re-splits on the checkpoints it contains, plus its
+    own end); merging them in trace order and snapshotting at each
+    requested segment end yields the identical per-segment engines a
+    serial pass over the lease would have produced — same integer-exact
+    running sums, different grouping.
+    """
+    targets = [int(p) for p in segment_ends]
+    folded: List[Tuple[int, StreamingCPA]] = []
+    accumulator = StreamingCPA(num_candidates=256)
+    cursor = 0
+    for partials in per_sub:
+        for boundary, engine in partials:
+            accumulator.merge(engine)
+            if cursor < len(targets) and int(boundary) == targets[cursor]:
+                folded.append((targets[cursor], accumulator))
+                accumulator = StreamingCPA(num_candidates=256)
+                cursor += 1
+    if cursor != len(targets):
+        raise ValueError(
+            "sub-shard boundaries did not cover segment ends %s" % targets
+        )
+    return folded
+
+
+def run_attack_shard(
+    params: Dict[str, object],
+    start: int,
+    end: int,
+    segment_ends: Sequence[int],
+    local_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> List[Tuple[int, Dict[str, np.ndarray]]]:
+    """One attack shard lease on this host, as raw accumulator states.
+
+    Rebuilds the campaign deterministically from the job parameters,
+    generates exactly the lease's trace range on the global chunk grid,
+    and returns one :meth:`StreamingCPA.state_arrays` dict per segment
+    boundary — ready for the frame codec and for order-preserving
+    merges on the coordinator.  A multi-slot worker fans the lease out
+    across its local pool (``ArrayFanout`` + :func:`map_ordered`, the
+    PR 5 zero-copy path) and folds the sub-partials back; single-slot
+    hosts run the shard task inline.  Both paths are bit-identical.
+    """
+    with kernels.use(_kernels_spec(params)):
+        config = _experiment_config(params)
+        setup = cached_setup(config)
+        campaign = setup.campaign(str(params["circuit"]))
+        reduction = str(params["reduction"])
+        mask, bit = campaign.resolve_reduction(reduction)
+        ciphertexts, voltages = _attack_inputs(
+            campaign, int(params["traces"])  # type: ignore[arg-type]
+        )
+        shard = Shard(int(start), int(end))
+        workers = max(1, int(local_workers or 1))
+        sub_shards = _plan_subshards(shard, workers)
+        with ArrayFanout(
+            heavy={
+                "campaign": campaign,
+                "chunk_size": TRACE_CHUNK,
+                "reduction": reduction,
+                "mask": mask,
+                "bit": bit,
+                "target_bit": DEFAULT_TARGET_BIT,
+            },
+            arrays={
+                "voltages": voltages,
+                "ct_bytes": ciphertexts[:, DEFAULT_TARGET_BYTE],
+            },
+            executor=executor,
+            workers=workers,
+            num_tasks=len(sub_shards),
+        ) as fanout:
+            tasks = [
+                {
+                    "ctx": fanout.context_id,
+                    "shard": sub,
+                    "segment_ends": [
+                        int(p)
+                        for p in segment_ends
+                        if sub.start < int(p) < sub.end
+                    ]
+                    + [sub.end],
+                }
+                for sub in sub_shards
+            ]
+            per_sub = map_ordered(
+                _attack_shard_task,
+                tasks,
+                max_workers=workers,
+                executor=executor,
+                **fanout.map_kwargs,
+            )
+        folded = _fold_subshard_partials(per_sub, segment_ends)
+        return [
+            (boundary, engine.state_arrays()) for boundary, engine in folded
+        ]
+
+
+def run_fullkey_shard(
+    params: Dict[str, object],
+    start: int,
+    end: int,
+    local_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> np.ndarray:
+    """One full-key shard lease: the column-resolved leakage block.
+
+    Mirrors the collection stage of :func:`sharded_full_key` for the
+    lease's trace range; the cheap 16-byte CPA stage always runs on the
+    coordinator (:func:`merge_fullkey_blocks`), exactly as the
+    single-host driver recomputes it after collection.
+    """
+    with kernels.use(_kernels_spec(params)):
+        config = _experiment_config(params)
+        setup = cached_setup(config)
+        campaign = setup.campaign("alu")
+        mask, _ = campaign.resolve_reduction(REDUCTION_HW)
+        _ciphertexts, voltages = _fullkey_inputs(
+            campaign, int(params["traces"])  # type: ignore[arg-type]
+        )
+        shard = Shard(int(start), int(end))
+        workers = max(1, int(local_workers or 1))
+        sub_shards = _plan_subshards(shard, workers)
+        with ArrayFanout(
+            heavy={
+                "campaign": campaign,
+                "mask": mask,
+                "chunk_size": TRACE_CHUNK,
+            },
+            arrays={"voltages": voltages},
+            executor=executor,
+            workers=workers,
+            num_tasks=len(sub_shards),
+        ) as fanout:
+            tasks = [
+                {"ctx": fanout.context_id, "shard": sub}
+                for sub in sub_shards
+            ]
+            blocks = map_ordered(
+                _column_shard_task,
+                tasks,
+                max_workers=workers,
+                executor=executor,
+                **fanout.map_kwargs,
+            )
+        return np.vstack(blocks)
+
+
+def merge_attack_partials(
+    params: Dict[str, object],
+    plan: FleetShardPlan,
+    partials_by_shard: Sequence[
+        Sequence[Tuple[int, Dict[str, np.ndarray]]]
+    ],
+) -> CPAResult:
+    """Trace-order merge of per-shard accumulator states → CPAResult.
+
+    Replays exactly the merge loop of the single-host driver
+    (:func:`repro.experiments.parallel._run_checkpointed_cpa`): shards
+    in plan order, segments in trace order, correlations evaluated at
+    every checkpoint boundary.  Because the running sums are
+    float-exact, the result is bit-identical regardless of which
+    workers computed the partials, in what interleaving, after how many
+    reassignments, or with what local sub-sharding.
+    """
+    points = np.asarray(plan.checkpoints, dtype=np.int64)
+    checkpoint_set = {int(p) for p in points}
+    running = StreamingCPA(num_candidates=256)
+    rows: List[np.ndarray] = []
+    for partials in partials_by_shard:
+        for boundary, state in partials:
+            running.merge(StreamingCPA.from_state_arrays(state))
+            if int(boundary) in checkpoint_set:
+                rows.append(running.correlations())
+    config = _experiment_config(params)
+    setup = cached_setup(config)
+    return CPAResult(
+        checkpoints=points,
+        correlations=np.vstack(rows),
+        correct_key=int(setup.cipher.last_round_key[DEFAULT_TARGET_BYTE]),
+    )
+
+
+def merge_fullkey_blocks(
+    params: Dict[str, object],
+    blocks: Sequence[np.ndarray],
+    health: Optional[CampaignHealth] = None,
+) -> FullKeyResult:
+    """Stack per-shard leakage blocks and recover the last-round key.
+
+    The blocks arrive in shard-plan order, so the stacked matrix is the
+    exact array :func:`sharded_full_key` builds; the per-byte CPA stage
+    then runs locally with the job's own execution knobs — identical to
+    the single-host path by construction.
+    """
+    with kernels.use(_kernels_spec(params)):
+        config = _experiment_config(params)
+        setup = cached_setup(config)
+        campaign = setup.campaign("alu")
+        num_traces = int(params["traces"])  # type: ignore[arg-type]
+        leakage = np.vstack(list(blocks))
+        if leakage.shape[0] != num_traces:
+            raise ValueError(
+                "fullkey merge expected %d traces, got %d"
+                % (num_traces, leakage.shape[0])
+            )
+        ciphertexts = random_ciphertexts(
+            num_traces, seed=derive_seed(campaign.seed, "campaign-ct")
+        )
+        return recover_last_round_key(
+            leakage,
+            ciphertexts,
+            target_bit=DEFAULT_TARGET_BIT,
+            correct_key=campaign.cipher.last_round_key,
+            checkpoints=None,
+            max_workers=params.get("workers"),  # type: ignore[arg-type]
+            executor=params.get("executor"),  # type: ignore[arg-type]
+            policy=retry_policy(
+                params.get("retries"),  # type: ignore[arg-type]
+                params.get("task_timeout"),  # type: ignore[arg-type]
+                config.seed,
+            ),
+            health=health,
+        )

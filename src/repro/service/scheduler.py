@@ -45,6 +45,7 @@ from typing import Dict, List, Optional
 
 from repro.service.cache import ResultCache
 from repro.service.codec import to_payload
+from repro.service.fleet import FleetConfig, FleetCoordinator
 from repro.service.jobs import (
     JobQueue,
     JobSpec,
@@ -91,6 +92,8 @@ class SchedulerConfig:
         max_batch_jobs / max_batch_traces: bounds on one coalesced
             batch (a full window closes early).
         cache_dir: on-disk result cache directory (None: memory only).
+        cache_max_bytes: LRU cap on the on-disk cache (None: unbounded;
+            see :class:`~repro.service.cache.ResultCache`).
         spool_dir: campaign checkpoint directory; when set,
             attack/full-key jobs checkpoint under their cache key and
             resume automatically after a crash.
@@ -102,6 +105,7 @@ class SchedulerConfig:
     max_batch_jobs: int = 16
     max_batch_traces: int = 1_000_000
     cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
     spool_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -111,6 +115,8 @@ class SchedulerConfig:
             raise ValueError("batch_window_s must be non-negative")
         if self.max_batch_jobs < 1 or self.max_batch_traces < 1:
             raise ValueError("batch bounds must be >= 1")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ValueError("cache_max_bytes must be >= 1")
 
 
 @dataclass
@@ -135,10 +141,17 @@ class CampaignScheduler:
         config: Optional[SchedulerConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         cache: Optional[ResultCache] = None,
+        fleet_config: Optional[FleetConfig] = None,
     ):
         self.config = config or SchedulerConfig()
         self.metrics = metrics or MetricsRegistry()
-        self.cache = cache or ResultCache(self.config.cache_dir)
+        self.cache = cache or ResultCache(
+            self.config.cache_dir,
+            max_disk_bytes=self.config.cache_max_bytes,
+        )
+        self.fleet = FleetCoordinator(
+            metrics=self.metrics, config=fleet_config
+        )
         self.queue = JobQueue(self.config.queue_size)
         self.jobs: Dict[str, JobState] = {}
         self._ids = itertools.count(1)
@@ -162,6 +175,7 @@ class CampaignScheduler:
             asyncio.create_task(self._worker(), name="job-worker-%d" % i)
             for i in range(self.config.max_concurrency)
         ]
+        self.fleet.start()
 
     async def drain(self) -> None:
         """Stop admissions; wait until every accepted job terminates."""
@@ -169,7 +183,7 @@ class CampaignScheduler:
         await self._idle.wait()
 
     async def stop(self) -> None:
-        """Drain, then tear down the worker pool."""
+        """Drain, then tear down the worker pool and the fleet."""
         await self.drain()
         for worker in self._workers:
             worker.cancel()
@@ -179,6 +193,7 @@ class CampaignScheduler:
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        await self.fleet.stop()
 
     @property
     def accepting(self) -> bool:
@@ -346,11 +361,45 @@ class CampaignScheduler:
             payload = to_payload("tracegen", result)
             self.cache.put(state.spec.cache_key, payload)
             self._complete(state, payload)
+        self._sync_cache_metrics()
+
+    def _wants_fleet(self, state: JobState) -> bool:
+        """Fleet routing: explicit ``fleet`` param, else auto-detect.
+
+        ``fleet=True`` requires the fleet (a structured failure when no
+        worker is connected beats silently falling back to a slower
+        local run the submitter tried to avoid); ``fleet=False`` forces
+        local; ``None`` takes the fleet whenever workers are registered.
+        Only shard-decomposable kinds route out.
+        """
+        if state.spec.kind not in ("attack", "fullkey"):
+            return False
+        wants = state.spec.params.get("fleet")
+        if wants is True:
+            return True
+        return wants is None and self.fleet.has_workers
+
+    async def _run_fleet_job(self, state: JobState) -> None:
+        kind = state.spec.kind
+        try:
+            result = await self.fleet.run_job(
+                state.spec, state.job_id, on_event=state.add_event
+            )
+        except Exception as exc:  # noqa: BLE001 — report, don't crash
+            self._fail(state, exc)
+            return
+        payload = to_payload(kind, result)
+        self.cache.put(state.spec.cache_key, payload)
+        self._sync_cache_metrics()
+        self._complete(state, payload)
 
     async def _run_job(self, state: JobState) -> None:
         if state.status != "queued":
             return  # cancelled while waiting
         self._mark_started(state)
+        if self._wants_fleet(state):
+            await self._run_fleet_job(state)
+            return
         kind = state.spec.kind
         health = CampaignHealth()
         checkpoint = self._checkpoint_path(state)
@@ -398,6 +447,7 @@ class CampaignScheduler:
                 pass
         payload = to_payload(kind, result)
         self.cache.put(state.spec.cache_key, payload)
+        self._sync_cache_metrics()
         self._complete(state, payload)
 
     def _checkpoint_path(self, state: JobState) -> Optional[str]:
@@ -485,6 +535,15 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
     def _gauge_depth(self) -> None:
         self.metrics.set_gauge("queue_depth", self._queued_jobs)
+
+    def _sync_cache_metrics(self) -> None:
+        """Mirror the cache's own counters into the metrics registry."""
+        stats = self.cache.stats
+        self.metrics.sync_counter("cache_evictions", stats.evictions)
+        self.metrics.sync_counter(
+            "cache_evicted_bytes", stats.evicted_bytes
+        )
+        self.metrics.set_gauge("cache_disk_bytes", self.cache.disk_bytes)
 
     def _busy(self) -> None:
         self._idle.clear()

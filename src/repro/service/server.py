@@ -23,6 +23,12 @@ Operations:
     the live metrics snapshot plus cache statistics.
 ``cancel``
     best-effort cancellation of a queued job.
+``worker_register``
+    a fleet worker announcing itself (``repro worker``).  This op
+    *consumes the connection*: after a one-line ack the stream switches
+    to the binary frame protocol (:mod:`repro.service.codec`) and is
+    handed to the :class:`~repro.service.fleet.FleetCoordinator` for
+    lease dispatch until the worker disconnects.
 ``shutdown``
     ack, then trigger the same graceful drain as SIGTERM.
 
@@ -149,6 +155,14 @@ class CampaignServer:
                         {"ok": False, "error": "bad request: %s" % exc},
                     )
                     continue
+                if request.get("op") == "worker_register":
+                    # The fleet owns this connection from here on: the
+                    # stream flips to binary frames, so it must never
+                    # come back to the JSON line loop.
+                    await self.scheduler.fleet.serve_worker(
+                        request.get("worker") or {}, reader, writer
+                    )
+                    return
                 if not await self._dispatch(request, writer):
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -285,6 +299,7 @@ class CampaignServer:
             {
                 "ok": True,
                 "accepting": self.scheduler.accepting,
+                "fleet": self.scheduler.fleet.snapshot(),
                 "jobs": [
                     state.as_dict()
                     for state in self.scheduler.list_jobs()
@@ -299,6 +314,7 @@ class CampaignServer:
                 "ok": True,
                 "metrics": self.scheduler.metrics.snapshot(),
                 "cache": self.scheduler.cache.stats.as_dict(),
+                "fleet": self.scheduler.fleet.snapshot(),
             },
         )
 

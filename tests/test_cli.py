@@ -155,6 +155,53 @@ class TestServiceVerbs:
             main(["submit", "frobnicate"])
 
 
+class TestFleetVerbs:
+    def test_worker_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "worker", "127.0.0.1:7000",
+            "--name", "w0", "--slots", "2",
+            "--workers", "1", "--quiet",
+        ])
+        assert args.command == "worker"
+        assert args.address == "127.0.0.1:7000"
+        assert args.name == "w0" and args.slots == 2
+        assert args.workers == 1 and args.quiet is True
+
+    def test_serve_fleet_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "serve", "--cache-max-bytes", "1048576",
+            "--heartbeat-timeout", "5", "--lease-timeout", "30",
+        ])
+        assert args.cache_max_bytes == 1048576
+        assert args.heartbeat_timeout == 5.0
+        assert args.lease_timeout == 30.0
+
+    def test_bench_accepts_fleet_suite(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["bench", "--suite", "fleet"])
+        assert args.suite == "fleet"
+
+    def test_worker_without_server_one_line_exit_2(self, capsys):
+        code = main(["worker", "127.0.0.1:1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "repro serve" in err
+        assert "Traceback" not in err
+
+    def test_bad_worker_address_one_line_exit_2(self, capsys):
+        code = main(["worker", "127.0.0.1:nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -10,9 +10,31 @@ that records a result must have passed its bit-identity asserts.
 import json
 
 from repro.experiments.benchmark import (
+    _parallel_speedup_fields,
     run_e2e_benchmark,
     write_e2e_benchmark,
 )
+
+
+class TestParallelSpeedupFields:
+    def test_headline_when_cpus_suffice(self):
+        fields = _parallel_speedup_fields(1.7, exceed=False)
+        assert fields["parallel_speedup_same_kernels"] == 1.7
+        assert fields["parallel_speedup_advisory"] is None
+        assert fields["parallel_speedup_note"] is None
+
+    def test_advisory_when_oversubscribed(self):
+        fields = _parallel_speedup_fields(0.8, exceed=True)
+        assert fields["parallel_speedup_same_kernels"] is None
+        assert fields["parallel_speedup_advisory"] == 0.8
+        assert "exceed" in fields["parallel_speedup_note"]
+
+    def test_custom_prefix(self):
+        fields = _parallel_speedup_fields(
+            1.2, exceed=False, prefix="fleet_speedup_2_workers"
+        )
+        assert fields["fleet_speedup_2_workers_same_kernels"] == 1.2
+        assert fields["fleet_speedup_2_workers_advisory"] is None
 
 
 class TestE2EBenchmark:

@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.service.cache import ResultCache
 
 
@@ -81,3 +83,75 @@ class TestDiskLayer:
         assert stats["memory_hits"] == 1
         assert stats["misses"] == 1
         assert cache.stats.hits == 1
+
+
+class TestDiskCap:
+    def _entry_bytes(self, tmp_path) -> int:
+        probe = ResultCache(str(tmp_path / "probe"))
+        probe.put("p1", _payload(1))
+        return probe.disk_bytes
+
+    def test_cap_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(str(tmp_path), max_disk_bytes=0)
+
+    def test_lru_eviction_under_cap(self, tmp_path):
+        entry = self._entry_bytes(tmp_path)
+        cache = ResultCache(str(tmp_path), max_disk_bytes=2 * entry)
+        cache.put("k1", _payload(1))
+        cache.put("k2", _payload(2))
+        assert cache.stats.evictions == 0
+        cache.put("k3", _payload(3))
+        assert cache.stats.evictions == 1
+        assert cache.stats.evicted_bytes == entry
+        assert not (tmp_path / "k1.json").exists(), "oldest entry goes"
+        assert (tmp_path / "k2.json").exists()
+        assert (tmp_path / "k3.json").exists()
+        assert cache.disk_bytes <= 2 * entry
+
+    def test_get_refreshes_recency(self, tmp_path):
+        entry = self._entry_bytes(tmp_path)
+        cache = ResultCache(str(tmp_path), max_disk_bytes=2 * entry)
+        cache.put("k1", _payload(1))
+        cache.put("k2", _payload(2))
+        cache.get("k1")  # k1 is now the most recently used
+        cache.put("k3", _payload(3))
+        assert (tmp_path / "k1.json").exists()
+        assert not (tmp_path / "k2.json").exists()
+
+    def test_eviction_sheds_the_memory_layer_too(self, tmp_path):
+        entry = self._entry_bytes(tmp_path)
+        cache = ResultCache(str(tmp_path), max_disk_bytes=entry)
+        cache.put("k1", _payload(1))
+        cache.put("k2", _payload(2))
+        payload, layer = cache.get("k1")
+        assert payload is None and layer == "miss"
+
+    def test_fresh_oversize_entry_is_exempt(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_disk_bytes=1)
+        cache.put("big", _payload(1))
+        assert (tmp_path / "big.json").exists()
+        assert cache.stats.evictions == 0
+        # ... but it is the first victim once anything else lands.
+        cache.put("next", _payload(2))
+        assert not (tmp_path / "big.json").exists()
+
+    def test_restart_rebuilds_the_index_from_mtimes(self, tmp_path):
+        first = ResultCache(str(tmp_path))
+        first.put("k1", _payload(1))
+        first.put("k2", _payload(2))
+        entry = first.disk_bytes // 2
+
+        second = ResultCache(str(tmp_path), max_disk_bytes=2 * entry)
+        assert second.disk_bytes == first.disk_bytes
+        second.put("k3", _payload(3))
+        assert second.stats.evictions >= 1
+        assert second.disk_bytes <= 2 * entry
+        assert (tmp_path / "k3.json").exists()
+
+    def test_clear_memory_leaves_disk(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_disk_bytes=10_000)
+        cache.put("k1", _payload(1))
+        cache.clear_memory()
+        payload, layer = cache.get("k1")
+        assert payload == _payload(1) and layer == "disk"

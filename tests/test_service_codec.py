@@ -1,5 +1,6 @@
 """Tests for the lossless JSON codec of service payloads."""
 
+import asyncio
 import json
 
 import numpy as np
@@ -14,9 +15,19 @@ from repro.service.codec import (
     decode_array,
     encode,
     encode_array,
+    framed_length,
     from_payload,
+    pack_message,
+    read_message,
     to_payload,
+    unpack_message,
 )
+
+
+def _split_packed(packed: bytes):
+    """A packed message back into (header dict, frame blob)."""
+    line, _, blob = packed.partition(b"\n")
+    return json.loads(line), blob
 
 
 class TestArrayRoundTrip:
@@ -134,3 +145,116 @@ class TestResultPayloads:
             to_payload("dance", {})
         with pytest.raises(CodecError):
             from_payload({"type": "dance"})
+
+
+class TestBinaryFrames:
+    def _message(self, seed: int = 1) -> dict:
+        rng = np.random.default_rng(seed)
+        return {
+            "type": "result",
+            "lease_id": "lease-000001",
+            "result": [
+                [
+                    100,
+                    {
+                        "sum_x": rng.normal(size=256),
+                        "count": np.int64(100),
+                        "mask": rng.integers(0, 2, size=64).astype(
+                            np.int8
+                        ),
+                    },
+                ],
+                [200, {"blob": b"\x00\xff" * 40, "note": "text"}],
+            ],
+        }
+
+    def test_round_trip_is_exact(self):
+        message = self._message()
+        header, blob = _split_packed(pack_message(message))
+        assert framed_length(header) == len(blob)
+        back = unpack_message(header, blob)
+        assert back["type"] == "result"
+        boundary, state = back["result"][0]
+        assert boundary == 100
+        original = self._message()["result"][0][1]
+        assert state["sum_x"].dtype == np.dtype("<f8")
+        assert np.array_equal(state["sum_x"], original["sum_x"])
+        assert state["sum_x"].tobytes() == original["sum_x"].tobytes()
+        assert np.array_equal(state["mask"], original["mask"])
+        assert state["count"] == 100
+        assert back["result"][1][1]["blob"] == b"\x00\xff" * 40
+
+    def test_compression_only_when_it_shrinks(self):
+        compressible = {"a": np.zeros(4096)}
+        header, _blob = _split_packed(pack_message(compressible))
+        frame = header["frames"][0]
+        assert frame["z"] == 1
+        assert frame["zn"] < frame["n"]
+
+        incompressible = {
+            "a": np.random.default_rng(2).integers(
+                0, 256, size=4096, dtype=np.uint8
+            )
+        }
+        header, _blob = _split_packed(pack_message(incompressible))
+        assert header["frames"][0]["z"] == 0
+
+    def test_compress_false_is_honored(self):
+        header, _blob = _split_packed(
+            pack_message({"a": np.zeros(4096)}, compress=False)
+        )
+        frame = header["frames"][0]
+        assert frame["z"] == 0 and frame["zn"] == frame["n"]
+
+    def test_binary_is_smaller_than_base64_json(self):
+        message = self._message()
+        binary = len(pack_message(message, compress=False))
+        base64_json = len(
+            json.dumps(encode(message), sort_keys=True).encode()
+        )
+        assert binary < base64_json
+
+    def test_truncated_blob_raises(self):
+        header, blob = _split_packed(pack_message(self._message()))
+        with pytest.raises(CodecError):
+            unpack_message(header, blob[:-1])
+
+    def test_trailing_bytes_raise(self):
+        header, blob = _split_packed(pack_message(self._message()))
+        with pytest.raises(CodecError):
+            unpack_message(header, blob + b"\x00")
+
+    def test_corrupt_header_raises(self):
+        with pytest.raises(CodecError):
+            unpack_message({"frames": "nope"}, b"")
+
+    def test_stream_read_round_trip_and_clean_eof(self):
+        message = self._message(3)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(pack_message(message))
+            reader.feed_data(pack_message({"type": "heartbeat"}))
+            reader.feed_eof()
+            first = await read_message(reader)
+            second = await read_message(reader)
+            third = await read_message(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(run())
+        assert np.array_equal(
+            first["result"][0][1]["sum_x"],
+            message["result"][0][1]["sum_x"],
+        )
+        assert second == {"type": "heartbeat"}
+        assert third is None, "clean EOF reads as None"
+
+    def test_torn_mid_message_is_a_codec_error(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(pack_message(self._message())[:-10])
+            reader.feed_eof()
+            await read_message(reader)
+
+        with pytest.raises(CodecError):
+            asyncio.run(run())
