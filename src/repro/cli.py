@@ -21,7 +21,11 @@ Commands:
   hot kernels and writes ``BENCH_kernels.json``; ``--suite fleet``
   measures distributed campaign dispatch over 1 vs N loopback workers
   (bit-identity asserted before any timing) and writes
-  ``BENCH_fleet.json``.  All records embed host metadata
+  ``BENCH_fleet.json``; ``--suite chaos`` runs the deterministic
+  durability drill — SIGKILL the server mid-campaign at a journaled
+  barrier, restart it on the same journal, and assert the recovered
+  results are byte-identical to undisturbed runs — and writes
+  ``BENCH_chaos.json``.  All records embed host metadata
   (python/numpy/scipy versions, CPU count, platform, executor backend,
   resolved kernel-backend map, native provider, numba version) so
   snapshots from different machines compare honestly.
@@ -30,16 +34,25 @@ Commands:
   content-addressed result cache (optionally LRU-bounded with
   ``--cache-max-bytes``), and a fleet coordinator that dispatches
   shard leases to connected workers, spoken over JSON lines on TCP.
+  With ``--journal-dir`` every job-lifecycle transition is written to
+  a fsync'd write-ahead journal; a SIGKILL'd server replays it on
+  restart and finishes every unfinished job bit-identically.
 * ``worker`` — join a running service as a fleet worker: register
   capabilities (CPUs, slots, kernel backends, warm cache keys), pull
   shard leases, and execute them through the local zero-copy pool.
+  ``--reconnect`` keeps redialing a lost (or restarting) server with
+  seeded exponential backoff instead of exiting.
 * ``submit`` — send one job (``tracegen``/``attack``/``fullkey``/
   ``report``) to a running service, stream its progress events, and
   print the result summary (bit-identical to the direct command).
   ``--param fleet=true`` requires fleet execution; by default
   attack/fullkey jobs use the fleet whenever workers are connected.
-* ``jobs`` — list a running service's jobs, or ``--metrics`` for the
-  live counters/gauges/latency histograms.
+* ``attach JOB_ID`` — re-subscribe to a submitted job: replay its
+  full event history (surviving client disconnects and journaled
+  server restarts) and print the same summary ``submit`` would.
+* ``jobs`` — list a running service's jobs (with the journal/recovery
+  counters), or ``--metrics`` for the live counters/gauges/latency
+  histograms.
 
 Parallel commands accept ``--workers N`` and ``--executor
 {thread,process}``; results are bit-identical across backends and
@@ -239,12 +252,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["sampling", "e2e", "kernels", "fleet"],
+        choices=["sampling", "e2e", "kernels", "fleet", "chaos"],
         default="sampling",
         help="sampling: sensor kernels + sharded campaign; "
         "e2e: batched trace-generation pipeline; "
         "kernels: per-backend AES/PDN/CPA kernel comparison; "
-        "fleet: distributed dispatch over 1 vs N loopback workers",
+        "fleet: distributed dispatch over 1 vs N loopback workers; "
+        "chaos: kill the journaled server mid-campaign and assert "
+        "bit-identical recovery",
     )
     bench.add_argument("--cycles", type=int, default=100_000)
     bench.add_argument("--traces", type=int, default=100_000)
@@ -317,6 +332,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="revoke and reassign a shard lease running this long "
         "(default: no per-lease deadline)",
     )
+    serve.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead job journal directory; on restart the "
+        "server replays it and finishes every unfinished job "
+        "bit-identically (two servers must not share one)",
+    )
+    serve.add_argument(
+        "--fleet-grace", type=float, default=5.0, metavar="SECONDS",
+        help="how long a fleet-required job waits for workers to "
+        "(re)connect before failing — covers workers redialing a "
+        "restarted server (default: 5)",
+    )
+    serve.add_argument(
+        "--quarantine-after", type=int, default=2, metavar="N",
+        help="quarantine a shard after it errors on this many "
+        "distinct workers and fail its job fast (default: 2)",
+    )
 
     worker = sub.add_parser(
         "worker", help="join a running service as a fleet worker"
@@ -348,6 +380,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-lease log lines",
     )
+    worker.add_argument(
+        "--reconnect", action="store_true",
+        help="redial a lost (or restarting) server with seeded "
+        "exponential backoff instead of exiting",
+    )
+    worker.add_argument(
+        "--max-reconnects", type=int, default=10, metavar="N",
+        help="consecutive failed redials before giving up "
+        "(default: 10)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one job to a running service"
@@ -368,6 +410,23 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--quiet", action="store_true",
         help="suppress streamed progress events",
+    )
+
+    attach = sub.add_parser(
+        "attach", help="re-subscribe to a submitted job by id"
+    )
+    attach.add_argument(
+        "job_id", metavar="JOB_ID",
+        help="job id printed by `repro submit` / `repro jobs`",
+    )
+    _add_endpoint_arguments(attach)
+    attach.add_argument(
+        "--quiet", action="store_true",
+        help="suppress replayed/streamed progress events",
+    )
+    attach.add_argument(
+        "--no-result", action="store_true",
+        help="skip fetching the result payload (status only)",
     )
 
     jobs = sub.add_parser(
@@ -592,6 +651,14 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             seed=args.seed,
         )
+    elif args.suite == "chaos":
+        from repro.experiments.benchmark import write_chaos_benchmark
+
+        record = write_chaos_benchmark(
+            args.output or "BENCH_chaos.json",
+            traces=args.traces,
+            seed=args.seed,
+        )
     elif args.suite == "e2e":
         from repro.experiments.benchmark import write_e2e_benchmark
 
@@ -639,10 +706,13 @@ def _cmd_serve(args) -> int:
             cache_dir=args.cache_dir,
             cache_max_bytes=args.cache_max_bytes,
             spool_dir=args.spool_dir,
+            journal_dir=args.journal_dir,
         ),
         fleet_config=FleetConfig(
             heartbeat_timeout_s=args.heartbeat_timeout,
             lease_timeout_s=args.lease_timeout,
+            register_grace_s=args.fleet_grace,
+            quarantine_after=args.quarantine_after,
         ),
     )
     asyncio.run(serve_forever(scheduler, args.host, args.port))
@@ -660,6 +730,8 @@ def _cmd_worker(args) -> int:
         executor=args.executor,
         cache_dir=args.cache_dir,
         quiet=args.quiet,
+        reconnect=args.reconnect,
+        max_reconnects=args.max_reconnects,
     )
     return 0
 
@@ -720,35 +792,26 @@ def _summarize_job_result(payload) -> None:
         print(render_report(result))
 
 
-def _cmd_submit(args) -> int:
-    from repro.service.client import submit_job
-
-    def _print_event(event) -> None:
-        if args.quiet:
-            return
-        detail = ", ".join(
-            "%s=%s" % (key, value)
-            for key, value in sorted(event.items())
-            if key not in ("event", "job_id", "time")
-            and value is not None
-        )
-        print(
-            "[%s] %s%s"
-            % (
-                event.get("job_id"),
-                event.get("event"),
-                " (%s)" % detail if detail else "",
-            )
-        )
-
-    job = submit_job(
-        args.host,
-        args.port,
-        args.kind,
-        _parse_job_params(args.param),
-        priority=args.priority,
-        on_event=_print_event,
+def _print_event(event) -> None:
+    """One progress-event line (shared by ``submit`` and ``attach``)."""
+    detail = ", ".join(
+        "%s=%s" % (key, value)
+        for key, value in sorted(event.items())
+        if key not in ("event", "job_id", "time")
+        and value is not None
     )
+    print(
+        "[%s] %s%s"
+        % (
+            event.get("job_id"),
+            event.get("event"),
+            " (%s)" % detail if detail else "",
+        )
+    )
+
+
+def _finish_job(job) -> int:
+    """Terminal-status report shared by ``submit`` and ``attach``."""
     status = job.get("status")
     if status != "done":
         print(
@@ -767,15 +830,53 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_submit(args) -> int:
+    from repro.service.client import submit_job
+
+    job = submit_job(
+        args.host,
+        args.port,
+        args.kind,
+        _parse_job_params(args.param),
+        priority=args.priority,
+        on_event=None if args.quiet else _print_event,
+    )
+    return _finish_job(job)
+
+
+def _cmd_attach(args) -> int:
+    from repro.service.client import attach_job
+
+    job = attach_job(
+        args.host,
+        args.port,
+        args.job_id,
+        include_result=not args.no_result,
+        on_event=None if args.quiet else _print_event,
+    )
+    return _finish_job(job)
+
+
 def _cmd_jobs(args) -> int:
     import json
 
-    from repro.service.client import fetch_metrics, list_jobs
+    from repro.service.client import fetch_jobs_overview, fetch_metrics
 
     if args.metrics:
         print(json.dumps(fetch_metrics(args.host, args.port), indent=2))
         return 0
-    jobs = list_jobs(args.host, args.port)
+    overview = fetch_jobs_overview(args.host, args.port)
+    recovery = overview.get("recovery") or {}
+    if recovery.get("journal_enabled"):
+        print(
+            "journal: "
+            + ", ".join(
+                "%s=%d" % (name, recovery.get(name, 0))
+                for name in sorted(recovery)
+                if name != "journal_enabled"
+            )
+        )
+    jobs = overview.get("jobs") or []
     if not jobs:
         print("no jobs")
         return 0
@@ -809,6 +910,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "worker": _cmd_worker,
     "submit": _cmd_submit,
+    "attach": _cmd_attach,
     "jobs": _cmd_jobs,
 }
 

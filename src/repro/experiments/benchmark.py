@@ -25,6 +25,14 @@ bit-identical to a direct single-host run before any timing, and the
 binary-frame vs base64-JSON payload sizes recorded alongside
 (``repro bench --suite fleet`` → ``BENCH_fleet.json``).
 
+:func:`run_chaos_benchmark` is the durability drill for the journaled
+control plane: a real ``repro serve`` subprocess is SIGKILLed at a
+journaled barrier with two jobs in flight (one leased to remote
+``--reconnect`` workers), restarted on the same journal, and both
+recovered results are asserted byte-identical to undisturbed runs
+before the recovery latency is recorded
+(``repro bench --suite chaos`` → ``BENCH_chaos.json``).
+
 Methodology:
 
 * every timed path runs once untimed to warm lazily built tables (the
@@ -832,6 +840,316 @@ def write_fleet_benchmark(
 ) -> Dict[str, object]:
     """Run the fleet benchmark and write its record to ``path``."""
     record = run_fleet_benchmark(**kwargs)
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _spawn_server(
+    env: Dict[str, str],
+    port: int,
+    journal_dir: str,
+    spool_dir: str,
+    cache_dir: str,
+):
+    """Start a ``repro serve`` subprocess and wait for its ready line.
+
+    Returns ``(process, bound_port)``.  The server is a real separate
+    process — the chaos drill SIGKILLs it, which an in-process server
+    cannot survive to measure.
+    """
+    import subprocess
+
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(port),
+            "--journal-dir",
+            journal_dir,
+            "--spool-dir",
+            spool_dir,
+            "--cache-dir",
+            cache_dir,
+            "--fleet-grace",
+            "30",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    deadline = time.monotonic() + 60.0
+    assert proc.stdout is not None
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            bound_port = int(line.rsplit(":", 1)[1])
+            return proc, bound_port
+        if not line or time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("chaos bench server failed to start")
+
+
+def _journal_has(journal_dir: str, kind: str) -> bool:
+    """Has the journal recorded a ``kind`` lifecycle event yet?
+
+    The chaos harness polls this as its barrier detector: the journal
+    is fsync'd before the scheduler acts on a record, so observing
+    ``lease_granted`` here means the shard lease genuinely left for a
+    worker — killing the server now is maximally inconvenient.
+    """
+    log = Path(journal_dir) / "journal.jsonl"
+    if not log.exists():
+        return False
+    for raw in log.read_bytes().splitlines():
+        try:
+            if json.loads(raw).get("record") == kind:
+                return True
+        except ValueError:
+            continue
+    return False
+
+
+def run_chaos_benchmark(
+    traces: int = 60_000,
+    seed: int = 1,
+    plan=None,
+) -> Dict[str, object]:
+    """The durability drill: SIGKILL the journaled server mid-campaign.
+
+    Starts a real ``repro serve`` subprocess with a write-ahead journal
+    plus two ``repro worker --reconnect`` subprocesses, submits two
+    jobs (one fleet CPA attack leased to the remote workers, one local
+    attack), and — when the journal records the first ``lease_granted``
+    barrier — delivers the :class:`~repro.util.faults.FaultPlan`'s
+    ``server_kill`` (SIGKILL, no drain).  A fresh server on the same
+    port replays the journal, re-admits both jobs, the workers redial
+    with seeded backoff (``worker_kill`` at the ``recovered`` barrier
+    additionally takes one of them out), and the drill re-attaches to
+    both job ids.  Both recovered results are asserted byte-identical
+    to undisturbed single-host runs computed before any fault —
+    ``identity_diffs`` must be 0 — and the record carries the recovery
+    latency and the journal counters.
+    """
+    import signal
+    import subprocess
+    import tempfile
+
+    import repro
+    from repro.service.client import attach_job, fetch_jobs_overview
+    from repro.service.codec import from_payload
+    from repro.service.runners import run_attack
+    from repro.util.faults import (
+        FAULT_SERVER_KILL,
+        FAULT_WORKER_KILL,
+        FaultPlan,
+        FaultSpec,
+    )
+
+    if plan is None:
+        plan = FaultPlan(
+            [
+                FaultSpec(FAULT_SERVER_KILL, site="barrier:lease_granted"),
+                FaultSpec(FAULT_WORKER_KILL, site="barrier:recovered"),
+            ],
+            seed=seed,
+        )
+    warm_kernels()
+    from repro.service.jobs import JobSpec
+
+    jobs = {
+        name: JobSpec.create("attack", params).params
+        for name, params in {
+            "fleet-attack": {
+                "traces": int(traces),
+                "seed": int(seed),
+                "fleet": True,
+            },
+            "local-attack": {
+                "traces": int(max(2000, traces // 4)),
+                "seed": int(seed) + 1,
+                "fleet": False,
+            },
+        }.items()
+    }
+    baselines = {
+        name: run_attack(dict(params, fleet=False))
+        for name, params in jobs.items()
+    }
+
+    package_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+
+    root = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    journal_dir = str(root / "journal")
+    spool_dir = str(root / "spool")
+    cache_dir = str(root / "cache")
+    workers = []
+    server = None
+    try:
+        server, port = _spawn_server(
+            env, 0, journal_dir, spool_dir, cache_dir
+        )
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    "127.0.0.1:%d" % port,
+                    "--name",
+                    "chaos-w%d" % index,
+                    "--reconnect",
+                    "--max-reconnects",
+                    "60",
+                    "--quiet",
+                ],
+                env=env,
+            )
+            for index in range(2)
+        ]
+        import asyncio
+
+        from repro.service.client import ServiceClient
+
+        async def _submit_all():
+            ids = {}
+            async with ServiceClient("127.0.0.1", port) as client:
+                deadline = time.monotonic() + 60.0
+                while True:
+                    snapshot = await client.jobs_overview()
+                    fleet = snapshot.get("fleet") or {}
+                    if len(fleet.get("workers") or ()) >= len(workers):
+                        break
+                    if time.monotonic() > deadline:
+                        raise RuntimeError(
+                            "chaos bench workers never registered"
+                        )
+                    await asyncio.sleep(0.1)
+                for name, params in jobs.items():
+                    ids[name] = await client.submit_nowait(
+                        "attack", params
+                    )
+            return ids
+
+        job_ids = asyncio.run(_submit_all())
+
+        # Barrier: the journal shows a shard lease in a worker's hands.
+        deadline = time.monotonic() + 120.0
+        while not _journal_has(journal_dir, "lease_granted"):
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    "no lease_granted record before the kill deadline"
+                )
+            if server.poll() is not None:
+                raise RuntimeError("chaos bench server died early")
+            time.sleep(0.05)
+
+        killed = plan.wants(FAULT_SERVER_KILL, "barrier:lease_granted")
+        if killed:
+            server.send_signal(signal.SIGKILL)
+            server.wait()
+
+        recovery_start = time.perf_counter()
+        if killed:
+            server, port = _spawn_server(
+                env, port, journal_dir, spool_dir, cache_dir
+            )
+        if plan.wants(FAULT_WORKER_KILL, "barrier:recovered"):
+            workers[0].send_signal(signal.SIGKILL)
+            workers[0].wait()
+
+        results = {}
+        for name, job_id in job_ids.items():
+            results[name] = attach_job("127.0.0.1", port, job_id)
+        recovery_s = time.perf_counter() - recovery_start
+
+        identity_diffs = 0
+        for name, job in results.items():
+            if job.get("status") != "done":
+                raise RuntimeError(
+                    "recovered job %s (%s) finished %s: %s"
+                    % (name, job_ids[name], job.get("status"), job.get("error"))
+                )
+            merged = from_payload(job["result"])
+            baseline = baselines[name]
+            if not (
+                np.array_equal(merged.checkpoints, baseline.checkpoints)
+                and np.array_equal(
+                    merged.correlations, baseline.correlations
+                )
+            ):
+                identity_diffs += 1
+        if identity_diffs:
+            raise AssertionError(
+                "%d recovered result(s) diverge from the undisturbed "
+                "single-host runs" % identity_diffs
+            )
+
+        overview = fetch_jobs_overview("127.0.0.1", port)
+        counters = {
+            name: value
+            for name, value in (overview.get("recovery") or {}).items()
+            if name != "journal_enabled"
+        }
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        if server is not None and server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        for proc in workers:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        if server is not None:
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+
+    lock_released = not (Path(journal_dir) / "journal.lock").exists()
+    return {
+        "suite": "chaos",
+        "seed": seed,
+        "traces": traces,
+        "host": host_metadata(),
+        "plan": {
+            "server_kill": killed,
+            "worker_kill": plan.wants(
+                FAULT_WORKER_KILL, "barrier:recovered"
+            ),
+        },
+        "jobs": {
+            name: {"job_id": job_ids[name], "params": params}
+            for name, params in jobs.items()
+        },
+        "server_killed_at": "barrier:lease_granted",
+        "recovery_s": recovery_s,
+        "identity_diffs": identity_diffs,
+        "identical_results": identity_diffs == 0,
+        "journal": counters,
+        "lock_released_after_drain": lock_released,
+    }
+
+
+def write_chaos_benchmark(
+    path: str = "BENCH_chaos.json", **kwargs
+) -> Dict[str, object]:
+    """Run the chaos drill and write its record to ``path``."""
+    record = run_chaos_benchmark(**kwargs)
     Path(path).write_text(json.dumps(record, indent=2) + "\n")
     return record
 

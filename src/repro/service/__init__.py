@@ -25,7 +25,11 @@ Module map:
   JSON-lines protocol endpoints;
 * :mod:`~repro.service.fleet` / :mod:`~repro.service.worker` — the
   distributed campaign fabric: lease-based shard dispatch with
-  cache-aware placement, heartbeat fencing, and bit-identical merge;
+  cache-aware placement, heartbeat fencing, worker auto-reconnect,
+  poison-shard quarantine, and bit-identical merge;
+* :mod:`~repro.service.journal` — the write-ahead job journal that
+  makes the control plane crash-safe: fsync'd lifecycle records,
+  snapshot compaction, replay + job recovery after a server SIGKILL;
 * :mod:`~repro.service.metrics` — the live metrics registry.
 """
 
@@ -38,7 +42,12 @@ from repro.service.codec import (
     to_payload,
     unpack_message,
 )
-from repro.service.fleet import FleetConfig, FleetCoordinator, FleetError
+from repro.service.fleet import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetError,
+    ShardQuarantined,
+)
 from repro.service.jobs import (
     JOB_KINDS,
     JobError,
@@ -47,6 +56,7 @@ from repro.service.jobs import (
     JobState,
     QueueFullError,
 )
+from repro.service.journal import JobJournal, JournalError, JournalLocked
 from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import (
     CampaignScheduler,
@@ -64,14 +74,18 @@ __all__ = [
     "FleetWorker",
     "JOB_KINDS",
     "JobError",
+    "JobJournal",
     "JobQueue",
     "JobSpec",
     "JobState",
+    "JournalError",
+    "JournalLocked",
     "MetricsRegistry",
     "QueueFullError",
     "ResultCache",
     "SchedulerClosedError",
     "SchedulerConfig",
+    "ShardQuarantined",
     "WorkerError",
     "decode",
     "encode",

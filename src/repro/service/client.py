@@ -27,6 +27,8 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceRejection",
+    "attach_job",
+    "fetch_jobs_overview",
     "fetch_metrics",
     "list_jobs",
     "shutdown_server",
@@ -92,18 +94,48 @@ class ServiceClient:
     # ------------------------------------------------------------------
     async def _send(self, request: Dict[str, object]) -> None:
         assert self._writer is not None, "client is not connected"
-        self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
-        await self._writer.drain()
+        try:
+            self._writer.write(
+                json.dumps(request).encode("utf-8") + b"\n"
+            )
+            await self._writer.drain()
+        except OSError as exc:
+            raise self._lost(exc) from exc
 
     async def _recv(self) -> Dict[str, object]:
         assert self._reader is not None, "client is not connected"
-        line = await self._reader.readline()
+        try:
+            line = await self._reader.readline()
+        except OSError as exc:
+            raise self._lost(exc) from exc
         if not line:
-            raise ServiceError("service closed the connection")
-        response = json.loads(line)
+            raise ServiceError(
+                "service closed the connection — if the server is "
+                "restarting, retry and re-attach with "
+                "`repro attach JOB_ID`"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise self._lost(exc) from exc
         if not isinstance(response, dict):
             raise ServiceError("malformed response from service")
         return response
+
+    def _lost(self, exc: BaseException) -> "ServiceError":
+        """Structured wrapper for a mid-request connection loss.
+
+        A server being SIGKILLed or restarting mid-stream surfaces
+        here as a raw ``ConnectionResetError``/short read; the CLI
+        boundary turns this into one line + exit 2 with a retry hint
+        instead of a traceback.
+        """
+        return ServiceError(
+            "connection to repro service at %s:%d lost mid-request "
+            "(%s) — the server may be restarting; retry shortly, and "
+            "re-attach to a submitted job with `repro attach JOB_ID`"
+            % (self.host, self.port, exc)
+        )
 
     @staticmethod
     def _checked(response: Dict[str, object]) -> Dict[str, object]:
@@ -197,9 +229,47 @@ class ServiceClient:
         )
         return response["job"]  # type: ignore[return-value]
 
+    async def attach(
+        self,
+        job_id: str,
+        include_result: bool = True,
+        on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> Dict[str, object]:
+        """Re-subscribe to a job by id and follow it to completion.
+
+        Replays the job's full event history (``on_event`` sees every
+        event, including ones that predate this connection — and, for
+        recovered jobs, this server process), then streams live events
+        until the terminal line and returns the final job view.
+        """
+        await self._send(
+            {
+                "op": "attach",
+                "job_id": job_id,
+                "include_result": include_result,
+            }
+        )
+        while True:
+            response = self._checked(await self._recv())
+            if response.get("done"):
+                return response["job"]  # type: ignore[return-value]
+            event = response.get("event")
+            if event is not None and on_event is not None:
+                on_event(event)  # type: ignore[arg-type]
+
     async def jobs(self) -> List[Dict[str, object]]:
         response = await self.request({"op": "jobs"})
         return response["jobs"]  # type: ignore[return-value]
+
+    async def jobs_overview(self) -> Dict[str, object]:
+        """The full ``jobs`` response: accepting/fleet/recovery/jobs."""
+        response = await self.request({"op": "jobs"})
+        return {
+            "accepting": response.get("accepting"),
+            "fleet": response.get("fleet"),
+            "recovery": response.get("recovery"),
+            "jobs": response.get("jobs"),
+        }
 
     async def metrics(self) -> Dict[str, object]:
         response = await self.request({"op": "metrics"})
@@ -250,12 +320,42 @@ def submit_job(
     return asyncio.run(_run())
 
 
+def attach_job(
+    host: str,
+    port: int,
+    job_id: str,
+    include_result: bool = True,
+    on_event: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Blocking re-attach used by ``repro attach JOB_ID``."""
+
+    async def _run() -> Dict[str, object]:
+        async with ServiceClient(host, port) as client:
+            return await client.attach(
+                job_id,
+                include_result=include_result,
+                on_event=on_event,
+            )
+
+    return asyncio.run(_run())
+
+
 def list_jobs(host: str, port: int) -> List[Dict[str, object]]:
     """Blocking job listing used by ``repro jobs``."""
 
     async def _run() -> List[Dict[str, object]]:
         async with ServiceClient(host, port) as client:
             return await client.jobs()
+
+    return asyncio.run(_run())
+
+
+def fetch_jobs_overview(host: str, port: int) -> Dict[str, object]:
+    """Blocking full jobs view (fleet + recovery counters + jobs)."""
+
+    async def _run() -> Dict[str, object]:
+        async with ServiceClient(host, port) as client:
+            return await client.jobs_overview()
 
     return asyncio.run(_run())
 

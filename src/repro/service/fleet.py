@@ -41,10 +41,11 @@ import asyncio
 import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.service.codec import CodecError, read_message, write_message
 from repro.service.jobs import JobSpec
+from repro.service.journal import JobJournal
 from repro.service.metrics import MetricsRegistry
 from repro.service.runners import (
     FleetShardPlan,
@@ -58,11 +59,57 @@ __all__ = [
     "FleetConfig",
     "FleetCoordinator",
     "FleetError",
+    "ShardQuarantined",
 ]
 
 
 class FleetError(ReproError):
     """A fleet-dispatched job cannot start or finish."""
+
+
+@dataclass(frozen=True)
+class ShardQuarantined:
+    """Structured record of a poison shard.
+
+    A shard that raises on ``quarantine_after`` *distinct* workers is
+    the work being poisonous, not a worker being flaky (flaky-worker
+    failures — drops, timeouts — requeue without counting here).  The
+    job fails fast with this record instead of burning the remaining
+    lease attempts across the whole fleet.
+    """
+
+    job_id: str
+    shard_index: int
+    start: int
+    end: int
+    workers: Tuple[str, ...]
+    last_error: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "shard_index": self.shard_index,
+            "start": self.start,
+            "end": self.end,
+            "workers": list(self.workers),
+            "last_error": self.last_error,
+        }
+
+    def describe(self) -> str:
+        return (
+            "shard %d [%d:%d] quarantined after failing on %d distinct "
+            "worker(s) (%s) — last error: %s; the shard itself is "
+            "poisonous — fix the input/environment and resubmit, or "
+            "rerun locally with --param fleet=false to debug"
+            % (
+                self.shard_index,
+                self.start,
+                self.end,
+                len(self.workers),
+                ", ".join(self.workers),
+                self.last_error,
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -78,9 +125,20 @@ class FleetConfig:
             *hung* worker whose heartbeats keep arriving while the
             shard thread never finishes (None: no deadline).
         max_lease_attempts: attempts per shard before the job fails.
+        quarantine_after: distinct workers a shard must *raise* on
+            before it is declared poisonous and the job fails fast
+            with a :class:`ShardQuarantined` record (connection drops
+            and timeouts don't count — those blame the worker, not
+            the shard).
         shards_per_slot: shard granularity — shards planned per free
             fleet slot, so reassignment after a mid-campaign loss only
             repeats a fraction of one worker's share.
+        register_grace_s: how long a fleet-required job waits for the
+            first worker registration before failing.  Zero fails
+            immediately; a restarted server sets this above the
+            workers' reconnect backoff so recovered ``fleet=true``
+            jobs survive the window where every worker is still
+            redialing.
         compress: zlib-compress binary frames (per frame, only when it
             shrinks them).
     """
@@ -89,10 +147,16 @@ class FleetConfig:
     heartbeat_timeout_s: float = 10.0
     lease_timeout_s: Optional[float] = None
     max_lease_attempts: int = 3
+    quarantine_after: int = 2
     shards_per_slot: int = 2
+    register_grace_s: float = 0.0
     compress: bool = True
 
     def __post_init__(self) -> None:
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if self.register_grace_s < 0:
+            raise ValueError("register_grace_s must be non-negative")
         if self.heartbeat_s <= 0 or self.heartbeat_timeout_s <= 0:
             raise ValueError("heartbeat intervals must be positive")
         if self.heartbeat_timeout_s <= self.heartbeat_s:
@@ -125,8 +189,12 @@ class _FleetJob:
         self.attempts: Dict[int, int] = {}
         self.outstanding: Dict[int, "_Lease"] = {}
         self.results: Dict[int, object] = {}
+        # Distinct workers each shard has *raised* on — the poison-
+        # shard signal (drops/timeouts stay out of this set).
+        self.failed_workers: Dict[int, Set[str]] = {}
         self.done = asyncio.Event()
         self.error: Optional[str] = None
+        self.quarantined: Optional[ShardQuarantined] = None
 
     @property
     def finished(self) -> bool:
@@ -208,15 +276,21 @@ class FleetCoordinator:
         self,
         metrics: Optional[MetricsRegistry] = None,
         config: Optional[FleetConfig] = None,
+        journal: Optional[JobJournal] = None,
     ):
         self.config = config or FleetConfig()
         self.metrics = metrics or MetricsRegistry()
+        self.journal = journal
         self._workers: Dict[str, _Worker] = {}
         self._jobs: Dict[str, _FleetJob] = {}
         self._leases: Dict[str, _Lease] = {}
         self._worker_seq = 0
         self._lease_seq = 0
         self._monitor: Optional[asyncio.Task] = None
+
+    def _journal(self, kind: str, job_id: str, **data: object) -> None:
+        if self.journal is not None:
+            self.journal.append(kind, job_id, **data)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -290,15 +364,25 @@ class FleetCoordinator:
         self._workers[worker_id] = worker
         self.metrics.set_gauge("fleet_workers", len(self._workers))
         self.metrics.inc("fleet_workers_registered")
-        ack = {
-            "ok": True,
-            "worker_id": worker_id,
-            "heartbeat_s": self.config.heartbeat_s,
-            "compress": self.config.compress,
-        }
-        writer.write(json.dumps(ack).encode("utf-8") + b"\n")
-        await writer.drain()
+        reconnects = int(dict(info or {}).get("reconnects") or 0)
+        if reconnects > 0:
+            # The worker outlived a connection (or a whole server) and
+            # redialed — the durability path the chaos suite exercises.
+            self.metrics.inc("worker_reconnects")
         try:
+            # The ack write sits *inside* the reap scope: a worker
+            # SIGKILLed between register and its first lease would
+            # otherwise leave a phantom capability entry that only the
+            # heartbeat timeout clears, soaking up lease assignments
+            # meanwhile.
+            ack = {
+                "ok": True,
+                "worker_id": worker_id,
+                "heartbeat_s": self.config.heartbeat_s,
+                "compress": self.config.compress,
+            }
+            writer.write(json.dumps(ack).encode("utf-8") + b"\n")
+            await writer.drain()
             await self._pump()
             while True:
                 try:
@@ -359,6 +443,14 @@ class FleetCoordinator:
         The returned object is the same result type the local runner
         produces, bit-identical to it.
         """
+        if not self._workers and self.config.register_grace_s > 0:
+            # After a server restart, reconnecting workers race the
+            # recovered fleet jobs; give registration a bounded head
+            # start instead of failing acknowledged work instantly.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.config.register_grace_s
+            while not self._workers and loop.time() < deadline:
+                await asyncio.sleep(0.05)
         if not self._workers:
             raise FleetError(
                 "no fleet workers connected — start one with "
@@ -383,7 +475,9 @@ class FleetCoordinator:
         finally:
             self._jobs.pop(job_id, None)
         if job.error is not None:
-            raise FleetError("fleet job failed: %s" % job.error)
+            error = FleetError("fleet job failed: %s" % job.error)
+            error.quarantined = job.quarantined  # type: ignore[attr-defined]
+            raise error
         ordered = [job.results[i] for i in range(len(plan.shards))]
         if spec.kind == "attack":
             return await asyncio.to_thread(
@@ -393,8 +487,18 @@ class FleetCoordinator:
             merge_fullkey_blocks, spec.params, ordered
         )
 
-    def _pick_worker(self, job: _FleetJob) -> Optional[_Worker]:
-        """Cache-aware placement: warm first, then free slots, then id."""
+    def _pick_worker(
+        self, job: _FleetJob, exclude: Set[str] = frozenset()
+    ) -> Optional[_Worker]:
+        """Cache-aware placement: warm first, then free slots, then id.
+
+        ``exclude`` holds workers that already *errored* on the shard
+        being placed: a retry must land on a distinct worker so the
+        quarantine verdict ("the shard is poisonous, not the worker")
+        rests on independent evidence.  When every free worker has
+        failed the shard, placement falls back to them — liveness
+        beats diversity, and the attempt budget still bounds the job.
+        """
         candidates = [
             worker
             for worker in self._workers.values()
@@ -402,12 +506,18 @@ class FleetCoordinator:
         ]
         if not candidates:
             return None
-        warm = [
+        fresh = [
             worker
             for worker in candidates
+            if worker.worker_id not in exclude
+        ]
+        pool = fresh or candidates
+        warm = [
+            worker
+            for worker in pool
             if job.spec.cache_key in worker.warm_keys
         ]
-        pool = warm or candidates
+        pool = warm or pool
         pool.sort(key=lambda w: (-w.free_slots, w.worker_id))
         self.metrics.inc(
             "fleet_placement_warm" if warm else "fleet_placement_cold"
@@ -420,10 +530,13 @@ class FleetCoordinator:
         assignments: List[tuple] = []
         for job in list(self._jobs.values()):
             while job.pending and not job.done.is_set():
-                worker = self._pick_worker(job)
+                index = job.pending[0]
+                worker = self._pick_worker(
+                    job, job.failed_workers.get(index, frozenset())
+                )
                 if worker is None:
                     break
-                index = job.pending.popleft()
+                job.pending.popleft()
                 self._lease_seq += 1
                 lease = _Lease(
                     lease_id="lease-%06d" % self._lease_seq,
@@ -463,6 +576,18 @@ class FleetCoordinator:
                 await worker.send(message, self.config.compress)
             except Exception:  # noqa: BLE001 — connection died mid-send
                 await self._drop_worker(worker, "send failed")
+                continue
+            # Journaled *after* the send succeeds: the record doubles
+            # as the chaos harness's barrier signal that a shard is
+            # genuinely in flight on a remote worker.
+            self._journal(
+                "lease_granted",
+                message["job_id"],
+                shard=message["shard_index"],
+                worker=worker.worker_id,
+                attempt=message["attempt"],
+                lease_id=message["lease_id"],
+            )
 
     # ------------------------------------------------------------------
     # Worker messages
@@ -514,11 +639,50 @@ class FleetCoordinator:
         if lease is None:
             return
         self.metrics.inc("fleet_shard_errors")
-        await self._requeue(
-            lease,
-            "worker error: %s" % message.get("error", "unknown"),
-        )
+        error = str(message.get("error", "unknown"))
+        job = lease.job
+        index = lease.shard_index
+        if not job.done.is_set() and index not in job.results:
+            failed_on = job.failed_workers.setdefault(index, set())
+            failed_on.add(worker.worker_id)
+            if len(failed_on) >= self.config.quarantine_after:
+                self._quarantine(lease, failed_on, error)
+                await self._pump()
+                return
+        await self._requeue(lease, "worker error: %s" % error)
         await self._pump()
+
+    def _quarantine(
+        self, lease: "_Lease", failed_on: Set[str], error: str
+    ) -> None:
+        """Declare a shard poisonous and fail its job fast."""
+        lease.revoked = True
+        self._leases.pop(lease.lease_id, None)
+        job = lease.job
+        index = lease.shard_index
+        if job.outstanding.get(index) is lease:
+            del job.outstanding[index]
+        start, end = job.plan.shards[index]
+        record = ShardQuarantined(
+            job_id=job.job_id,
+            shard_index=index,
+            start=start,
+            end=end,
+            workers=tuple(sorted(failed_on)),
+            last_error=error,
+        )
+        job.quarantined = record
+        self.metrics.inc("shards_quarantined")
+        self.metrics.inc("fleet_jobs_failed")
+        self._journal(
+            "shard_quarantined",
+            job.job_id,
+            shard=index,
+            workers=list(record.workers),
+            error=error,
+        )
+        job.event("shard_quarantined", **record.as_dict())
+        job.fail(record.describe())
 
     async def _requeue(self, lease: _Lease, reason: str) -> None:
         """Revoke one lease and requeue its shard (or fail the job)."""
@@ -530,6 +694,13 @@ class FleetCoordinator:
             return
         if job.outstanding.get(index) is lease:
             del job.outstanding[index]
+        self._journal(
+            "lease_revoked",
+            job.job_id,
+            shard=index,
+            attempt=lease.attempt,
+            reason=reason,
+        )
         next_attempt = lease.attempt + 1
         if next_attempt >= self.config.max_lease_attempts:
             self.metrics.inc("fleet_jobs_failed")

@@ -313,6 +313,9 @@ class JobState:
         cache: how the result was obtained — ``None`` (computed),
             ``"memory"``/``"disk"`` (cache layer), ``"inflight"``
             (deduped against an identical running job).
+        recovered: True when this state was reconstructed from the
+            job journal after a server restart rather than submitted
+            over this server's lifetime.
         batch_size: number of jobs coalesced into the batch that
             produced this result (1 = ran alone).
         health: the campaign runtime's recovery report, when the job
@@ -331,6 +334,7 @@ class JobState:
     cache: Optional[str] = None
     batch_size: int = 1
     health: Optional[Dict[str, object]] = None
+    recovered: bool = False
     _changed: asyncio.Event = field(
         default_factory=asyncio.Event, repr=False
     )
@@ -378,6 +382,7 @@ class JobState:
             "batch_size": self.batch_size,
             "error": self.error,
             "health": self.health,
+            "recovered": self.recovered,
         }
         if include_result:
             view["result"] = self.result
@@ -407,9 +412,14 @@ class JobQueue:
     def depth(self) -> int:
         return self._heap.qsize()
 
-    def put(self, priority: int, item: object) -> None:
-        """Enqueue, or raise :class:`QueueFullError` when at capacity."""
-        if self.depth >= self.maxsize:
+    def put(self, priority: int, item: object, force: bool = False) -> None:
+        """Enqueue, or raise :class:`QueueFullError` when at capacity.
+
+        ``force`` bypasses the bound: journal recovery re-admits jobs
+        that were *already accepted* before a crash, and shedding them
+        at the readmission edge would silently lose acknowledged work.
+        """
+        if not force and self.depth >= self.maxsize:
             raise QueueFullError(self.depth, self.maxsize)
         self._heap.put_nowait((priority, next(self._seq), item))
 

@@ -38,12 +38,33 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RECOVERY_COUNTERS",
 ]
 
 #: Log-spaced latency buckets (seconds): 1 ms .. ~5 min, then +Inf.
 DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
     300.0,
+)
+
+#: Durability counters of the journaled control plane, surfaced in the
+#: ``repro jobs`` fleet snapshot:
+#:
+#: * ``journal_records``    — records in the journal's history
+#:   (replayed + appended this process);
+#: * ``journal_replays``    — 1 when startup replayed prior state;
+#: * ``jobs_recovered``     — unfinished journaled jobs re-admitted at
+#:   startup;
+#: * ``shards_quarantined`` — poison shards that raised on N distinct
+#:   fleet workers and failed their job fast;
+#: * ``worker_reconnects``  — fleet workers that re-registered after
+#:   outliving a connection (or server) loss.
+RECOVERY_COUNTERS: Tuple[str, ...] = (
+    "journal_records",
+    "journal_replays",
+    "jobs_recovered",
+    "shards_quarantined",
+    "worker_reconnects",
 )
 
 

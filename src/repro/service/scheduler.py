@@ -28,10 +28,19 @@ runtime: every campaign gets a :class:`CampaignHealth` (switching
 key and resumes automatically if an identical job previously died
 mid-run.
 
-Lifecycle: :meth:`start` spawns the workers, :meth:`drain` stops
-admissions and waits for every accepted job to reach a terminal state
-(the graceful-shutdown path the server triggers on SIGTERM), and
-:meth:`stop` tears the workers down.
+When a ``journal_dir`` is configured the scheduler becomes *durable*:
+every lifecycle transition is appended to a write-ahead
+:class:`~repro.service.journal.JobJournal` before clients see it, and
+:meth:`start` replays the journal left by a killed predecessor —
+unfinished jobs are reconstructed with their original ids and
+re-admitted through the normal cache/dedupe/queue path, where the
+spool-checkpoint machinery resumes partial campaigns bit-identically.
+
+Lifecycle: :meth:`start` recovers journaled jobs and spawns the
+workers, :meth:`drain` stops admissions and waits for every accepted
+job to reach a terminal state (the graceful-shutdown path the server
+triggers on SIGTERM), and :meth:`stop` tears the workers down and
+releases the journal lock.
 """
 
 from __future__ import annotations
@@ -47,12 +56,15 @@ from repro.service.cache import ResultCache
 from repro.service.codec import to_payload
 from repro.service.fleet import FleetConfig, FleetCoordinator
 from repro.service.jobs import (
+    STATUS_TERMINAL,
+    JobError,
     JobQueue,
     JobSpec,
     JobState,
     QueueFullError,
 )
-from repro.service.metrics import MetricsRegistry
+from repro.service.journal import JobJournal
+from repro.service.metrics import RECOVERY_COUNTERS, MetricsRegistry
 from repro.service.runners import (
     run_attack,
     run_fullkey,
@@ -97,6 +109,11 @@ class SchedulerConfig:
         spool_dir: campaign checkpoint directory; when set,
             attack/full-key jobs checkpoint under their cache key and
             resume automatically after a crash.
+        journal_dir: write-ahead job journal directory; when set,
+            every lifecycle transition is fsync'd before clients see
+            it and a restarted server replays and finishes unfinished
+            jobs (see :mod:`repro.service.journal`).
+        journal_compact_every: appends between snapshot compactions.
     """
 
     max_concurrency: int = 2
@@ -107,8 +124,12 @@ class SchedulerConfig:
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
     spool_dir: Optional[str] = None
+    journal_dir: Optional[str] = None
+    journal_compact_every: int = 256
 
     def __post_init__(self) -> None:
+        if self.journal_compact_every < 1:
+            raise ValueError("journal_compact_every must be >= 1")
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
         if self.batch_window_s < 0:
@@ -149,8 +170,19 @@ class CampaignScheduler:
             self.config.cache_dir,
             max_disk_bytes=self.config.cache_max_bytes,
         )
+        self.journal: Optional[JobJournal] = None
+        if self.config.journal_dir is not None:
+            # Opening replays prior state and takes the directory
+            # lock, so a misconfigured second server fails here —
+            # before it accepts a single job.
+            self.journal = JobJournal(
+                self.config.journal_dir,
+                compact_every=self.config.journal_compact_every,
+            )
         self.fleet = FleetCoordinator(
-            metrics=self.metrics, config=fleet_config
+            metrics=self.metrics,
+            config=fleet_config,
+            journal=self.journal,
         )
         self.queue = JobQueue(self.config.queue_size)
         self.jobs: Dict[str, JobState] = {}
@@ -168,9 +200,10 @@ class CampaignScheduler:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Spawn the worker pool (idempotent)."""
+        """Recover journaled jobs, then spawn the pool (idempotent)."""
         if self._workers:
             return
+        self._recover()
         self._workers = [
             asyncio.create_task(self._worker(), name="job-worker-%d" % i)
             for i in range(self.config.max_concurrency)
@@ -194,10 +227,118 @@ class CampaignScheduler:
                 pass
         self._workers = []
         await self.fleet.stop()
+        if self.journal is not None:
+            self.journal.close()
 
     @property
     def accepting(self) -> bool:
         return self._accepting
+
+    # ------------------------------------------------------------------
+    # Journal + crash recovery
+    # ------------------------------------------------------------------
+    def _journal(self, kind: str, state: JobState, **data: object) -> None:
+        """Durably record one transition (no-op without a journal)."""
+        if self.journal is None:
+            return
+        self.journal.append(kind, state.job_id, **data)
+        self._sync_journal_metrics()
+
+    def _sync_journal_metrics(self) -> None:
+        if self.journal is None:
+            return
+        for name, value in self.journal.counters().items():
+            self.metrics.sync_counter(name, value)
+
+    def recovery_snapshot(self) -> Dict[str, object]:
+        """Journal/recovery counters for the ``jobs`` fleet snapshot."""
+        snapshot: Dict[str, object] = {
+            "journal_enabled": self.journal is not None,
+        }
+        for name in RECOVERY_COUNTERS:
+            snapshot[name] = self.metrics.counter(name).value
+        return snapshot
+
+    def _recover(self) -> None:
+        """Reconstruct and re-admit every unfinished journaled job.
+
+        Runs once, inside :meth:`start`, before the worker pool exists
+        — so recovered jobs queue exactly like fresh submissions and
+        the original priority order still decides execution.  Resume
+        is free: re-admitted jobs carry their original cache key, so
+        the spool checkpoint a dead server left behind is picked up by
+        the normal ``_checkpoint_path`` probe in :meth:`_run_job`.
+        """
+        if self.journal is None:
+            return
+        self._sync_journal_metrics()
+        table = self.journal.jobs()
+        # Keep job ids unique across incarnations: new submissions
+        # continue after the highest journaled id.
+        max_id = 0
+        for job_id in table:
+            try:
+                max_id = max(max_id, int(job_id.rsplit("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        if max_id:
+            self._ids = itertools.count(max_id + 1)
+        for job_id, entry in sorted(table.items()):
+            if job_id in self.jobs:
+                continue
+            terminal = entry.get("status") in STATUS_TERMINAL
+            spec_dict = entry.get("spec") or {}
+            try:
+                spec = JobSpec.create(
+                    str(spec_dict.get("kind")),
+                    dict(spec_dict.get("params") or {}),  # type: ignore[arg-type]
+                    priority=int(spec_dict.get("priority", 10)),  # type: ignore[arg-type]
+                )
+            except (JobError, TypeError, ValueError) as exc:
+                if terminal:
+                    continue  # finished under the old schema; let it rest
+                state = JobState(job_id, JobSpec(kind="attack"), recovered=True)
+                self.jobs[job_id] = state
+                self._fail(
+                    state,
+                    RuntimeError(
+                        "journaled spec is no longer valid: %s" % exc
+                    ),
+                )
+                continue
+            state = JobState(job_id, spec, recovered=True)
+            submitted_at = entry.get("submitted_at")
+            if isinstance(submitted_at, (int, float)):
+                state.submitted_at = float(submitted_at)
+            if terminal:
+                # Terminal jobs come back for introspection/attach;
+                # nothing re-runs.  A "done" job's result payload is
+                # re-served from the content-addressed cache when it
+                # is still present.
+                state.status = str(entry["status"])
+                finished_at = entry.get("finished_at")
+                if isinstance(finished_at, (int, float)):
+                    state.finished_at = float(finished_at)
+                if entry.get("error") is not None:
+                    state.error = str(entry["error"])
+                if state.status == "done":
+                    payload, layer = self.cache.get(spec.cache_key)
+                    if payload is not None:
+                        state.result = payload
+                        state.cache = layer
+                state.add_event(
+                    "recovered", terminal=True, status=state.status
+                )
+                self.jobs[job_id] = state
+                continue
+            state.add_event(
+                "recovered",
+                cache_key=spec.cache_key,
+                previous_status=entry.get("status"),
+            )
+            self.metrics.inc("jobs_recovered")
+            self._journal("recovered", state)
+            self._admit(state, force=True)
 
     # ------------------------------------------------------------------
     # Submission path
@@ -213,8 +354,19 @@ class CampaignScheduler:
         if not self._accepting:
             raise SchedulerClosedError()
         state = JobState("job-%06d" % next(self._ids), spec)
-        key = spec.cache_key
         self.metrics.inc("jobs_submitted")
+        self._journal("submitted", state, spec=spec.as_dict())
+        return self._admit(state)
+
+    def _admit(self, state: JobState, force: bool = False) -> JobState:
+        """Shared admission path for fresh and journal-recovered jobs.
+
+        ``force`` lets recovery bypass the queue bound: a recovered
+        job was already accepted by a previous incarnation, so
+        shedding it now would lose acknowledged work.
+        """
+        spec = state.spec
+        key = spec.cache_key
 
         payload, layer = self.cache.get(key)
         if payload is not None:
@@ -240,9 +392,9 @@ class CampaignScheduler:
 
         try:
             if spec.kind == "tracegen" and self.config.batch_window_s > 0:
-                self._submit_tracegen(state)
+                self._submit_tracegen(state, force=force)
             else:
-                self.queue.put(spec.priority, state)
+                self.queue.put(spec.priority, state, force=force)
         except QueueFullError:
             self.metrics.inc("jobs_rejected")
             raise
@@ -254,7 +406,7 @@ class CampaignScheduler:
         state.add_event("queued", cache_key=key)
         return state
 
-    def _submit_tracegen(self, state: JobState) -> None:
+    def _submit_tracegen(self, state: JobState, force: bool = False) -> None:
         """Join the open batching window for this class, or open one."""
         compat = tracegen_compat_key(state.spec.params)
         batch = self._open_batches.get(compat)
@@ -273,7 +425,7 @@ class CampaignScheduler:
         # Enqueue the *window*, not the job: the worker that pops it
         # waits out the remaining window time, then executes whatever
         # jobs joined.  May raise QueueFullError — nothing registered.
-        self.queue.put(state.spec.priority, batch)
+        self.queue.put(state.spec.priority, batch, force=force)
         self._open_batches[compat] = batch
 
     # ------------------------------------------------------------------
@@ -307,6 +459,7 @@ class CampaignScheduler:
         state.status = "cancelled"
         state.error = reason
         state.finished_at = time.time()
+        self._journal("cancelled", state, reason=reason)
         state.add_event("cancelled", reason=reason)
         self.metrics.inc("jobs_cancelled")
         self._note_done()
@@ -404,6 +557,10 @@ class CampaignScheduler:
         health = CampaignHealth()
         checkpoint = self._checkpoint_path(state)
         resume = checkpoint is not None and os.path.exists(checkpoint)
+        if checkpoint is not None:
+            self._journal(
+                "checkpoint_spooled", state, path=checkpoint, resume=resume
+            )
         try:
             if kind == "attack":
                 result = await asyncio.to_thread(
@@ -471,6 +628,7 @@ class CampaignScheduler:
         self.metrics.observe(
             "queue_wait_s", state.started_at - state.submitted_at
         )
+        self._journal("started", state)
         state.add_event("started", **extra)
 
     def _complete(
@@ -487,6 +645,7 @@ class CampaignScheduler:
             "total_s", state.finished_at - state.submitted_at
         )
         self.metrics.inc("jobs_completed")
+        self._journal("done", state, cache_key=state.spec.cache_key)
         state.add_event(
             "done", cache=state.cache, batch_size=state.batch_size
         )
@@ -499,6 +658,7 @@ class CampaignScheduler:
         state.error = str(error)
         state.finished_at = time.time()
         self.metrics.inc("jobs_failed")
+        self._journal("failed", state, error=state.error)
         state.add_event("failed", error=state.error)
         for follower in self._followers.pop(state.job_id, []):
             if not follower.terminal:
@@ -523,6 +683,9 @@ class CampaignScheduler:
             follower.status = "done"
             follower.finished_at = time.time()
             self.metrics.inc("jobs_completed")
+            self._journal(
+                "done", follower, cache_key=follower.spec.cache_key
+            )
             self.metrics.observe(
                 "total_s", follower.finished_at - follower.submitted_at
             )

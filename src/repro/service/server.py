@@ -18,7 +18,15 @@ Operations:
     marks backpressure so clients can distinguish retryable shed from
     a bad request).
 ``job`` / ``jobs``
-    inspect one job (optionally ``wait`` for it to finish) or list all.
+    inspect one job (optionally ``wait`` for it to finish) or list all
+    (with the fleet snapshot and journal/recovery counters).
+``attach``
+    re-subscribe to a job's event stream by id: replays every event
+    from the beginning, then streams live ones until the job ends and
+    a final ``done`` line carries the job view (and result, unless
+    ``include_result`` is off).  The recovery companion of ``submit``
+    — a client that lost its connection (or a server that lost its
+    process) re-attaches instead of losing the handle.
 ``metrics``
     the live metrics snapshot plus cache statistics.
 ``cancel``
@@ -192,6 +200,8 @@ class CampaignServer:
                 await self._op_submit(request, writer)
             elif op == "job":
                 await self._op_job(request, writer)
+            elif op == "attach":
+                await self._op_attach(request, writer)
             elif op == "jobs":
                 await self._op_jobs(writer)
             elif op == "metrics":
@@ -293,6 +303,39 @@ class CampaignServer:
             },
         )
 
+    async def _op_attach(
+        self,
+        request: Dict[str, object],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        job_id = str(request.get("job_id"))
+        state = self.scheduler.job(job_id)
+        if state is None:
+            await self._send(
+                writer,
+                {
+                    "ok": False,
+                    "error": "unknown job %r — it may predate the "
+                    "journal window; `repro jobs` lists live ids"
+                    % job_id,
+                },
+            )
+            return
+        include_result = bool(request.get("include_result", True))
+        # Same streaming shape as submit: the event log replays from
+        # the beginning (JobState.stream always starts at event 0), so
+        # a re-attaching client sees the full history, then lives.
+        async for event in state.stream():
+            await self._send(writer, {"ok": True, "event": event})
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "done": True,
+                "job": state.as_dict(include_result=include_result),
+            },
+        )
+
     async def _op_jobs(self, writer: asyncio.StreamWriter) -> None:
         await self._send(
             writer,
@@ -300,6 +343,7 @@ class CampaignServer:
                 "ok": True,
                 "accepting": self.scheduler.accepting,
                 "fleet": self.scheduler.fleet.snapshot(),
+                "recovery": self.scheduler.recovery_snapshot(),
                 "jobs": [
                     state.as_dict()
                     for state in self.scheduler.list_jobs()
@@ -355,6 +399,18 @@ async def serve_forever(
         with contextlib.suppress(NotImplementedError, ValueError):
             loop.add_signal_handler(signum, server.request_shutdown)
     if ready_line:
+        recovery = scheduler.recovery_snapshot()
+        if recovery.get("journal_enabled") and recovery.get(
+            "journal_replays"
+        ):
+            print(
+                "journal: replayed %d records, recovered %d job(s)"
+                % (
+                    recovery.get("journal_records", 0),
+                    recovery.get("jobs_recovered", 0),
+                ),
+                flush=True,
+            )
         print(
             "repro-service listening on %s:%d" % (bound_host, bound_port),
             flush=True,

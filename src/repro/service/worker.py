@@ -24,7 +24,14 @@ server drains or the connection drops:
 * a :class:`~repro.util.faults.FaultPlan` can be injected (tests, CI)
   to fire deterministic exceptions/hangs keyed on the shard site and
   lease attempt — the same keying the single-host resilient runtime
-  uses, so recovery paths are reproducible down to the attempt number.
+  uses, so recovery paths are reproducible down to the attempt number;
+* with ``reconnect=True`` the worker *outlives the server*: a dropped
+  link (including a SIGKILLed coordinator) triggers a redial loop with
+  seeded exponential backoff, the warm-key advertisement is re-sent at
+  re-registration (cache-aware placement survives the restart), and
+  leases from the dead session are re-validated — stale revocations
+  are cleared, and any in-flight result that lands on the new
+  connection is absorbed by the coordinator's idempotent merge.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ from repro.service.server import STREAM_LIMIT
 from repro.util.errors import ReproError
 from repro.util.executors import usable_cpu_count
 from repro.util.faults import FaultPlan, fault_scope
+from repro.util.rng import derive_seed
 
 __all__ = [
     "FleetWorker",
@@ -103,9 +111,20 @@ class FleetWorker:
         cache_dir: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
         quiet: bool = False,
+        reconnect: bool = False,
+        max_reconnects: int = 10,
+        reconnect_base_s: float = 0.5,
+        reconnect_max_s: float = 30.0,
+        reconnect_seed: int = 0,
     ):
         if slots < 1:
             raise WorkerError("worker slots must be >= 1")
+        if max_reconnects < 1:
+            raise WorkerError("max_reconnects must be >= 1")
+        if reconnect_base_s <= 0 or reconnect_max_s < reconnect_base_s:
+            raise WorkerError(
+                "reconnect backoff must satisfy 0 < base <= max"
+            )
         self.host = host
         self.port = port
         self.name = name or "worker-%d" % os.getpid()
@@ -115,6 +134,11 @@ class FleetWorker:
         self.cache_dir = cache_dir
         self.fault_plan = fault_plan
         self.quiet = quiet
+        self.reconnect = reconnect
+        self.max_reconnects = max_reconnects
+        self.reconnect_base_s = reconnect_base_s
+        self.reconnect_max_s = reconnect_max_s
+        self.reconnect_seed = reconnect_seed
         self.worker_id: Optional[str] = None
         self._heartbeat_s = 2.0
         self._compress = True
@@ -126,6 +150,9 @@ class FleetWorker:
         self._draining = asyncio.Event()
         self._lease_tasks: Set[asyncio.Task] = set()
         self.leases_completed = 0
+        #: Successful registrations so far; advertised at register so
+        #: the coordinator can count genuine reconnects.
+        self.sessions = 0
 
     def _log(self, text: str) -> None:
         if not self.quiet:
@@ -155,11 +182,20 @@ class FleetWorker:
                 "cpus": usable_cpu_count(),
                 "kernels": _kernel_backends(),
                 "warm_keys": warm_cache_keys(),
+                "reconnects": self.sessions,
             },
         }
-        self._writer.write(json.dumps(register).encode("utf-8") + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+        try:
+            self._writer.write(json.dumps(register).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        except OSError as exc:
+            # The server died mid-handshake (e.g. SIGKILLed between
+            # accept and ack): retryable, exactly like a refused dial.
+            raise WorkerError(
+                "fleet server at %s:%d dropped the registration "
+                "handshake (%s)" % (self.host, self.port, exc)
+            ) from exc
         if not line:
             raise WorkerError("server closed the connection at register")
         try:
@@ -179,11 +215,72 @@ class FleetWorker:
         )
 
     async def run(self) -> None:
-        """Serve leases until the server drains or the link drops."""
-        await self._connect()
+        """Serve leases; with ``reconnect``, survive link/server loss.
+
+        Without ``reconnect`` this is one session: serve until the
+        server drains or the connection drops.  With it, any lost link
+        — including a SIGKILLed server — enters a redial loop with
+        seeded exponential backoff (deterministic per attempt number,
+        so chaos runs replay exactly); a local :meth:`drain` (SIGTERM)
+        is always terminal.
+        """
+        failures = 0
+        while True:
+            try:
+                await self._connect()
+                failures = 0
+                self.sessions += 1
+                reason = await self._serve_session()
+            except WorkerError as exc:
+                if not self.reconnect or self._draining.is_set():
+                    raise
+                failures += 1
+                if failures > self.max_reconnects:
+                    raise WorkerError(
+                        "gave up reconnecting to %s:%d after %d "
+                        "attempt(s): %s"
+                        % (self.host, self.port, failures - 1, exc)
+                    ) from exc
+                delay = self._backoff_delay(failures)
+                self._log(
+                    "connect attempt %d failed (%s); retrying in %.2fs"
+                    % (failures, exc, delay)
+                )
+                try:
+                    await asyncio.wait_for(
+                        self._draining.wait(), timeout=delay
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                if self._draining.is_set():
+                    break
+                continue
+            if self._draining.is_set() or not self.reconnect:
+                break
+            # Lease re-validation across the gap: revocations from the
+            # dead session are void (the restarted coordinator knows
+            # nothing of those lease ids), and any still-running lease
+            # will report on the new link where the idempotent merge
+            # either uses it or drops it as a duplicate.
+            self._revoked.clear()
+            self._log("link lost (%s); reconnecting" % reason)
+        self._log("disconnected (%d lease(s) served)" % self.leases_completed)
+
+    def _backoff_delay(self, failures: int) -> float:
+        """Seeded exponential backoff: deterministic, jittered, capped."""
+        base = self.reconnect_base_s * (2.0 ** (failures - 1))
+        draw = derive_seed(
+            self.reconnect_seed, self.name, "reconnect", failures
+        )
+        jitter = (draw % (2**32)) / 2.0**32
+        return min(self.reconnect_max_s, base) * (0.5 + 0.5 * jitter)
+
+    async def _serve_session(self) -> str:
+        """One registered session; returns why the link ended."""
         heartbeat = asyncio.create_task(
             self._heartbeat_loop(), name="worker-heartbeat"
         )
+        reason = "connection closed"
         try:
             while not self._draining.is_set():
                 read_task = asyncio.ensure_future(
@@ -197,13 +294,20 @@ class FleetWorker:
                 drain_task.cancel()
                 if read_task not in done:
                     read_task.cancel()
+                    reason = "local drain"
                     break  # drained while idle
                 try:
                     message = read_task.result()
                 except CodecError as exc:
+                    if self.reconnect:
+                        reason = "stream corrupted: %s" % exc
+                        break
                     raise WorkerError(
                         "fleet stream corrupted: %s" % exc
                     ) from exc
+                except (ConnectionResetError, OSError) as exc:
+                    reason = "connection reset: %s" % exc
+                    break
                 if message is None:
                     break
                 if not isinstance(message, dict):
@@ -216,7 +320,10 @@ class FleetWorker:
                 elif kind == "revoke":
                     self._revoked.add(str(message.get("lease_id")))
                 elif kind == "drain":
-                    self._draining.set()
+                    reason = "server drain"
+                    if not self.reconnect:
+                        self._draining.set()
+                    break
         finally:
             heartbeat.cancel()
             if self._lease_tasks:
@@ -225,7 +332,7 @@ class FleetWorker:
                 )
             if self._writer is not None:
                 self._writer.close()
-        self._log("disconnected (%d lease(s) served)" % self.leases_completed)
+        return reason
 
     def drain(self) -> None:
         """Stop accepting leases; :meth:`run` returns after in-flight work."""
@@ -351,11 +458,16 @@ def run_worker(
     executor: Optional[str] = None,
     cache_dir: Optional[str] = None,
     quiet: bool = False,
+    reconnect: bool = False,
+    max_reconnects: int = 10,
+    reconnect_base_s: float = 0.5,
 ) -> None:
     """Blocking entry point for ``repro worker ADDRESS``.
 
     Connects, serves leases until SIGTERM/SIGINT (graceful: in-flight
-    leases finish and report before the process exits) or server drain.
+    leases finish and report before the process exits) or server
+    drain; with ``reconnect`` a lost server is redialed with seeded
+    exponential backoff instead of exiting.
     """
     host, port = parse_worker_address(address)
     worker = FleetWorker(
@@ -367,5 +479,8 @@ def run_worker(
         executor=executor,
         cache_dir=cache_dir,
         quiet=quiet,
+        reconnect=reconnect,
+        max_reconnects=max_reconnects,
+        reconnect_base_s=reconnect_base_s,
     )
     asyncio.run(_run_with_signals(worker))

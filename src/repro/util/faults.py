@@ -39,6 +39,21 @@ Faults that act *inside* the task body (``nan``) are delivered through
 a thread-local context installed by :func:`fault_scope`, so task
 functions stay oblivious to the plan unless they opt in via
 :func:`poison_leakage`.
+
+Chaos kinds (:data:`CHAOS_KINDS`) extend the vocabulary to whole
+*processes and links* of the journaled campaign service:
+
+* ``"server_kill"`` — SIGKILL the service process at a journaled
+  barrier (e.g. the first ``lease_granted`` record);
+* ``"worker_kill"`` — SIGKILL one fleet worker process;
+* ``"net_cut"`` — sever a worker's TCP connection without killing it.
+
+These are *harness-fired*: :meth:`FaultPlan.fire` never delivers them
+(a task cannot kill the server it runs under).  The chaos benchmark
+(``repro bench --suite chaos``) and the recovery tests consult the
+plan via :meth:`FaultPlan.wants` at named barriers — sites like
+``"barrier:lease_granted"`` — so a kill schedule is as deterministic
+and replayable as any shard-level fault.
 """
 
 from __future__ import annotations
@@ -55,12 +70,16 @@ import numpy as np
 from repro.util.rng import derive_seed
 
 __all__ = [
+    "CHAOS_KINDS",
     "FAULT_CRASH",
     "FAULT_EXCEPTION",
     "FAULT_HANG",
     "FAULT_KINDS",
     "FAULT_NAN",
+    "FAULT_NET_CUT",
+    "FAULT_SERVER_KILL",
     "FAULT_TRUNCATE",
+    "FAULT_WORKER_KILL",
     "SCOPE_ANY",
     "SCOPE_POOL",
     "SCOPE_PROCESS",
@@ -81,6 +100,19 @@ FAULT_HANG = "hang"
 FAULT_NAN = "nan"
 #: The result payload comes back missing its last element.
 FAULT_TRUNCATE = "truncate"
+#: SIGKILL the campaign service process at a journaled barrier.
+FAULT_SERVER_KILL = "server_kill"
+#: SIGKILL one fleet worker process.
+FAULT_WORKER_KILL = "worker_kill"
+#: Sever a worker's TCP connection without killing the process.
+FAULT_NET_CUT = "net_cut"
+#: Process/link-level chaos faults, fired by the chaos harness (never
+#: by :meth:`FaultPlan.fire` — a task cannot kill its own server).
+CHAOS_KINDS = (
+    FAULT_SERVER_KILL,
+    FAULT_WORKER_KILL,
+    FAULT_NET_CUT,
+)
 #: All injectable failure modes.
 FAULT_KINDS = (
     FAULT_EXCEPTION,
@@ -88,7 +120,7 @@ FAULT_KINDS = (
     FAULT_HANG,
     FAULT_NAN,
     FAULT_TRUNCATE,
-)
+) + CHAOS_KINDS
 
 #: Fire on every backend, including serial in-process execution.
 SCOPE_ANY = "any"
@@ -221,6 +253,16 @@ class FaultPlan:
             ):
                 return spec
         return None
+
+    def wants(self, kind: str, site: str, attempt: int = 0) -> bool:
+        """Does the plan schedule a chaos fault at this barrier?
+
+        The chaos harness asks this at named barriers (sites like
+        ``"barrier:lease_granted"``) and delivers the kill/cut itself;
+        backend scoping is meaningless for process-level faults, so
+        the query runs under the permissive ``"chaos"`` backend.
+        """
+        return self.match(kind, site, attempt, "chaos") is not None
 
     # -- delivery ------------------------------------------------------
 

@@ -202,6 +202,59 @@ class TestFleetVerbs:
         assert "Traceback" not in err
 
 
+class TestDurabilityVerbs:
+    def test_attach_without_server_one_line_exit_2(self, capsys):
+        code = main([
+            "attach", "job-000001", "--host", "127.0.0.1", "--port", "1",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "repro serve" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1, "one actionable line, no traceback"
+
+    def test_attach_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "attach", "job-000042",
+            "--host", "10.0.0.5", "--port", "7070",
+            "--quiet", "--no-result",
+        ])
+        assert args.command == "attach"
+        assert args.job_id == "job-000042"
+        assert args.host == "10.0.0.5" and args.port == 7070
+        assert args.quiet is True and args.no_result is True
+
+    def test_serve_durability_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "serve", "--journal-dir", "/tmp/j",
+            "--fleet-grace", "12", "--quarantine-after", "3",
+        ])
+        assert args.journal_dir == "/tmp/j"
+        assert args.fleet_grace == 12.0
+        assert args.quarantine_after == 3
+
+    def test_worker_reconnect_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args([
+            "worker", "127.0.0.1:7000",
+            "--reconnect", "--max-reconnects", "25",
+        ])
+        assert args.reconnect is True
+        assert args.max_reconnects == 25
+
+    def test_bench_accepts_chaos_suite(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["bench", "--suite", "chaos"])
+        assert args.suite == "chaos"
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -208,6 +208,70 @@ class TestJobsAndCancel:
         assert "unknown job" in unknown
 
 
+class TestAttach:
+    def test_attach_replays_full_history_then_returns_result(self):
+        params = {"traces": 30, "seed": 4}
+
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as submitter:
+                job_id = await submitter.submit_nowait(
+                    "tracegen", params
+                )
+                await submitter.job(job_id, wait=True)
+            # A fresh connection, after the job finished: attach must
+            # replay the whole event history, not just live events.
+            events = []
+            async with ServiceClient(host, port) as late:
+                job = await late.attach(job_id, on_event=events.append)
+            await server.close()
+            return job, events
+
+        job, events = asyncio.run(run())
+        assert job["status"] == "done"
+        assert [event["event"] for event in events] == [
+            "queued",
+            "started",
+            "done",
+        ]
+        served = from_payload(job["result"])
+        direct = run_tracegen(normalize_params("tracegen", params))
+        assert np.array_equal(served["voltages"], direct["voltages"])
+
+    def test_attach_without_result_stays_lightweight(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                job_id = await client.submit_nowait(
+                    "tracegen", {"traces": 12, "seed": 2}
+                )
+                job = await client.attach(job_id, include_result=False)
+            await server.close()
+            return job
+
+        job = asyncio.run(run())
+        assert job["status"] == "done"
+        assert "result" not in job
+
+    def test_attach_unknown_job_mentions_journal_window(self):
+        async def run():
+            server = _serve()
+            host, port = await server.start()
+            async with ServiceClient(host, port) as client:
+                try:
+                    await client.attach("job-424242")
+                except ServiceError as exc:
+                    return str(exc)
+                finally:
+                    await server.close()
+
+        message = asyncio.run(run())
+        assert "job-424242" in message
+        assert "journal window" in message
+
+
 class TestGracefulShutdown:
     def test_shutdown_op_drains_and_stops(self):
         async def run():

@@ -6,12 +6,16 @@ import numpy as np
 import pytest
 
 from repro.util.faults import (
+    CHAOS_KINDS,
     FAULT_CRASH,
     FAULT_EXCEPTION,
     FAULT_HANG,
     FAULT_KINDS,
     FAULT_NAN,
+    FAULT_NET_CUT,
+    FAULT_SERVER_KILL,
     FAULT_TRUNCATE,
+    FAULT_WORKER_KILL,
     SCOPE_ANY,
     SCOPE_POOL,
     SCOPE_PROCESS,
@@ -172,4 +176,36 @@ def test_fault_kinds_complete():
         FAULT_HANG,
         FAULT_NAN,
         FAULT_TRUNCATE,
+        FAULT_SERVER_KILL,
+        FAULT_WORKER_KILL,
+        FAULT_NET_CUT,
     }
+    assert set(CHAOS_KINDS) == {
+        FAULT_SERVER_KILL,
+        FAULT_WORKER_KILL,
+        FAULT_NET_CUT,
+    }
+
+
+class TestChaosKinds:
+    def test_chaos_kinds_are_never_fired_inline(self):
+        """Chaos kinds are harness-fired at barriers: ``fire`` must
+        treat a matching spec as a no-op, never raise or crash."""
+        plan = FaultPlan(
+            [
+                FaultSpec(kind, site="barrier:x", scope=SCOPE_ANY)
+                for kind in CHAOS_KINDS
+            ],
+            seed=1,
+        )
+        plan.fire("barrier:x", 0, "chaos")  # no-op, not an injection
+
+    def test_wants_matches_kind_and_site(self):
+        plan = FaultPlan(
+            [FaultSpec(FAULT_SERVER_KILL, site="barrier:lease_granted")],
+            seed=1,
+        )
+        assert plan.wants(FAULT_SERVER_KILL, "barrier:lease_granted")
+        assert not plan.wants(FAULT_SERVER_KILL, "barrier:other")
+        assert not plan.wants(FAULT_WORKER_KILL, "barrier:lease_granted")
+        assert not FaultPlan([]).wants(FAULT_NET_CUT, "anywhere")
