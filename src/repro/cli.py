@@ -140,6 +140,68 @@ def _validate_parallel_args(args) -> None:
             pass
 
 
+def _add_acquisition_arguments(parser) -> None:
+    """Acquisition-realism and preprocessing flags (campaign commands).
+
+    Values are parsed eagerly in :func:`_acquisition_params`, so a
+    malformed spec exits 2 with one actionable line before any
+    campaign work starts.
+    """
+    parser.add_argument(
+        "--jitter", default=None, metavar="SPEC",
+        help="simulate acquisition misalignment, e.g. uniform:3 or "
+        "gaussian:1.5,drift=0.002,glitch=0.01",
+    )
+    parser.add_argument(
+        "--align", default=None, metavar="METHOD[:MAX_SHIFT]",
+        help="re-align traces before the CPA: correlation or sad, "
+        "e.g. correlation:4",
+    )
+    parser.add_argument(
+        "--poi", default=None, metavar="METHOD[:N[@PILOTS]]",
+        help="point-of-interest selection per target column: "
+        "variance or sost, e.g. sost:3@512",
+    )
+    parser.add_argument(
+        "--window", default=None, metavar="START:END",
+        help="static sample-window crop before the CPA",
+    )
+    parser.add_argument(
+        "--resample", default=None, metavar="UP/DOWN",
+        help="polyphase rational resampling, e.g. 3/2",
+    )
+
+
+def _acquisition_params(args) -> dict:
+    """Validated ``jitter``/``preprocess`` campaign-param entries.
+
+    Entries appear only when a flag was given (a disabled spec like
+    ``--jitter none`` also stays absent), so acquisition-free
+    invocations keep their parameter dicts — and service cache keys —
+    byte-identical to before these flags existed.
+    """
+    from repro.preprocess.spec import (
+        MisalignmentSpec,
+        preprocess_spec_from_cli,
+    )
+
+    params = {}
+    jitter = getattr(args, "jitter", None)
+    if jitter is not None:
+        spec = MisalignmentSpec.from_string(jitter)
+        if spec.enabled:
+            params["jitter"] = spec.to_string()
+    preprocess = preprocess_spec_from_cli(
+        align=getattr(args, "align", None),
+        poi=getattr(args, "poi", None),
+        window=getattr(args, "window", None),
+        resample=getattr(args, "resample", None),
+    )
+    if preprocess is not None and preprocess.enabled:
+        params["preprocess"] = preprocess.to_string()
+    return params
+
+
 def _add_resilience_arguments(parser) -> None:
     """Fault-tolerance knobs shared by the campaign commands."""
     parser.add_argument(
@@ -197,6 +259,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_argument(attack)
     _add_kernels_argument(attack)
+    _add_acquisition_arguments(attack)
     _add_resilience_arguments(attack)
 
     fullkey = sub.add_parser("fullkey", help="recover all 16 key bytes")
@@ -207,6 +270,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_argument(fullkey)
     _add_kernels_argument(fullkey)
+    _add_acquisition_arguments(fullkey)
     _add_resilience_arguments(fullkey)
 
     scan = sub.add_parser("scan", help="bitstream-check a design")
@@ -238,6 +302,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_argument(report)
     _add_kernels_argument(report)
+    _add_acquisition_arguments(report)
     report.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="JSON checkpoint updated after every completed figure",
@@ -252,14 +317,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["sampling", "e2e", "kernels", "fleet", "chaos"],
+        choices=["sampling", "e2e", "kernels", "fleet", "chaos",
+                 "preprocess"],
         default="sampling",
         help="sampling: sensor kernels + sharded campaign; "
         "e2e: batched trace-generation pipeline; "
         "kernels: per-backend AES/PDN/CPA kernel comparison; "
         "fleet: distributed dispatch over 1 vs N loopback workers; "
         "chaos: kill the journaled server mid-campaign and assert "
-        "bit-identical recovery",
+        "bit-identical recovery; "
+        "preprocess: alignment throughput + attack success vs "
+        "misalignment severity, with and without alignment",
     )
     bench.add_argument("--cycles", type=int, default=100_000)
     bench.add_argument("--traces", type=int, default=100_000)
@@ -472,6 +540,7 @@ def _campaign_params(args, **extra) -> dict:
     if hasattr(args, "retries"):
         params["retries"] = args.retries
         params["task_timeout"] = args.task_timeout
+    params.update(_acquisition_params(args))
     params.update(extra)
     return params
 
@@ -610,15 +679,17 @@ def _cmd_report(args) -> int:
     from repro.experiments.runner import render_report
     from repro.service.runners import run_report
 
+    params = {
+        "traces": args.traces,
+        "seed": args.seed,
+        "cpa": not args.no_cpa,
+        "workers": args.workers,
+        "executor": args.executor,
+        "kernels": args.kernels,
+    }
+    params.update(_acquisition_params(args))
     records = run_report(
-        {
-            "traces": args.traces,
-            "seed": args.seed,
-            "cpa": not args.no_cpa,
-            "workers": args.workers,
-            "executor": args.executor,
-            "kernels": args.kernels,
-        },
+        params,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
     )
@@ -657,6 +728,17 @@ def _cmd_bench(args) -> int:
         record = write_chaos_benchmark(
             args.output or "BENCH_chaos.json",
             traces=args.traces,
+            seed=args.seed,
+        )
+    elif args.suite == "preprocess":
+        from repro.experiments.benchmark import (
+            write_preprocess_benchmark,
+        )
+
+        record = write_preprocess_benchmark(
+            args.output or "BENCH_preprocess.json",
+            repeats=args.repeats,
+            max_workers=args.workers,
             seed=args.seed,
         )
     elif args.suite == "e2e":
@@ -832,12 +914,17 @@ def _finish_job(job) -> int:
 
 def _cmd_submit(args) -> int:
     from repro.service.client import submit_job
+    from repro.service.jobs import normalize_params
 
+    params = _parse_job_params(args.param)
+    # Validate client-side so a typo'd --param fails in one actionable
+    # line (naming the valid keys) without needing a reachable server.
+    normalize_params(args.kind, params)
     job = submit_job(
         args.host,
         args.port,
         args.kind,
-        _parse_job_params(args.param),
+        params,
         priority=args.priority,
         on_event=None if args.quiet else _print_event,
     )

@@ -17,7 +17,14 @@ chain the paper describes —
    current directly (the package RLC is far too slow to resolve
    individual 10 ns cycles — the cycle-resolution component of the
    supply seen by a neighbouring sensor is resistive);
-4. add ambient supply noise.
+4. add ambient supply noise;
+5. optionally distort the sample axis the way a real acquisition
+   would (:class:`repro.preprocess.spec.MisalignmentSpec`): per-trace
+   trigger misalignment, per-trace clock drift, and dropped/duplicated
+   sample glitches.  The distortion draws from its own seeded RNG
+   streams (``"tracegen-misalign-*"``), strictly separate from the
+   ambient-noise stream, so every configuration without a misalignment
+   spec remains bit-identical to pre-existing outputs.
 
 Every stage has a vectorized fast path and a per-trace pure-Python
 reference (:meth:`PhysicalTraceGenerator.generate_reference` runs the
@@ -52,6 +59,7 @@ from repro.pdn.aggressors import (
     aes_current_waveform_batch,
 )
 from repro.pdn.model import PDNModel
+from repro.preprocess.spec import MisalignmentSpec
 from repro.util.rng import make_rng
 
 __all__ = ["PhysicalTraceGenerator", "random_plaintexts"]
@@ -85,6 +93,10 @@ class PhysicalTraceGenerator:
             (Hamming-weight) and register-overwrite (Hamming-distance)
             components of each cycle's switching activity; the defaults
             match :class:`repro.aes.leakage.LeakageModel`.
+        misalignment: optional acquisition-time distortion of the
+            sample axis (trigger jitter, clock drift, sampling
+            glitches).  None (the default) leaves every output exactly
+            as before.
     """
 
     def __init__(
@@ -100,7 +112,16 @@ class PhysicalTraceGenerator:
         noise_sigma_v: float = 8.0e-4,
         value_weight: float = 1.0,
         transition_weight: float = 0.5,
+        misalignment: Optional[MisalignmentSpec] = None,
     ):
+        if misalignment is not None and not isinstance(
+            misalignment, MisalignmentSpec
+        ):
+            raise TypeError(
+                "misalignment must be a MisalignmentSpec, got %r"
+                % (misalignment,)
+            )
+        self.misalignment = misalignment
         self.cipher = cipher
         self.pdn = pdn or PDNModel()
         self.schedule = schedule
@@ -192,7 +213,7 @@ class PhysicalTraceGenerator:
             ``"voltages"`` (N, num_samples) float.
         """
         data = self.generate_deterministic(plaintexts)
-        data["voltages"] = self.add_ambient_noise(data["voltages"], seed)
+        data["voltages"] = self._acquire(data["voltages"], seed)
         return data
 
     def generate_deterministic(
@@ -256,6 +277,92 @@ class PhysicalTraceGenerator:
             0.0, self.noise_sigma_v, size=voltages.shape
         )
 
+    def _acquire(self, voltages: np.ndarray, seed: int) -> np.ndarray:
+        """Shared acquisition tail: ambient noise, then misalignment.
+
+        Both the fast batched path and the per-trace reference path end
+        here, so fast==reference bit-identity holds with or without a
+        misalignment spec.
+        """
+        return self.apply_misalignment(
+            self.add_ambient_noise(voltages, seed), seed
+        )
+
+    def apply_misalignment(
+        self,
+        voltages: np.ndarray,
+        seed: int,
+        spec: Optional[MisalignmentSpec] = None,
+    ) -> np.ndarray:
+        """Distort the sample axis per the (or a given) misalignment spec.
+
+        Each trace is re-read at warped sample positions built from
+        three independent seeded streams —
+        ``"tracegen-misalign-shift"`` (per-trace trigger offset),
+        ``"tracegen-misalign-drift"`` (per-trace clock-rate factor) and
+        ``"tracegen-misalign-glitch"`` (per-sample drop/duplicate
+        events) — via edge-clamped linear interpolation.  Like the
+        ambient-noise block, the draws depend only on ``(seed, shape)``,
+        so chunk-aligned sharding reproduces the identical distortion;
+        integer uniform shifts gather samples bitwise, which is what
+        lets correlation alignment undo them exactly.
+
+        Returns ``voltages`` unchanged (same object) when no spec is
+        active — the pre-existing pipeline is untouched.
+        """
+        spec = self.misalignment if spec is None else spec
+        if spec is None or not spec.enabled:
+            return voltages
+        num_traces, num_samples = voltages.shape
+        positions = np.broadcast_to(
+            np.arange(num_samples, dtype=np.float64),
+            (num_traces, num_samples),
+        )
+        fractional = False
+        if spec.glitch_rate > 0:
+            rng = make_rng(seed, "tracegen-misalign-glitch")
+            draw = rng.random(size=(num_traces, num_samples))
+            # A dropped sample advances the source by 2, a duplicated
+            # one re-reads it; the first output sample stays anchored.
+            step = np.ones((num_traces, num_samples))
+            step[draw < spec.glitch_rate / 2] = 2.0
+            step[draw >= 1.0 - spec.glitch_rate / 2] = 0.0
+            positions = np.cumsum(step, axis=1) - step[:, :1]
+        if spec.drift > 0:
+            rng = make_rng(seed, "tracegen-misalign-drift")
+            factors = rng.uniform(
+                1.0 - spec.drift, 1.0 + spec.drift, size=num_traces
+            )
+            positions = positions * factors[:, None]
+            fractional = True
+        if spec.shift_mode == "uniform":
+            rng = make_rng(seed, "tracegen-misalign-shift")
+            half = int(round(spec.shift_samples))
+            shifts = rng.integers(
+                -half, half + 1, size=num_traces
+            ).astype(np.float64)
+            positions = positions + shifts[:, None]
+        elif spec.shift_mode == "gaussian":
+            rng = make_rng(seed, "tracegen-misalign-shift")
+            shifts = rng.normal(0.0, spec.shift_samples, size=num_traces)
+            positions = positions + shifts[:, None]
+            fractional = True
+        if not fractional:
+            # Integer warps are pure gathers: clamp and take, so the
+            # surviving samples keep their exact bit patterns.
+            indices = np.clip(
+                positions.astype(np.int64), 0, num_samples - 1
+            )
+            return np.take_along_axis(voltages, indices, axis=1)
+        lower = np.floor(positions)
+        frac = positions - lower
+        low = np.clip(lower.astype(np.int64), 0, num_samples - 1)
+        high = np.clip(lower.astype(np.int64) + 1, 0, num_samples - 1)
+        return (
+            np.take_along_axis(voltages, low, axis=1) * (1.0 - frac)
+            + np.take_along_axis(voltages, high, axis=1) * frac
+        )
+
     # ------------------------------------------------------------------
     # Per-trace reference path
     # ------------------------------------------------------------------
@@ -312,10 +419,11 @@ class PhysicalTraceGenerator:
         droop: np.ndarray,
         seed: int,
     ) -> np.ndarray:
-        """Shared tail: nominal minus droops, plus the seeded noise block."""
+        """Shared tail: nominal minus droops, then the acquisition stage
+        (seeded noise block, then any configured misalignment)."""
         voltages = (
             self.pdn.params.nominal_voltage
             - droop
             - self.local_resistance_ohm * currents
         )
-        return self.add_ambient_noise(voltages, seed)
+        return self._acquire(voltages, seed)

@@ -37,6 +37,7 @@ from repro.experiments.parallel import (
     sharded_attack,
     sharded_full_key,
     sharded_physical_attack,
+    sharded_physical_full_key,
 )
 from repro.experiments.preliminary import (
     fig03_04_floorplan,
@@ -66,6 +67,7 @@ __all__ = [
     "sharded_attack",
     "sharded_full_key",
     "sharded_physical_attack",
+    "sharded_physical_full_key",
     "describe_mtd",
     "fig03_04_floorplan",
     "fig05_raw_toggle",

@@ -1187,15 +1187,18 @@ def run_kernels_benchmark(
     pdn_traces: int = 2_000,
     pdn_samples: int = 1_024,
     cpa_traces: int = 50_000,
+    resample_traces: int = 4_000,
+    resample_samples: int = 256,
     repeats: int = 3,
     seed: int = 1,
 ) -> Dict[str, object]:
-    """Per-backend comparison of the three hot kernels.
+    """Per-backend comparison of the registered hot kernels.
 
     For each kernel (``aes``: fused activity+ciphertexts, ``pdn``:
     batched IIR droop integration, ``cpa``: streaming accumulate over
-    256 candidates), every backend available on this host is warmed,
-    asserted bit-identical to the numpy reference, and timed best-of
+    256 candidates, ``resample``: polyphase upfirdn over a trace
+    batch), every backend available on this host is warmed, asserted
+    bit-identical to the numpy reference, and timed best-of
     ``repeats``.  ``speedup_vs_numpy`` on the resolved backend is the
     number the acceptance gate reads.
     """
@@ -1257,6 +1260,17 @@ def run_kernels_benchmark(
         )
 
     sweep("cpa", cpa_fn, cpa_traces)
+
+    from repro.preprocess.resample import polyphase_resample
+
+    resample_batch = rng.normal(
+        size=(resample_traces, resample_samples)
+    )
+    sweep(
+        "resample",
+        lambda: polyphase_resample(resample_batch, 3, 2),
+        resample_traces,
+    )
     return record
 
 
@@ -1265,5 +1279,190 @@ def write_kernels_benchmark(
 ) -> Dict[str, object]:
     """Run the kernels benchmark and write its record to ``path``."""
     record = run_kernels_benchmark(**kwargs)
+    Path(path).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def run_preprocess_benchmark(
+    traces: int = 40_000,
+    align_traces: int = 4096,
+    severities=(0, 1, 2, 3),
+    repeats: int = 3,
+    max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    seed: int = 1,
+) -> Dict[str, object]:
+    """Acquisition-realism benchmark: alignment cost and what it buys.
+
+    Three sections, identity gates asserted *before* any timing:
+
+    * ``identity`` — a disabled :class:`MisalignmentSpec` is
+      bit-identical to no spec at all, and the preprocessed physical
+      campaign is bit-identical at 1 vs 2 workers (the preprocessing
+      runs shard-locally, so this is the property that makes its
+      timings meaningful);
+    * ``alignment`` — correlation-alignment throughput
+      (estimate + apply) over a misaligned batch, best-of ``repeats``;
+    * ``severity_sweep`` — final key rank of the end-to-end physical
+      CPA at each trigger-misalignment severity, raw vs
+      correlation-aligned, plus ``recovery_frontier``: the smallest
+      severity where the raw attack fails and the aligned one still
+      recovers the key.
+    """
+    from repro.core.endpoint_sensor import BenignSensor
+    from repro.core.tracegen import (
+        PhysicalTraceGenerator,
+        random_plaintexts,
+    )
+    from repro.experiments.parallel import sharded_physical_attack
+    from repro.preprocess.align import apply_shifts, estimate_shifts
+    from repro.preprocess.pipeline import resolve_preprocess
+    from repro.preprocess.spec import MisalignmentSpec, PreprocessSpec
+
+    warm_kernels()
+    cipher = AES128(bytes(range(16)))
+    sensor = BenignSensor.from_name("alu")
+
+    # Tail margin around the encryption window (start_sample=12 in 88
+    # samples) so trigger shifts displace content instead of clipping
+    # it at the trace edge — the realistic acquisition setting.
+    def generator(severity: int) -> PhysicalTraceGenerator:
+        misalignment = (
+            MisalignmentSpec(shift_mode="uniform", shift_samples=severity)
+            if severity
+            else None
+        )
+        return PhysicalTraceGenerator(
+            cipher,
+            start_sample=12,
+            num_samples=88,
+            misalignment=misalignment,
+        )
+
+    max_shift = int(max(severities)) + 2
+    align_spec = PreprocessSpec(align="correlation", max_shift=max_shift)
+
+    # -- identity gates (assert before timing) -------------------------
+    clean = generator(0)
+    disabled = PhysicalTraceGenerator(
+        cipher,
+        start_sample=12,
+        num_samples=88,
+        misalignment=MisalignmentSpec(),
+    )
+    probe_pt = random_plaintexts(256, seed=derive_seed(seed, "bench-pre-pt"))
+    base = clean.generate(probe_pt, seed=derive_seed(seed, "bench-pre"))
+    withspec = disabled.generate(
+        probe_pt, seed=derive_seed(seed, "bench-pre")
+    )
+    if not all(
+        np.array_equal(base[k], withspec[k]) for k in ("voltages",
+                                                       "ciphertexts")
+    ):
+        raise AssertionError(
+            "disabled MisalignmentSpec is not bit-identical to no spec"
+        )
+    gate_gen = generator(2)
+    gate_plan = resolve_preprocess(align_spec, gate_gen, seed, columns=(3,))
+    gate = [
+        sharded_physical_attack(
+            gate_gen,
+            sensor,
+            4000,
+            max_workers=workers,
+            executor=executor,
+            seed=seed,
+            preprocess=gate_plan,
+        )
+        for workers in (1, 2)
+    ]
+    if not np.array_equal(gate[0].correlations, gate[1].correlations):
+        raise AssertionError(
+            "preprocessed campaign is not bit-identical at 1 vs 2 workers"
+        )
+
+    record: Dict[str, object] = {
+        "seed": seed,
+        "traces": int(traces),
+        "repeats": repeats,
+        "host": host_metadata(executor),
+        "identity": {
+            "disabled_spec_bit_identical": True,
+            "workers_1_vs_2_bit_identical": True,
+        },
+    }
+
+    # -- alignment throughput ------------------------------------------
+    bank = generator(3)
+    batch = bank.generate(
+        random_plaintexts(
+            align_traces, seed=derive_seed(seed, "bench-align-pt")
+        ),
+        seed=derive_seed(seed, "bench-align"),
+    )["voltages"]
+    reference = resolve_preprocess(
+        align_spec, bank, seed, columns=(3,)
+    ).reference
+
+    def align_once():
+        shifts = estimate_shifts(batch, reference, max_shift, "correlation")
+        return apply_shifts(batch, shifts)
+
+    align_s = _best_of(repeats, align_once)
+    record["alignment"] = {
+        "traces": int(align_traces),
+        "num_samples": int(bank.num_samples),
+        "max_shift": max_shift,
+        "seconds": align_s,
+        "traces_per_s": align_traces / align_s,
+    }
+
+    # -- attack success vs misalignment severity -----------------------
+    sweep = []
+    frontier = None
+    for severity in severities:
+        jittered = generator(int(severity))
+        raw = sharded_physical_attack(
+            jittered,
+            sensor,
+            traces,
+            max_workers=max_workers,
+            executor=executor,
+            seed=seed,
+        )
+        plan = resolve_preprocess(align_spec, jittered, seed, columns=(3,))
+        aligned = sharded_physical_attack(
+            jittered,
+            sensor,
+            traces,
+            max_workers=max_workers,
+            executor=executor,
+            seed=seed,
+            preprocess=plan,
+        )
+        entry = {
+            "severity": int(severity),
+            "raw_rank": int(raw.key_ranks()[-1]),
+            "raw_recovered": bool(raw.key_ranks()[-1] == 0),
+            "aligned_rank": int(aligned.key_ranks()[-1]),
+            "aligned_recovered": bool(aligned.key_ranks()[-1] == 0),
+        }
+        sweep.append(entry)
+        if (
+            frontier is None
+            and entry["raw_rank"] > 0
+            and entry["aligned_rank"] == 0
+        ):
+            frontier = int(severity)
+    record["severity_sweep"] = sweep
+    record["recovery_frontier"] = frontier
+    return record
+
+
+def write_preprocess_benchmark(
+    path: str = "BENCH_preprocess.json", **kwargs
+) -> Dict[str, object]:
+    """Run the preprocess benchmark and write its record to ``path``."""
+    record = run_preprocess_benchmark(**kwargs)
     Path(path).write_text(json.dumps(record, indent=2) + "\n")
     return record

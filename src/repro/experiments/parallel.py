@@ -82,6 +82,7 @@ from repro.experiments.checkpoint import (
     split_rows,
     verify_manifest,
 )
+from repro.preprocess.pipeline import ResolvedPreprocess
 from repro.util.executors import (
     CampaignHealth,
     RetryPolicy,
@@ -102,6 +103,7 @@ __all__ = [
     "sharded_attack",
     "sharded_full_key",
     "sharded_physical_attack",
+    "sharded_physical_full_key",
 ]
 
 
@@ -533,6 +535,24 @@ def sharded_attack(
         )
 
 
+def _acquisition_manifest_params(
+    generator: PhysicalTraceGenerator,
+    preprocess: Optional[ResolvedPreprocess],
+) -> Dict[str, object]:
+    """Manifest entries for acquisition realism — only when active.
+
+    Absent keys keep every pre-PR acquisition-free manifest (and hence
+    config hash, checkpoint resume and service cache key) byte-stable.
+    """
+    params: Dict[str, object] = {}
+    misalignment = getattr(generator, "misalignment", None)
+    if misalignment is not None and misalignment.enabled:
+        params["misalignment"] = misalignment.to_string()
+    if preprocess is not None:
+        params["preprocess"] = preprocess.spec.to_string()
+    return params
+
+
 def _physical_shard_task(
     task: Dict[str, object]
 ) -> List[Tuple[int, StreamingCPA]]:
@@ -554,6 +574,7 @@ def _physical_shard_task(
     seed: int = state.heavy["seed"]
     reference: bool = state.heavy["reference"]
     sample_index: int = state.heavy["sample_index"]
+    preprocess: Optional[ResolvedPreprocess] = state.heavy.get("preprocess")
 
     generate = (
         generator.generate_reference if reference else generator.generate
@@ -566,12 +587,30 @@ def _physical_shard_task(
         data = generate(
             plaintexts[start:end], seed=derive_seed(seed, "e2e-noise", start)
         )
-        bits = sensor.sample_bits(
-            data["voltages"][:, sample_index],
-            seed=derive_seed(seed, "e2e-jitter", start),
-            reference=reference,
-        )
-        leakage[local] = hamming_weight_series(bits, state.heavy["mask"])
+        if preprocess is None:
+            bits = sensor.sample_bits(
+                data["voltages"][:, sample_index],
+                seed=derive_seed(seed, "e2e-jitter", start),
+                reference=reference,
+            )
+            leakage[local] = hamming_weight_series(
+                bits, state.heavy["mask"]
+            )
+        else:
+            # Shard-local vectorized preprocessing: align/crop/resample
+            # the chunk, then sum the sensor's readings over the
+            # resolved POI set (one jitter stream per POI, keyed on the
+            # chunk's global start like every other chunk stream).
+            processed = preprocess.apply(data["voltages"])
+            total = np.zeros(end - start, dtype=np.float64)
+            for poi, sample in enumerate(state.heavy["samples"]):
+                bits = sensor.sample_bits(
+                    processed[:, int(sample)],
+                    seed=derive_seed(seed, "e2e-jitter", start, poi),
+                    reference=reference,
+                )
+                total += hamming_weight_series(bits, state.heavy["mask"])
+            leakage[local] = total
         ct_bytes[local] = data["ciphertexts"][:, state.heavy["target_byte"]]
     leakage = poison_leakage(leakage)
     hypotheses = single_bit_hypothesis(
@@ -603,6 +642,7 @@ def sharded_physical_attack(
     executor: Optional[str] = None,
     seed: int = 0,
     reference: bool = False,
+    preprocess: Optional[ResolvedPreprocess] = None,
     policy: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     health: Optional[CampaignHealth] = None,
@@ -630,6 +670,11 @@ def sharded_physical_attack(
             reference path instead of the vectorized kernels.  Both
             paths are bit-identical; this is the baseline the e2e
             benchmark times the fast path against.
+        preprocess: resolved preprocessing plan
+            (:func:`repro.preprocess.pipeline.resolve_preprocess`);
+            each chunk is aligned/cropped/resampled shard-locally and
+            the leakage sums the sensor's readings over the resolved
+            POI set.  None (the default) leaves the campaign untouched.
         policy / fault_plan / health / checkpoint_path /
             checkpoint_every / resume: fault-tolerant runtime knobs,
             as in :func:`sharded_attack`.
@@ -642,22 +687,32 @@ def sharded_physical_attack(
     sample_index = int(
         generator.last_round_sample_indices()[column_of_key_byte(target_byte)]
     )
+    samples = (
+        None
+        if preprocess is None
+        else preprocess.samples_for_column(column_of_key_byte(target_byte))
+    )
     points = _normalize_checkpoints(checkpoints, num_traces)
     shards = plan_shards(num_traces, max_workers, chunk_size)
+    params = {
+        "seed": int(seed),
+        "sensor": sensor.name,
+        "last_round_key": generator.cipher.last_round_key.hex(),
+        "num_traces": int(num_traces),
+        "mask": None if mask is None else np.asarray(mask).tolist(),
+        "target_byte": int(target_byte),
+        "target_bit": int(target_bit),
+        "chunk_size": int(chunk_size),
+        "reference": bool(reference),
+        "sample_index": sample_index,
+    }
+    # Acquisition-realism keys enter the manifest only when active, so
+    # every pre-existing config hash (and with it checkpoint resume and
+    # service cache keys) stays byte-identical.
+    params.update(_acquisition_manifest_params(generator, preprocess))
     manifest = CampaignManifest(
         kind="physical",
-        params={
-            "seed": int(seed),
-            "sensor": sensor.name,
-            "last_round_key": generator.cipher.last_round_key.hex(),
-            "num_traces": int(num_traces),
-            "mask": None if mask is None else np.asarray(mask).tolist(),
-            "target_byte": int(target_byte),
-            "target_bit": int(target_bit),
-            "chunk_size": int(chunk_size),
-            "reference": bool(reference),
-            "sample_index": sample_index,
-        },
+        params=params,
         shard_plan=tuple((s.start, s.end) for s in shards),
         checkpoints=tuple(int(p) for p in points),
     )
@@ -672,6 +727,8 @@ def sharded_physical_attack(
             "mask": mask,
             "target_byte": target_byte,
             "target_bit": target_bit,
+            "preprocess": preprocess,
+            "samples": samples,
         },
         arrays={"plaintexts": plaintexts},
         executor=executor,
@@ -703,6 +760,212 @@ def sharded_physical_attack(
             resume,
             map_kwargs=fanout.map_kwargs,
         )
+
+
+def _physical_column_shard_task(task: Dict[str, object]) -> np.ndarray:
+    """One shard's column-resolved *physical* leakage, ``(num, 4)``.
+
+    Each chunk is generated end to end once (noise seed keyed on the
+    chunk's global start, exactly like :func:`_physical_shard_task`),
+    optionally preprocessed shard-locally, then read at every column's
+    resolved sample set with per-``(chunk, column, poi)`` jitter
+    streams — so any chunk-aligned sharding (including the fleet's)
+    reproduces the identical leakage block.
+    """
+    state = fanout_state(task["ctx"])
+    generator: PhysicalTraceGenerator = state.heavy["generator"]
+    sensor: BenignSensor = state.heavy["sensor"]
+    shard: Shard = task["shard"]
+    plaintexts = state.array("plaintexts")
+    chunk_size: int = state.heavy["chunk_size"]
+    seed: int = state.heavy["seed"]
+    mask: Optional[np.ndarray] = state.heavy["mask"]
+    preprocess: Optional[ResolvedPreprocess] = state.heavy.get("preprocess")
+    column_samples: Dict[int, np.ndarray] = state.heavy["column_samples"]
+
+    leakage = np.empty((shard.num_traces, 4), dtype=np.float64)
+    for start in range(shard.start, shard.end, chunk_size):
+        end = min(start + chunk_size, shard.end)
+        local = slice(start - shard.start, end - shard.start)
+        data = generator.generate(
+            plaintexts[start:end], seed=derive_seed(seed, "e2e-noise", start)
+        )
+        voltages = (
+            data["voltages"]
+            if preprocess is None
+            else preprocess.apply(data["voltages"])
+        )
+        for column in range(4):
+            total = np.zeros(end - start, dtype=np.float64)
+            for poi, sample in enumerate(column_samples[column]):
+                bits = sensor.sample_bits(
+                    voltages[:, int(sample)],
+                    seed=derive_seed(
+                        seed, "e2e-col-jitter", start, column, poi
+                    ),
+                )
+                total += hamming_weight_series(bits, mask)
+            leakage[local, column] = total
+    return poison_leakage(leakage)
+
+
+def sharded_physical_full_key(
+    generator: PhysicalTraceGenerator,
+    sensor: BenignSensor,
+    num_traces: int,
+    mask: Optional[np.ndarray] = None,
+    target_bit: int = DEFAULT_TARGET_BIT,
+    checkpoints: Optional[List[int]] = None,
+    max_workers: Optional[int] = None,
+    chunk_size: int = TRACE_CHUNK,
+    executor: Optional[str] = None,
+    seed: int = 0,
+    preprocess: Optional[ResolvedPreprocess] = None,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    health: Optional[CampaignHealth] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
+) -> FullKeyResult:
+    """Full 16-byte key recovery over physically generated traces.
+
+    The physical counterpart of :func:`sharded_full_key`: every trace
+    is simulated end to end and all four last-round columns are read
+    from the *same* generated chunk, so one waveform pass feeds all 16
+    per-byte CPAs.  With ``preprocess`` set, each chunk is aligned /
+    cropped / resampled shard-locally and every column reads its
+    resolved POI set instead of the single nominal cycle sample.
+
+    Sharding, checkpointing and fault tolerance mirror
+    :func:`sharded_full_key`; results are bit-identical at any worker
+    count because all chunk streams are keyed on global indices.
+    """
+    if num_traces < 2:
+        raise ValueError("need at least 2 traces")
+    if mask is not None:
+        mask = np.asarray(mask)
+    plaintexts = random_plaintexts(
+        num_traces, seed=derive_seed(seed, "e2e-pt")
+    )
+    # Ciphertexts for the hypothesis stage come from a dedicated
+    # encryption-only pass — the waveform chunks stay worker-side.
+    ciphertexts = generator._batched_cipher().encrypt(plaintexts)
+    aligned_indices = generator.last_round_sample_indices()
+    column_samples = {
+        column: (
+            np.array([int(aligned_indices[column])], dtype=np.int64)
+            if preprocess is None
+            else preprocess.samples_for_column(column)
+        )
+        for column in range(4)
+    }
+    shards = plan_shards(num_traces, max_workers, chunk_size)
+    params = {
+        "seed": int(seed),
+        "sensor": sensor.name,
+        "last_round_key": generator.cipher.last_round_key.hex(),
+        "num_traces": int(num_traces),
+        "mask": None if mask is None else np.asarray(mask).tolist(),
+        "target_bit": int(target_bit),
+        "chunk_size": int(chunk_size),
+        "sample_indices": [int(i) for i in aligned_indices],
+    }
+    params.update(_acquisition_manifest_params(generator, preprocess))
+    manifest = CampaignManifest(
+        kind="physical-fullkey",
+        params=params,
+        shard_plan=tuple((s.start, s.end) for s in shards),
+        checkpoints=tuple(
+            int(p) for p in (checkpoints if checkpoints else ())
+        ),
+    )
+
+    blocks: List[np.ndarray] = []
+    completed = 0
+    if resume and checkpoint_path is not None and os.path.exists(
+        checkpoint_path
+    ):
+        stored = load_checkpoint(checkpoint_path)
+        verify_manifest(checkpoint_path, stored.manifest, manifest)
+        completed = stored.completed_shards
+        if completed:
+            blocks.append(
+                np.asarray(
+                    stored.arrays["leakage_prefix"], dtype=np.float64
+                )
+            )
+
+    robust = (
+        policy is not None
+        or fault_plan is not None
+        or health is not None
+        or checkpoint_path is not None
+    )
+    group = len(shards)
+    if checkpoint_path is not None:
+        group = max(1, checkpoint_every or max_workers or default_workers())
+    with ArrayFanout(
+        heavy={
+            "generator": generator,
+            "sensor": sensor,
+            "chunk_size": chunk_size,
+            "seed": seed,
+            "mask": mask,
+            "preprocess": preprocess,
+            "column_samples": column_samples,
+        },
+        arrays={"plaintexts": plaintexts},
+        executor=executor,
+        workers=max_workers or default_workers(),
+        num_tasks=len(shards),
+    ) as fanout:
+        tasks = [
+            {"ctx": fanout.context_id, "shard": shard} for shard in shards
+        ]
+        while completed < len(tasks):
+            stop = min(completed + group, len(tasks))
+            kwargs: Dict[str, object] = {}
+            if robust:
+                kwargs = dict(
+                    policy=policy,
+                    fault_plan=fault_plan,
+                    sites=[shard.site for shard in shards[completed:stop]],
+                    health=health,
+                    validate=_validate_column_block,
+                )
+            blocks.extend(
+                map_ordered(
+                    _physical_column_shard_task,
+                    tasks[completed:stop],
+                    max_workers=max_workers,
+                    executor=executor,
+                    **fanout.map_kwargs,
+                    **kwargs,
+                )
+            )
+            completed = stop
+            if checkpoint_path is not None:
+                save_checkpoint(
+                    checkpoint_path,
+                    CampaignCheckpoint(
+                        manifest=manifest,
+                        completed_shards=completed,
+                        arrays={"leakage_prefix": np.vstack(blocks)},
+                    ),
+                )
+    leakage = np.vstack(blocks)
+    return recover_last_round_key(
+        leakage,
+        ciphertexts,
+        target_bit=target_bit,
+        correct_key=generator.cipher.last_round_key,
+        checkpoints=checkpoints,
+        max_workers=max_workers,
+        executor=executor,
+        policy=policy,
+        health=health,
+    )
 
 
 def _column_shard_task(task: Dict[str, object]) -> np.ndarray:

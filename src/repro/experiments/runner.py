@@ -20,7 +20,10 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.preprocess.spec import MisalignmentSpec, PreprocessSpec
 
 from repro.experiments.checkpoint import CheckpointError
 from repro.experiments.config import PAPER_EXPECTED, ExperimentConfig
@@ -195,40 +198,146 @@ def _cpa_figure_thunk(
     return run
 
 
+def _acquisition_figure_thunk(
+    jitter: Optional["MisalignmentSpec"],
+    preprocess: Optional["PreprocessSpec"],
+) -> Callable[[ExperimentSetup], FigureRecord]:
+    """The acquisition-realism figure: jitter -> align -> CPA.
+
+    Runs the end-to-end physical campaign twice at the requested
+    misalignment severity — once raw, once through the preprocessing
+    chain — and reports whether preprocessing restores key recovery.
+    """
+
+    def run(setup: ExperimentSetup) -> FigureRecord:
+        from repro.attacks.full_key import (  # noqa: PLC0415
+            column_of_key_byte,
+        )
+        from repro.core.tracegen import (  # noqa: PLC0415
+            PhysicalTraceGenerator,
+        )
+        from repro.experiments.parallel import (  # noqa: PLC0415
+            sharded_physical_attack,
+        )
+        from repro.preprocess.pipeline import (  # noqa: PLC0415
+            resolve_preprocess,
+        )
+        from repro.util.rng import derive_seed  # noqa: PLC0415
+
+        # Tail margin around the encryption window so trigger shifts
+        # displace content instead of clipping it at the trace edge.
+        generator = PhysicalTraceGenerator(
+            setup.cipher,
+            start_sample=12,
+            num_samples=88,
+            misalignment=jitter,
+        )
+        sensor = setup.campaign("alu").sensor
+        seed = derive_seed(setup.config.seed, "acquisition-figure")
+        traces = min(int(setup.config.num_traces), 40_000)
+        column = column_of_key_byte(setup.config.target_byte)
+        resolved = resolve_preprocess(
+            preprocess,
+            generator,
+            seed,
+            columns=(column,),
+            target_byte=setup.config.target_byte,
+        )
+        raw = sharded_physical_attack(
+            generator,
+            sensor,
+            traces,
+            target_byte=setup.config.target_byte,
+            max_workers=setup.config.max_workers,
+            executor=setup.config.executor,
+            seed=seed,
+        )
+        processed = (
+            raw
+            if resolved is None
+            else sharded_physical_attack(
+                generator,
+                sensor,
+                traces,
+                target_byte=setup.config.target_byte,
+                max_workers=setup.config.max_workers,
+                executor=setup.config.executor,
+                seed=seed,
+                preprocess=resolved,
+            )
+        )
+        jitter_label = "none" if jitter is None else jitter.to_string()
+        pre_label = (
+            "none" if preprocess is None else preprocess.to_string()
+        )
+        return FigureRecord(
+            "acq01",
+            "realistic acquisition: preprocessing restores the CPA "
+            "leakage that trigger misalignment destroys",
+            "jitter=%s: raw rank %d, preprocess=%s rank %d at %d traces"
+            % (
+                jitter_label,
+                raw.key_ranks()[-1],
+                pre_label,
+                processed.key_ranks()[-1],
+                traces,
+            ),
+            processed.key_ranks()[-1] == 0,
+        )
+
+    return run
+
+
 def figure_plan(
     include_cpa: bool = True,
+    jitter: Optional["MisalignmentSpec"] = None,
+    preprocess: Optional["PreprocessSpec"] = None,
 ) -> List[Tuple[str, Callable[[ExperimentSetup], FigureRecord]]]:
     """Every figure as an independent ``(figure_id, thunk)`` pair.
 
     The plan order is deterministic (figure id); each thunk is a pure
     function of the (cached) :class:`ExperimentSetup`, which is what
-    makes figure-granular checkpoint/resume sound.
+    makes figure-granular checkpoint/resume sound.  Passing a jitter
+    and/or preprocess spec appends the acquisition-realism figure
+    (``acq01``); without them the plan is unchanged.
     """
     plan = dict(_PRELIMINARY_FIGURES)
     if include_cpa:
         for figure in CPA_FIGURES:
             plan[figure] = _cpa_figure_thunk(figure)
+    if jitter is not None or preprocess is not None:
+        plan["acq01"] = _acquisition_figure_thunk(jitter, preprocess)
     return sorted(plan.items())
 
 
 def _report_config_hash(
-    config: ExperimentConfig, figures: List[str]
+    config: ExperimentConfig,
+    figures: List[str],
+    jitter: Optional["MisalignmentSpec"] = None,
+    preprocess: Optional["PreprocessSpec"] = None,
 ) -> str:
     """Fingerprint of everything that determines the report's records."""
+    payload_config = {
+        "seed": config.seed,
+        "key": config.key.hex(),
+        "num_traces": config.num_traces,
+        "characterization_samples": (
+            config.characterization_samples
+        ),
+        "target_byte": config.target_byte,
+        "target_bit": config.target_bit,
+        "overclock_mhz": config.overclock_mhz,
+    }
+    # Only present when set, so acquisition-free reports keep their
+    # pre-existing hashes (and stay resumable across this change).
+    if jitter is not None:
+        payload_config["jitter"] = jitter.to_string()
+    if preprocess is not None:
+        payload_config["preprocess"] = preprocess.to_string()
     payload = json.dumps(
         {
             "version": REPORT_CHECKPOINT_VERSION,
-            "config": {
-                "seed": config.seed,
-                "key": config.key.hex(),
-                "num_traces": config.num_traces,
-                "characterization_samples": (
-                    config.characterization_samples
-                ),
-                "target_byte": config.target_byte,
-                "target_bit": config.target_bit,
-                "overclock_mhz": config.overclock_mhz,
-            },
+            "config": payload_config,
             "figures": figures,
         },
         sort_keys=True,
@@ -302,6 +411,8 @@ def _save_report_checkpoint(
 def run_all_figures(
     config: Optional[ExperimentConfig] = None,
     include_cpa: bool = True,
+    jitter: Optional["MisalignmentSpec"] = None,
+    preprocess: Optional["PreprocessSpec"] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
 ) -> List[FigureRecord]:
@@ -310,6 +421,9 @@ def run_all_figures(
     Args:
         config: experiment configuration (paper scale by default).
         include_cpa: skip the expensive CPA campaigns when False.
+        jitter: acquisition misalignment spec; with ``preprocess``,
+            adds the acquisition-realism figure (``acq01``).
+        preprocess: preprocessing spec for the acquisition figure.
         checkpoint_path: write a JSON checkpoint of the records here
             (atomically) after every completed figure.
         resume: skip figures already recorded in ``checkpoint_path``;
@@ -317,9 +431,12 @@ def run_all_figures(
     """
     config = config or ExperimentConfig()
     setup = ExperimentSetup(config)
-    plan = figure_plan(include_cpa)
+    plan = figure_plan(include_cpa, jitter=jitter, preprocess=preprocess)
     config_hash = _report_config_hash(
-        config, [figure for figure, _ in plan]
+        config,
+        [figure for figure, _ in plan],
+        jitter=jitter,
+        preprocess=preprocess,
     )
     records: Dict[str, FigureRecord] = {}
     if (

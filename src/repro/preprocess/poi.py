@@ -1,0 +1,131 @@
+"""Point-of-interest ranking over preprocessed trace samples.
+
+After alignment/cropping/resampling, only a handful of samples carry
+the last-round leakage; POI selection ranks candidate samples so the
+campaign feeds a reduced-sample view (sum of the top-k samples'
+Hamming-weight readings) into :class:`repro.attacks.cpa.StreamingCPA`
+instead of one hard-coded index.  Two standard rankings:
+
+* **variance** — unsupervised: samples where traces vary most;
+* **SOST** — sum of squared pairwise t-statistics between value
+  classes (here: the Hamming weight of a target ciphertext byte),
+  which weights *key-dependent* variation and ignores common-mode
+  activity.
+
+Both rankings are deterministic: scores break ties by sample index
+(stable argsort), so identical pilot data always selects identical
+points on every host and backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.preprocess.spec import PreprocessError
+
+__all__ = [
+    "rank_samples",
+    "select_poi",
+    "sost_scores",
+    "variance_scores",
+]
+
+
+def _as_trace_matrix(traces: np.ndarray) -> np.ndarray:
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 2:
+        raise PreprocessError("traces must be a (num, samples) batch")
+    return traces
+
+
+def variance_scores(traces: np.ndarray) -> np.ndarray:
+    """Per-sample variance across the pilot batch."""
+    return _as_trace_matrix(traces).var(axis=0)
+
+
+def sost_scores(traces: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Per-sample SOST score for the given per-trace class labels.
+
+    ``sum_{i<j} (m_i - m_j)^2 / (v_i/n_i + v_j/n_j)`` over all class
+    pairs, with zero-denominator pairs (constant samples) contributing
+    zero rather than NaN.
+    """
+    traces = _as_trace_matrix(traces)
+    classes = np.asarray(classes).reshape(-1)
+    if classes.shape[0] != traces.shape[0]:
+        raise PreprocessError(
+            "got %d class labels for %d traces"
+            % (classes.shape[0], traces.shape[0])
+        )
+    labels = np.unique(classes)
+    if labels.size < 2:
+        return np.zeros(traces.shape[1])
+    means = np.empty((labels.size, traces.shape[1]))
+    spreads = np.empty((labels.size, traces.shape[1]))
+    for row, label in enumerate(labels):
+        members = traces[classes == label]
+        means[row] = members.mean(axis=0)
+        spreads[row] = members.var(axis=0) / members.shape[0]
+    scores = np.zeros(traces.shape[1])
+    for i in range(labels.size):
+        for j in range(i + 1, labels.size):
+            gap = means[i] - means[j]
+            denom = spreads[i] + spreads[j]
+            valid = denom > 0
+            scores[valid] += gap[valid] ** 2 / denom[valid]
+    return scores
+
+
+def rank_samples(scores: np.ndarray) -> np.ndarray:
+    """Sample indices by decreasing score (ties: smaller index first)."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    return np.argsort(-scores, kind="stable")
+
+
+def select_poi(
+    traces: np.ndarray,
+    method: str,
+    num_poi: int,
+    classes: Optional[np.ndarray] = None,
+    candidates: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The top ``num_poi`` samples under the requested ranking.
+
+    Args:
+        traces: pilot batch ``(num, samples)``.
+        method: ``"variance"`` or ``"sost"``.
+        num_poi: points to keep (clipped to the candidate count).
+        classes: per-trace labels; required for ``sost``.
+        candidates: restrict the ranking to these sample indices (e.g.
+            a target column's cycle neighbourhood); default all.
+
+    Returns:
+        Selected sample indices, sorted ascending.
+    """
+    traces = _as_trace_matrix(traces)
+    if method == "variance":
+        scores = variance_scores(traces)
+    elif method == "sost":
+        if classes is None:
+            raise PreprocessError("SOST ranking needs class labels")
+        scores = sost_scores(traces, classes)
+    else:
+        raise PreprocessError(
+            "POI method %r not one of variance, sost" % method
+        )
+    if candidates is None:
+        pool = np.arange(traces.shape[1], dtype=np.int64)
+    else:
+        pool = np.asarray(candidates, dtype=np.int64).reshape(-1)
+        if pool.size == 0:
+            raise PreprocessError("empty POI candidate set")
+        if pool.min() < 0 or pool.max() >= traces.shape[1]:
+            raise PreprocessError(
+                "POI candidates outside the %d-sample trace"
+                % traces.shape[1]
+            )
+    ranked = pool[np.argsort(-scores[pool], kind="stable")]
+    keep = min(int(num_poi), ranked.size)
+    return np.sort(ranked[:keep])

@@ -83,6 +83,11 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "traces": (1000, int, True),
         "seed": (1, int, True),
         "key_hex": (DEFAULT_KEY.hex(), str, True),
+        # Acquisition realism: a MisalignmentSpec string ("uniform:3",
+        # "gaussian:1.5,drift=0.002", ...).  Result-determining, so it
+        # enters the cache key — but only when set (None content
+        # params are dropped), keeping every pre-existing key stable.
+        "jitter": (None, str, True),
         # Execution knob like workers/executor: every kernel backend
         # is bit-identical by contract, so the backend selection can
         # never change a result and stays out of the cache key.
@@ -93,6 +98,10 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "traces": (150_000, int, True),
         "reduction": ("hamming_weight", str, True),
         "seed": (1, int, True),
+        "jitter": (None, str, True),
+        # A PreprocessSpec string ("align=correlation:4;poi=sost:3").
+        # Routes the job onto the physical acquisition pipeline.
+        "preprocess": (None, str, True),
         "workers": (None, int, False),
         "executor": (None, str, False),
         "kernels": (None, str, False),
@@ -107,6 +116,8 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
     "fullkey": {
         "traces": (250_000, int, True),
         "seed": (1, int, True),
+        "jitter": (None, str, True),
+        "preprocess": (None, str, True),
         "workers": (None, int, False),
         "executor": (None, str, False),
         "kernels": (None, str, False),
@@ -118,6 +129,8 @@ _SCHEMAS: Dict[str, Dict[str, Tuple[object, type, bool]]] = {
         "traces": (500_000, int, True),
         "seed": (1, int, True),
         "cpa": (False, bool, True),
+        "jitter": (None, str, True),
+        "preprocess": (None, str, True),
         "workers": (None, int, False),
         "executor": (None, str, False),
         "kernels": (None, str, False),
@@ -183,6 +196,21 @@ def _check_value(kind: str, name: str, value: object) -> object:
             raise JobError(
                 "%s job: key_hex must be 32 hex characters" % kind
             ) from None
+    if name in ("jitter", "preprocess") and value is not None:
+        from repro.preprocess.spec import (  # noqa: PLC0415
+            MisalignmentSpec,
+            PreprocessError,
+            PreprocessSpec,
+        )
+
+        cls = MisalignmentSpec if name == "jitter" else PreprocessSpec
+        try:
+            spec = cls.from_string(str(value))
+        except PreprocessError as exc:
+            raise JobError("%s job: %s" % (kind, exc)) from None
+        # Canonicalize: equivalent spellings (and fully disabled specs)
+        # collapse to one cache-key representation.
+        return spec.to_string() if spec.enabled else None
     return value
 
 
@@ -206,8 +234,8 @@ def normalize_params(
     unknown = sorted(set(params) - set(schema))
     if unknown:
         raise JobError(
-            "%s job: unknown parameter(s) %s"
-            % (kind, ", ".join(unknown))
+            "%s job: unknown parameter(s) %s (valid: %s)"
+            % (kind, ", ".join(unknown), ", ".join(sorted(schema)))
         )
     normalized: Dict[str, object] = {}
     for name, (default, expected, _content) in schema.items():
@@ -269,12 +297,17 @@ class JobSpec:
         )
 
     def content_params(self) -> Dict[str, object]:
-        """The result-determining subset of :attr:`params`."""
+        """The result-determining subset of :attr:`params`.
+
+        Unset (None) content fields are dropped, so optional additions
+        to a schema — acquisition realism, say — never perturb the
+        cache keys of jobs that do not use them.
+        """
         schema = _SCHEMAS[self.kind]
         return {
             name: value
             for name, value in self.params.items()
-            if schema[name][2]
+            if schema[name][2] and value is not None
         }
 
     @property

@@ -37,7 +37,11 @@ import numpy as np
 from repro.aes.aes128 import AES128
 from repro.aes.leakage import random_ciphertexts
 from repro.attacks.cpa import CPAResult, StreamingCPA
-from repro.attacks.full_key import FullKeyResult, recover_last_round_key
+from repro.attacks.full_key import (
+    FullKeyResult,
+    column_of_key_byte,
+    recover_last_round_key,
+)
 from repro.attacks.models import DEFAULT_TARGET_BIT, DEFAULT_TARGET_BYTE
 from repro.core.attack import REDUCTION_HW, TRACE_CHUNK
 from repro.core.tracegen import PhysicalTraceGenerator, random_plaintexts
@@ -47,11 +51,17 @@ from repro.experiments.parallel import (
     _attack_shard_task,
     _column_shard_task,
     _normalize_checkpoints,
+    _physical_column_shard_task,
+    _physical_shard_task,
     _segment_ends,
     plan_shards,
     sharded_attack,
     sharded_full_key,
+    sharded_physical_attack,
+    sharded_physical_full_key,
 )
+from repro.preprocess.pipeline import ResolvedPreprocess, resolve_preprocess
+from repro.preprocess.spec import MisalignmentSpec, PreprocessSpec
 from repro.experiments.runner import FigureRecord, run_all_figures
 from repro.experiments.setup import ExperimentSetup
 from repro.util import kernels
@@ -140,6 +150,91 @@ def _experiment_config(params: Dict[str, object]) -> ExperimentConfig:
     )
 
 
+# ----------------------------------------------------------------------
+# Acquisition realism (the physical campaign route)
+# ----------------------------------------------------------------------
+#
+# Jobs carrying a ``jitter`` and/or ``preprocess`` parameter route onto
+# the end-to-end physical pipeline (PhysicalTraceGenerator → benign
+# sensor → CPA) instead of the analytical leakage model: misalignment
+# is an *acquisition* effect, so it only exists where traces are
+# acquired.  The campaign seed is derived once per (config seed,
+# circuit) and the plan resolution is a pure function of the job's
+# content parameters — the precondition for local, fleet-sharded and
+# merged executions staying bit-identical.
+
+
+def _acquisition_specs(
+    params: Dict[str, object],
+) -> Tuple[Optional[MisalignmentSpec], Optional[PreprocessSpec]]:
+    """Parsed (jitter, preprocess) specs of a normalized job."""
+    jitter = params.get("jitter")
+    pre = params.get("preprocess")
+    misalignment = (
+        MisalignmentSpec.from_string(str(jitter)) if jitter else None
+    )
+    spec = PreprocessSpec.from_string(str(pre)) if pre else None
+    return misalignment, spec
+
+
+#: Physical generators and resolved preprocessing plans, shared across
+#: jobs like ``_SETUPS``: the generator caches its batched key schedule,
+#: and a resolved plan costs a reference + pilot generation pass.
+_PHYSICAL_GENERATORS: Dict[Tuple[str, str], PhysicalTraceGenerator] = {}
+_RESOLVED_PLANS: Dict[
+    Tuple[object, ...], Optional[ResolvedPreprocess]
+] = {}
+_PHYSICAL_LOCK = threading.Lock()
+
+
+def _physical_generator(
+    cipher: AES128, misalignment: Optional[MisalignmentSpec]
+) -> PhysicalTraceGenerator:
+    key = (
+        cipher.last_round_key.hex(),
+        "" if misalignment is None else misalignment.to_string(),
+    )
+    with _PHYSICAL_LOCK:
+        generator = _PHYSICAL_GENERATORS.get(key)
+        if generator is None:
+            generator = PhysicalTraceGenerator(
+                cipher, misalignment=misalignment
+            )
+            _PHYSICAL_GENERATORS[key] = generator
+    return generator
+
+
+def _resolved_plan(
+    spec: Optional[PreprocessSpec],
+    generator: PhysicalTraceGenerator,
+    seed: int,
+    columns: Tuple[int, ...],
+) -> Optional[ResolvedPreprocess]:
+    if spec is None or not spec.enabled:
+        return None
+    key = (
+        generator.cipher.last_round_key.hex(),
+        ""
+        if generator.misalignment is None
+        else generator.misalignment.to_string(),
+        spec.to_string(),
+        int(seed),
+        tuple(int(c) for c in columns),
+    )
+    with _PHYSICAL_LOCK:
+        if key in _RESOLVED_PLANS:
+            return _RESOLVED_PLANS[key]
+    resolved = resolve_preprocess(spec, generator, seed, columns=columns)
+    with _PHYSICAL_LOCK:
+        _RESOLVED_PLANS[key] = resolved
+    return resolved
+
+
+def _physical_seed(config: ExperimentConfig, circuit: str) -> int:
+    """The physical campaign's seed namespace for one job family."""
+    return derive_seed(config.seed, "physical-campaign", circuit)
+
+
 def run_attack(
     params: Dict[str, object],
     health: Optional[CampaignHealth] = None,
@@ -151,7 +246,44 @@ def run_attack(
     with kernels.use(_kernels_spec(params)):
         config = _experiment_config(params)
         setup = cached_setup(config)
-        campaign = setup.campaign(str(params["circuit"]))
+        circuit = str(params["circuit"])
+        campaign = setup.campaign(circuit)
+        misalignment, spec = _acquisition_specs(params)
+        if misalignment is not None or spec is not None:
+            from repro.service.jobs import JobError  # noqa: PLC0415
+
+            if str(params["reduction"]) != REDUCTION_HW:
+                raise JobError(
+                    "attack job: jitter/preprocess require "
+                    "reduction=hamming_weight (the physical pipeline "
+                    "reduces full endpoint words)"
+                )
+            generator = _physical_generator(setup.cipher, misalignment)
+            seed = _physical_seed(config, circuit)
+            preprocess = _resolved_plan(
+                spec,
+                generator,
+                seed,
+                (column_of_key_byte(DEFAULT_TARGET_BYTE),),
+            )
+            return sharded_physical_attack(
+                generator,
+                campaign.sensor,
+                int(params["traces"]),  # type: ignore[arg-type]
+                max_workers=params.get("workers"),  # type: ignore[arg-type]
+                executor=params.get("executor"),  # type: ignore[arg-type]
+                seed=seed,
+                preprocess=preprocess,
+                policy=retry_policy(
+                    params.get("retries"),  # type: ignore[arg-type]
+                    params.get("task_timeout"),  # type: ignore[arg-type]
+                    config.seed,
+                ),
+                health=health,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
         return sharded_attack(
             campaign,
             int(params["traces"]),  # type: ignore[arg-type]
@@ -181,6 +313,32 @@ def run_fullkey(
     with kernels.use(_kernels_spec(params)):
         config = _experiment_config(params)
         setup = cached_setup(config)
+        misalignment, spec = _acquisition_specs(params)
+        if misalignment is not None or spec is not None:
+            campaign = setup.campaign("alu")
+            generator = _physical_generator(setup.cipher, misalignment)
+            seed = _physical_seed(config, "alu")
+            preprocess = _resolved_plan(
+                spec, generator, seed, tuple(range(4))
+            )
+            return sharded_physical_full_key(
+                generator,
+                campaign.sensor,
+                int(params["traces"]),  # type: ignore[arg-type]
+                max_workers=params.get("workers"),  # type: ignore[arg-type]
+                executor=params.get("executor"),  # type: ignore[arg-type]
+                seed=seed,
+                preprocess=preprocess,
+                policy=retry_policy(
+                    params.get("retries"),  # type: ignore[arg-type]
+                    params.get("task_timeout"),  # type: ignore[arg-type]
+                    config.seed,
+                ),
+                health=health,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
         return sharded_full_key(
             setup.campaign("alu"),
             int(params["traces"]),  # type: ignore[arg-type]
@@ -205,9 +363,12 @@ def run_report(
 ) -> List[FigureRecord]:
     """The ``repro report`` figure sweep as a parameter-dict runner."""
     with kernels.use(_kernels_spec(params)):
+        misalignment, spec = _acquisition_specs(params)
         return run_all_figures(
             _experiment_config(params),
             include_cpa=bool(params.get("cpa", False)),
+            jitter=misalignment,
+            preprocess=spec,
             checkpoint_path=checkpoint_path,
             resume=resume,
         )
@@ -261,10 +422,19 @@ def run_tracegen(params: Dict[str, object]) -> Dict[str, np.ndarray]:
     """One trace-generation request, alone (the direct path)."""
     with kernels.use(_kernels_spec(params)):
         generator = _generator(str(params["key_hex"]))
-        return generator.generate(
-            _tracegen_plaintexts(params),
-            seed=derive_seed(int(params["seed"]), "service-noise"),  # type: ignore[arg-type]
-        )
+        misalignment, _ = _acquisition_specs(params)
+        seed = derive_seed(int(params["seed"]), "service-noise")  # type: ignore[arg-type]
+        data = generator.generate(_tracegen_plaintexts(params), seed=seed)
+        if misalignment is not None:
+            # Explicit application (same seed as the noise block) is
+            # bit-identical to a generator constructed with the spec:
+            # the generator's own acquire step keys both streams on the
+            # same seed.  Keeping the cached generator spec-free lets
+            # requests with different jitter share one key schedule.
+            data["voltages"] = generator.apply_misalignment(
+                data["voltages"], seed, spec=misalignment
+            )
+        return data
 
 
 def run_tracegen_batch(
@@ -295,15 +465,26 @@ def run_tracegen_batch(
     offset = 0
     for params, blocks in zip(batch, plaintexts):
         stop = offset + blocks.shape[0]
+        seed = derive_seed(
+            int(params["seed"]), "service-noise"  # type: ignore[arg-type]
+        )
+        voltages = generator.add_ambient_noise(
+            merged["voltages"][offset:stop], seed
+        )
+        misalignment, _ = _acquisition_specs(params)
+        if misalignment is not None:
+            # Per-request acquisition distortion over the shared
+            # deterministic pass: the misalignment streams key on the
+            # request's own seed and slice shape, so this matches
+            # run_tracegen(request) bit for bit — and requests with
+            # different jitter specs still coalesce.
+            voltages = generator.apply_misalignment(
+                voltages, seed, spec=misalignment
+            )
         results.append(
             {
                 "ciphertexts": merged["ciphertexts"][offset:stop].copy(),
-                "voltages": generator.add_ambient_noise(
-                    merged["voltages"][offset:stop],
-                    derive_seed(
-                        int(params["seed"]), "service-noise"  # type: ignore[arg-type]
-                    ),
-                ),
+                "voltages": voltages,
             }
         )
         offset = stop
@@ -487,6 +668,140 @@ def _fold_subshard_partials(
     return folded
 
 
+def _run_physical_attack_shard(
+    params: Dict[str, object],
+    config: ExperimentConfig,
+    campaign,
+    misalignment: Optional[MisalignmentSpec],
+    spec: Optional[PreprocessSpec],
+    shard: Shard,
+    segment_ends: Sequence[int],
+    workers: int,
+    executor: Optional[str],
+) -> List[Tuple[int, Dict[str, np.ndarray]]]:
+    """One *physical* attack shard lease (jitter/preprocess jobs).
+
+    Mirrors :func:`run_attack_shard` over the physical pipeline: the
+    lease's chunks are generated end to end on the global chunk grid
+    (the same seed derivations as
+    :func:`~repro.experiments.parallel.sharded_physical_attack`), so
+    the coordinator's merge is bit-identical to the local route.
+    """
+    circuit = str(params["circuit"])
+    column = column_of_key_byte(DEFAULT_TARGET_BYTE)
+    generator = _physical_generator(campaign.cipher, misalignment)
+    seed = _physical_seed(config, circuit)
+    preprocess = _resolved_plan(spec, generator, seed, (column,))
+    samples = (
+        None if preprocess is None else preprocess.samples_for_column(column)
+    )
+    num_traces = int(params["traces"])  # type: ignore[arg-type]
+    plaintexts = random_plaintexts(
+        num_traces, seed=derive_seed(seed, "e2e-pt")
+    )
+    sample_index = int(generator.last_round_sample_indices()[column])
+    sub_shards = _plan_subshards(shard, workers)
+    with ArrayFanout(
+        heavy={
+            "generator": generator,
+            "sensor": campaign.sensor,
+            "chunk_size": TRACE_CHUNK,
+            "seed": seed,
+            "reference": False,
+            "sample_index": sample_index,
+            "mask": None,
+            "target_byte": DEFAULT_TARGET_BYTE,
+            "target_bit": DEFAULT_TARGET_BIT,
+            "preprocess": preprocess,
+            "samples": samples,
+        },
+        arrays={"plaintexts": plaintexts},
+        executor=executor,
+        workers=workers,
+        num_tasks=len(sub_shards),
+    ) as fanout:
+        tasks = [
+            {
+                "ctx": fanout.context_id,
+                "shard": sub,
+                "segment_ends": [
+                    int(p)
+                    for p in segment_ends
+                    if sub.start < int(p) < sub.end
+                ]
+                + [sub.end],
+            }
+            for sub in sub_shards
+        ]
+        per_sub = map_ordered(
+            _physical_shard_task,
+            tasks,
+            max_workers=workers,
+            executor=executor,
+            **fanout.map_kwargs,
+        )
+    folded = _fold_subshard_partials(per_sub, segment_ends)
+    return [
+        (boundary, engine.state_arrays()) for boundary, engine in folded
+    ]
+
+
+def _run_physical_fullkey_shard(
+    params: Dict[str, object],
+    config: ExperimentConfig,
+    campaign,
+    misalignment: Optional[MisalignmentSpec],
+    spec: Optional[PreprocessSpec],
+    shard: Shard,
+    workers: int,
+    executor: Optional[str],
+) -> np.ndarray:
+    """One *physical* full-key shard lease: a ``(num, 4)`` block."""
+    generator = _physical_generator(campaign.cipher, misalignment)
+    seed = _physical_seed(config, "alu")
+    preprocess = _resolved_plan(spec, generator, seed, tuple(range(4)))
+    aligned = generator.last_round_sample_indices()
+    column_samples = {
+        column: (
+            np.array([int(aligned[column])], dtype=np.int64)
+            if preprocess is None
+            else preprocess.samples_for_column(column)
+        )
+        for column in range(4)
+    }
+    num_traces = int(params["traces"])  # type: ignore[arg-type]
+    plaintexts = random_plaintexts(
+        num_traces, seed=derive_seed(seed, "e2e-pt")
+    )
+    sub_shards = _plan_subshards(shard, workers)
+    with ArrayFanout(
+        heavy={
+            "generator": generator,
+            "sensor": campaign.sensor,
+            "chunk_size": TRACE_CHUNK,
+            "seed": seed,
+            "mask": None,
+            "preprocess": preprocess,
+            "column_samples": column_samples,
+        },
+        arrays={"plaintexts": plaintexts},
+        executor=executor,
+        workers=workers,
+        num_tasks=len(sub_shards),
+    ) as fanout:
+        tasks = [
+            {"ctx": fanout.context_id, "shard": sub} for sub in sub_shards
+        ]
+        blocks = map_ordered(
+            _physical_column_shard_task,
+            tasks,
+            max_workers=workers,
+            executor=executor,
+            **fanout.map_kwargs,
+        )
+    return np.vstack(blocks)
+
+
 def run_attack_shard(
     params: Dict[str, object],
     start: int,
@@ -510,6 +825,19 @@ def run_attack_shard(
         config = _experiment_config(params)
         setup = cached_setup(config)
         campaign = setup.campaign(str(params["circuit"]))
+        misalignment, spec = _acquisition_specs(params)
+        if misalignment is not None or spec is not None:
+            return _run_physical_attack_shard(
+                params,
+                config,
+                campaign,
+                misalignment,
+                spec,
+                Shard(int(start), int(end)),
+                segment_ends,
+                max(1, int(local_workers or 1)),
+                executor,
+            )
         reduction = str(params["reduction"])
         mask, bit = campaign.resolve_reduction(reduction)
         ciphertexts, voltages = _attack_inputs(
@@ -579,6 +907,18 @@ def run_fullkey_shard(
         config = _experiment_config(params)
         setup = cached_setup(config)
         campaign = setup.campaign("alu")
+        misalignment, spec = _acquisition_specs(params)
+        if misalignment is not None or spec is not None:
+            return _run_physical_fullkey_shard(
+                params,
+                config,
+                campaign,
+                misalignment,
+                spec,
+                Shard(int(start), int(end)),
+                max(1, int(local_workers or 1)),
+                executor,
+            )
         mask, _ = campaign.resolve_reduction(REDUCTION_HW)
         _ciphertexts, voltages = _fullkey_inputs(
             campaign, int(params["traces"])  # type: ignore[arg-type]
@@ -669,9 +1009,21 @@ def merge_fullkey_blocks(
                 "fullkey merge expected %d traces, got %d"
                 % (num_traces, leakage.shape[0])
             )
-        ciphertexts = random_ciphertexts(
-            num_traces, seed=derive_seed(campaign.seed, "campaign-ct")
-        )
+        misalignment, spec = _acquisition_specs(params)
+        if misalignment is not None or spec is not None:
+            # Physical jobs draw plaintexts; the hypothesis ciphertexts
+            # come from a cheap encryption-only pass over the same
+            # seeded draw the shard workers generated from.
+            generator = _physical_generator(campaign.cipher, misalignment)
+            seed = _physical_seed(config, "alu")
+            plaintexts = random_plaintexts(
+                num_traces, seed=derive_seed(seed, "e2e-pt")
+            )
+            ciphertexts = generator._batched_cipher().encrypt(plaintexts)
+        else:
+            ciphertexts = random_ciphertexts(
+                num_traces, seed=derive_seed(campaign.seed, "campaign-ct")
+            )
         return recover_last_round_key(
             leakage,
             ciphertexts,

@@ -75,8 +75,9 @@ __all__ = [
 #: Environment variable consulted when no explicit spec is configured.
 KERNELS_ENV = "REPRO_KERNELS"
 
-#: The three hot kernels behind the registry.
-KERNEL_NAMES = ("aes", "pdn", "cpa")
+#: The hot kernels behind the registry: the three original campaign
+#: kernels plus the polyphase resampler of the preprocessing subsystem.
+KERNEL_NAMES = ("aes", "pdn", "cpa", "resample")
 
 #: Accepted selection modes (per kernel or for all kernels at once).
 KERNEL_MODES = ("auto", "numpy", "scipy", "native")
@@ -154,6 +155,24 @@ def parse_spec(spec: Optional[str]) -> Dict[str, str]:
 #: instead (see :func:`dispatch`).
 _IMPLS: Dict[Tuple[str, str], Dict[str, Callable]] = {}
 
+#: The module(s) whose import registers each kernel's ops.  Probing a
+#: kernel's availability (or dispatching it) before its domain module
+#: happens to be imported must not silently miss backends, so the
+#: registry imports them on demand; re-imports are cached no-ops.
+_DOMAIN_MODULES: Dict[str, Tuple[str, ...]] = {
+    "aes": ("repro.aes.batch", "repro.attacks.models"),
+    "pdn": ("repro.pdn.model",),
+    "cpa": ("repro.attacks.cpa",),
+    "resample": ("repro.preprocess.resample",),
+}
+
+
+def _ensure_registered(kernel: str) -> None:
+    import importlib  # noqa: PLC0415 — lazy
+
+    for module in _DOMAIN_MODULES.get(kernel, ()):
+        importlib.import_module(module)
+
 
 def register_backend(
     kernel: str, backend: str, **ops: Callable
@@ -209,6 +228,7 @@ def available_backends(kernel: str) -> Tuple[str, ...]:
     """
     if kernel not in KERNEL_NAMES:
         raise ValueError("unknown kernel %r" % (kernel,))
+    _ensure_registered(kernel)
     backends = ["numpy"]
     if _has_scipy_ops(kernel) and _scipy_available():
         backends.append("scipy")
@@ -238,6 +258,7 @@ def _current_spec() -> Optional[str]:
 
 
 def _resolve_one(kernel: str, mode: str) -> str:
+    _ensure_registered(kernel)
     if mode == "numpy":
         return "numpy"
     if mode == "scipy":
@@ -354,14 +375,21 @@ def dispatch(kernel: str, op: str) -> Callable:
 
     Resolution happens here, at call time, never at object-construction
     time — campaign objects stay free of backend handles and therefore
-    picklable.  A backend that lacks a specific op falls back to the
-    numpy reference implementation for that op.
+    picklable.  A backend that lacks a specific op falls back down the
+    ``native -> scipy -> numpy`` chain for that op (so e.g. a global
+    ``native`` selection still serves the resample kernel, which has
+    no native form, through its scipy implementation).
     """
+    _ensure_registered(kernel)
     backend = active_backends()[kernel]
     if backend == "native":
         provider = _load_native()
         if provider is not None:
             fn = provider.ops.get((kernel, op))
+            if fn is not None:
+                return fn
+        if _scipy_available():
+            fn = _IMPLS.get((kernel, "scipy"), {}).get(op)
             if fn is not None:
                 return fn
     elif backend != "numpy":

@@ -411,7 +411,71 @@ class TestKernelsOption:
         assert code == 0
         assert out.startswith("kernels: ")
         record = json.loads(path.read_text())
-        assert set(record["kernels"]) == {"aes", "pdn", "cpa"}
+        assert set(record["kernels"]) == {"aes", "pdn", "cpa", "resample"}
         for entry in record["kernels"].values():
             for case in entry["backends"].values():
                 assert case["identical_to_numpy"] is True
+
+
+class TestAcquisitionFlags:
+    """--jitter/--align/--poi/--window/--resample on attack, fullkey
+    and report, plus the ``bench --suite preprocess`` wiring."""
+
+    def test_malformed_jitter_one_line_exit_2(self, capsys):
+        code = main([
+            "attack", "alu", "--traces", "4000",
+            "--jitter", "sideways:2",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "sideways" in err
+        assert err.count("\n") == 1, "one actionable line, no traceback"
+
+    def test_malformed_align_one_line_exit_2(self, capsys):
+        code = main([
+            "attack", "alu", "--traces", "4000",
+            "--align", "fourier",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "fourier" in err
+        assert "correlation" in err and "sad" in err
+
+    def test_submit_unknown_param_names_valid_keys(self, capsys):
+        # Parsed client-side before any server connection is needed.
+        code = main([
+            "submit", "attack", "--param", "jiter=uniform:2",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "jiter" in err
+        assert "jitter" in err and "preprocess" in err
+        assert err.count("\n") == 1
+
+    def test_jittered_attack_with_alignment_runs(self, capsys):
+        code = main([
+            "attack", "alu", "--traces", "4000",
+            "--jitter", "uniform:2",
+            "--align", "correlation:4",
+        ])
+        out = capsys.readouterr().out
+        assert "best guess" in out
+        assert code in (0, 1)
+
+    def test_bench_accepts_preprocess_suite(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_preprocess.json"
+        code = main([
+            "--seed", "5",
+            "bench", "--suite", "preprocess",
+            "--repeats", "1",
+            "--output", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        record = json.loads(path.read_text())
+        assert record["identity"]["workers_1_vs_2_bit_identical"]
+        assert record["alignment"]["traces_per_s"] > 10_000
+        assert record["recovery_frontier"] is not None

@@ -164,7 +164,7 @@ class TestKernelsMetadata:
 
         host = host_metadata()
         assert host["kernel_backends"] == kernels.active_backends()
-        assert set(host["kernel_backends"]) == {"aes", "pdn", "cpa"}
+        assert set(host["kernel_backends"]) == {"aes", "pdn", "cpa", "resample"}
         # numba is optional: a version string when importable, else None.
         try:
             import numba
@@ -199,7 +199,7 @@ class TestKernelsBenchmark:
         )
         assert path.exists()
         assert json.loads(path.read_text()) is not None
-        assert set(record["kernels"]) == {"aes", "pdn", "cpa"}
+        assert set(record["kernels"]) == {"aes", "pdn", "cpa", "resample"}
         for kernel, entry in record["kernels"].items():
             backends = entry["backends"]
             # Every backend available on this host was swept and

@@ -1,0 +1,121 @@
+"""Seed-era regression: pre-acquisition-realism outputs are frozen.
+
+The acquisition-realism layer rewired the physical trace path (noise →
+misalignment tail, preprocess hooks in every campaign driver) with the
+promise that every configuration *without* a misalignment/preprocess
+spec stays bit-identical to the pre-change code.  The golden arrays in
+``tests/golden/seed_era_pr10.npz`` were captured from the repository
+at the commit immediately before that layer landed; this module
+replays the same configurations against today's code and compares
+bitwise.  The service cache keys are pinned too: a drifting key would
+silently orphan every previously cached campaign result.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.aes.aes128 import AES128
+from repro.core.tracegen import PhysicalTraceGenerator
+from repro.experiments.parallel import (
+    sharded_attack,
+    sharded_physical_attack,
+)
+from repro.experiments.setup import ExperimentSetup
+from repro.service.jobs import JobSpec
+from repro.util.rng import make_rng
+
+GOLDEN = Path(__file__).parent / "golden" / "seed_era_pr10.npz"
+
+# Cache keys captured from the pre-change commit for the default job
+# of every kind.  They must never drift: the journal replays completed
+# jobs by key, and a changed key silently invalidates every cached
+# result.
+GOLDEN_CACHE_KEYS = {
+    "tracegen": (
+        "215df9a6757bab6b9ef89b2940ff809a"
+        "8a309d3992480129c2cad57db3235d42"
+    ),
+    "attack": (
+        "7a74aae8aea0d6601860daf4661a0213"
+        "fb220abd5f0ba77142e913a3b830e32a"
+    ),
+    "fullkey": (
+        "f37b002034ce46d88fb933c05ed5e9e5"
+        "85c51eb9f5823b48646a2387c669bfd4"
+    ),
+    "report": (
+        "9110d33b15b453b6d79579a9fee345bf"
+        "f2aaccd9d0c9a45ea654d21f0b03a36f"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return np.load(GOLDEN)
+
+
+class TestSeedEraBitIdentity:
+    def test_physical_trace_generation_unchanged(self, golden):
+        generator = PhysicalTraceGenerator(AES128(bytes(range(16))))
+        pts = make_rng(1234, "golden-pt").integers(
+            0, 256, size=(16, 16), dtype=np.uint8
+        )
+        data = generator.generate(pts, seed=777)
+        assert np.array_equal(data["voltages"], golden["voltages"])
+        assert np.array_equal(
+            data["ciphertexts"], golden["ciphertexts"]
+        )
+
+    def test_analytical_campaign_unchanged(self, golden):
+        setup = ExperimentSetup()
+        campaign = setup.campaign("alu")
+        result = sharded_attack(
+            campaign,
+            num_traces=4000,
+            checkpoints=[4000],
+            max_workers=2,
+        )
+        assert np.array_equal(
+            result.correlations, golden["analytical_corr"]
+        )
+
+    def test_physical_campaign_unchanged(self, golden):
+        generator = PhysicalTraceGenerator(AES128(bytes(range(16))))
+        sensor = ExperimentSetup().sensor("alu")
+        result = sharded_physical_attack(
+            generator,
+            sensor,
+            num_traces=1500,
+            mask=None,
+            checkpoints=[1500],
+            max_workers=2,
+            seed=4242,
+        )
+        assert np.array_equal(
+            result.correlations, golden["physical_corr"]
+        )
+
+
+class TestSeedEraCacheKeys:
+    @pytest.mark.parametrize("kind", sorted(GOLDEN_CACHE_KEYS))
+    def test_default_job_cache_key_unchanged(self, kind):
+        assert (
+            JobSpec.create(kind, {}).cache_key
+            == GOLDEN_CACHE_KEYS[kind]
+        )
+
+    @pytest.mark.parametrize("kind", ["attack", "fullkey", "report"])
+    def test_disabled_specs_share_the_default_key(self, kind):
+        """``jitter=none`` / ``preprocess=none`` canonicalize to the
+        unset params, so they hit the same cache entry."""
+        spec = JobSpec.create(
+            kind, {"jitter": "none", "preprocess": "none"}
+        )
+        assert spec.cache_key == GOLDEN_CACHE_KEYS[kind]
+
+    def test_enabled_specs_change_the_key(self):
+        spec = JobSpec.create("attack", {"jitter": "uniform:2"})
+        assert spec.cache_key != GOLDEN_CACHE_KEYS["attack"]

@@ -1,0 +1,97 @@
+"""Tests for point-of-interest ranking (variance and SOST)."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess.poi import (
+    rank_samples,
+    select_poi,
+    sost_scores,
+    variance_scores,
+)
+from repro.preprocess.spec import PreprocessError
+from repro.util.rng import make_rng
+
+
+def _leaky_batch(num=400, samples=32, leak_at=(7, 19), seed=2):
+    """Noise batch with class-dependent bumps at the leak samples."""
+    rng = make_rng(seed, "poi-batch")
+    classes = rng.integers(0, 9, size=num)
+    traces = rng.normal(scale=0.2, size=(num, samples))
+    for sample in leak_at:
+        traces[:, sample] += classes * 0.5
+    return traces, classes
+
+
+class TestScores:
+    def test_variance_peaks_at_the_leaky_samples(self):
+        traces, _ = _leaky_batch()
+        scores = variance_scores(traces)
+        assert set(np.argsort(-scores)[:2]) == {7, 19}
+
+    def test_sost_peaks_at_the_leaky_samples(self):
+        traces, classes = _leaky_batch()
+        scores = sost_scores(traces, classes)
+        assert set(np.argsort(-scores)[:2]) == {7, 19}
+
+    def test_sost_with_one_class_is_all_zero(self):
+        traces, _ = _leaky_batch(num=50)
+        scores = sost_scores(traces, np.zeros(50))
+        assert np.array_equal(scores, np.zeros(traces.shape[1]))
+
+    def test_sost_constant_samples_contribute_zero_not_nan(self):
+        traces, classes = _leaky_batch(num=60)
+        traces[:, 3] = 1.0
+        scores = sost_scores(traces, classes)
+        assert np.isfinite(scores).all()
+        assert scores[3] == 0.0
+
+    def test_sost_label_count_mismatch_rejected(self):
+        traces, _ = _leaky_batch(num=10)
+        with pytest.raises(PreprocessError, match="class labels"):
+            sost_scores(traces, np.zeros(9))
+
+    def test_rank_is_stable_on_ties(self):
+        ranked = rank_samples(np.array([1.0, 3.0, 3.0, 0.5]))
+        assert ranked.tolist() == [1, 2, 0, 3]
+
+
+class TestSelectPoi:
+    def test_selects_the_top_samples_sorted(self):
+        traces, _ = _leaky_batch()
+        poi = select_poi(traces, "variance", 2)
+        assert poi.tolist() == [7, 19]
+
+    def test_sost_requires_classes(self):
+        traces, classes = _leaky_batch()
+        with pytest.raises(PreprocessError, match="class labels"):
+            select_poi(traces, "sost", 2)
+        poi = select_poi(traces, "sost", 2, classes=classes)
+        assert poi.tolist() == [7, 19]
+
+    def test_candidate_pool_restricts_the_ranking(self):
+        traces, _ = _leaky_batch()
+        pool = np.arange(10, 25)
+        poi = select_poi(traces, "variance", 2, candidates=pool)
+        # Sample 7 is outside the pool, so only 19 plus the next-best
+        # in-pool sample can appear.
+        assert 19 in poi.tolist()
+        assert all(10 <= p < 25 for p in poi)
+
+    def test_num_poi_clipped_to_pool_size(self):
+        traces, _ = _leaky_batch()
+        poi = select_poi(
+            traces, "variance", 10, candidates=np.array([4, 7])
+        )
+        assert poi.tolist() == [4, 7]
+
+    def test_bad_method_and_bad_pool_rejected(self):
+        traces, _ = _leaky_batch(num=10)
+        with pytest.raises(PreprocessError, match="method"):
+            select_poi(traces, "pca", 2)
+        with pytest.raises(PreprocessError, match="candidate"):
+            select_poi(traces, "variance", 2, candidates=np.array([]))
+        with pytest.raises(PreprocessError, match="candidates"):
+            select_poi(
+                traces, "variance", 2, candidates=np.array([40])
+            )

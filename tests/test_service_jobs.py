@@ -60,6 +60,56 @@ class TestNormalizeParams:
         assert a == b
         assert list(a) == list(b), "stable field order"
 
+    def test_unknown_parameter_error_names_the_valid_keys(self):
+        """A typo'd ``--param`` must come back as one line that lists
+        every key the job kind accepts, so the user can self-correct
+        without reading the schema source."""
+        with pytest.raises(JobError) as excinfo:
+            normalize_params("attack", {"jiter": "uniform:2"})
+        message = str(excinfo.value)
+        assert "\n" not in message
+        assert "jiter" in message
+        assert "valid:" in message
+        for key in ("jitter", "preprocess", "traces", "seed", "circuit"):
+            assert key in message
+
+    def test_unknown_parameter_message_lists_all_keys_per_kind(self):
+        for kind in JOB_KINDS:
+            with pytest.raises(JobError) as excinfo:
+                normalize_params(kind, {"bogus": 1})
+            tail = str(excinfo.value).split("valid: ")[1].rstrip(")")
+            assert tail.split(", ") == sorted(normalize_params(kind))
+
+
+class TestAcquisitionParams:
+    def test_specs_canonicalized_not_echoed(self):
+        params = normalize_params(
+            "attack",
+            {"jitter": "uniform:2,drift=0.000", "preprocess": "align=sad"},
+        )
+        assert params["jitter"] == "uniform:2"
+        assert params["preprocess"] == "align=sad:8"
+
+    def test_disabled_specs_normalize_to_none(self):
+        params = normalize_params(
+            "attack", {"jitter": "none", "preprocess": "none"}
+        )
+        assert params["jitter"] is None
+        assert params["preprocess"] is None
+        assert params == normalize_params("attack")
+
+    def test_malformed_specs_rejected_as_job_errors(self):
+        with pytest.raises(JobError, match="jitter"):
+            normalize_params("attack", {"jitter": "sideways:2"})
+        with pytest.raises(JobError, match="window"):
+            normalize_params("attack", {"preprocess": "window=9"})
+
+    def test_tracegen_takes_jitter_but_not_preprocess(self):
+        params = normalize_params("tracegen", {"jitter": "uniform:1"})
+        assert params["jitter"] == "uniform:1"
+        with pytest.raises(JobError, match="preprocess"):
+            normalize_params("tracegen", {"preprocess": "align=sad"})
+
 
 class TestCacheKey:
     def test_execution_knobs_do_not_change_the_key(self):

@@ -65,6 +65,7 @@ class TestParseSpec:
         for spec in (None, "", "  "):
             assert kernels.parse_spec(spec) == {
                 "aes": "auto", "pdn": "auto", "cpa": "auto",
+                "resample": "auto",
             }
 
     @pytest.mark.parametrize("mode", kernels.KERNEL_MODES)
@@ -76,6 +77,7 @@ class TestParseSpec:
     def test_per_kernel_map(self):
         assert kernels.parse_spec("aes=native, pdn=scipy") == {
             "aes": "native", "pdn": "scipy", "cpa": "auto",
+            "resample": "auto",
         }
 
     def test_unknown_mode_rejected(self):
